@@ -1,0 +1,417 @@
+package lsl
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation and microbenchmarks. Each figure benchmark runs the full
+// experiment harness (at a reduced iteration count where the paper used
+// ten runs) and reports the headline quantity of that figure as a
+// custom metric, so `go test -bench . -benchmem` both times the
+// regeneration and surfaces the reproduced result.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/experiments"
+	"github.com/netlogistics/lsl/internal/graph"
+	"github.com/netlogistics/lsl/internal/netsim"
+	"github.com/netlogistics/lsl/internal/pipesim"
+	"github.com/netlogistics/lsl/internal/schedule"
+	"github.com/netlogistics/lsl/internal/simtime"
+	"github.com/netlogistics/lsl/internal/tcpsim"
+	"github.com/netlogistics/lsl/internal/topo"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+// BenchmarkFig2 regenerates Figure 2 (direct vs LSL bandwidth,
+// UCSB→UIUC, 1-64 MB) and reports the 64 MB speedup.
+func BenchmarkFig2(b *testing.B) {
+	var last experiments.BandwidthCurve
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.Fig2(int64(i+1), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = c
+	}
+	n := len(last.Sizes) - 1
+	b.ReportMetric(last.LSLMbit[n]/last.DirectMbit[n], "speedup64M")
+	b.ReportMetric(last.LSLMbit[n], "lslMbit64M")
+}
+
+// BenchmarkFig3 regenerates Figure 3 (UCSB→UF, 1-128 MB).
+func BenchmarkFig3(b *testing.B) {
+	var last experiments.BandwidthCurve
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.Fig3(int64(i+1), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = c
+	}
+	n := len(last.Sizes) - 1
+	b.ReportMetric(last.LSLMbit[n]/last.DirectMbit[n], "speedup128M")
+	b.ReportMetric(last.LSLMbit[n], "lslMbit128M")
+}
+
+// BenchmarkFig4 regenerates Figure 4 (sequence traces via Houston,
+// sublink slopes nearly equal) and reports the slope ratio.
+func BenchmarkFig4(b *testing.B) {
+	var last experiments.SeqTraces
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(int64(i+1), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Sub1Slope/last.Sub2Slope, "slopeRatio")
+	b.ReportMetric(float64(last.MaxLead)/(1<<20), "leadMB")
+}
+
+// BenchmarkFig5 regenerates Figure 5 (sequence traces via Denver) and
+// reports how close the sublink-1 lead comes to the 32 MB pipeline.
+func BenchmarkFig5(b *testing.B) {
+	var last experiments.SeqTraces
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(int64(i+1), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.MaxLead)/(1<<20), "leadMB")
+	b.ReportMetric(float64(last.DepotPipeline)/(1<<20), "pipelineMB")
+}
+
+// BenchmarkTabRTT regenerates the Section 3 RTT table.
+func BenchmarkTabRTT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RTTs()
+		if err != nil || len(rows) != 6 {
+			b.Fatalf("rows=%d err=%v", len(rows), err)
+		}
+	}
+}
+
+// BenchmarkFig6to8Trees regenerates the Figures 6-8 tree comparison.
+func BenchmarkFig6to8Trees(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.TreeComparison(0.1); len(out) == 0 {
+			b.Fatal("empty comparison")
+		}
+	}
+}
+
+// BenchmarkFig9Aggregate regenerates the Figure 9/10 aggregate
+// evaluation (reduced to 3000 measurements per iteration; the paper ran
+// 362,895) and reports the grand-mean speedup and the relayed-path
+// fraction (the paper's 26% statistic).
+func BenchmarkFig9Aggregate(b *testing.B) {
+	var last experiments.AggregateResult
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultAggregate()
+		cfg.Seed = int64(i + 1)
+		cfg.Measurements = 3000
+		cfg.ReplanEvery = 0
+		res, err := experiments.Aggregate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	var sum float64
+	for _, row := range last.Rows {
+		sum += row.Mean
+	}
+	if len(last.Rows) > 0 {
+		b.ReportMetric(sum/float64(len(last.Rows)), "meanSpeedup")
+	}
+	b.ReportMetric(100*last.RelayedFraction, "relayedPct")
+}
+
+// BenchmarkTabPercentile regenerates the crossover-percentile table
+// (the paper's "percentile where the speedup becomes greater than 1")
+// and reports its average across sizes.
+func BenchmarkTabPercentile(b *testing.B) {
+	var last experiments.AggregateResult
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultAggregate()
+		cfg.Seed = int64(i + 1)
+		cfg.Measurements = 3000
+		cfg.ReplanEvery = 0
+		res, err := experiments.Aggregate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	var sum, n float64
+	for _, row := range last.Rows {
+		if row.PctOK {
+			sum += float64(row.PctOver)
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(sum/n, "meanPct>1")
+	}
+}
+
+// BenchmarkFig11Core regenerates the Figure 11 core-depot evaluation
+// and reports the 16 MB median and maximum speedups.
+func BenchmarkFig11Core(b *testing.B) {
+	var last experiments.CoreResult
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultCore()
+		cfg.Seed = int64(i + 1)
+		cfg.Reps16 = 3
+		cfg.Reps128 = 2
+		res, err := experiments.Core(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if len(last.Rows) > 0 {
+		b.ReportMetric(last.Rows[0].Box.Median, "median16M")
+		b.ReportMetric(last.Rows[0].Box.Max, "max16M")
+	}
+}
+
+// BenchmarkAblateEpsilon runs the ε sweep.
+func BenchmarkAblateEpsilon(b *testing.B) {
+	var rows []experiments.EpsilonRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.EpsilonSweep(int64(i+1), []float64{0, 0.1, 0.3}, 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	if len(rows) == 3 {
+		b.ReportMetric(100*rows[0].RelayedFraction, "relayedPctEps0")
+		b.ReportMetric(100*rows[1].RelayedFraction, "relayedPctEps.1")
+	}
+}
+
+// BenchmarkAblateBuffer runs the depot-pipeline sweep.
+func BenchmarkAblateBuffer(b *testing.B) {
+	var rows []experiments.BufferRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.BufferSweep(int64(i+1), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	if len(rows) > 0 {
+		b.ReportMetric(float64(rows[0].MaxLeadBytes)/(1<<20), "leadAt1MB")
+	}
+}
+
+// BenchmarkAblateLoss runs the loss sweep and reports the speedup at
+// the highest loss rate.
+func BenchmarkAblateLoss(b *testing.B) {
+	var rows []experiments.LossRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.LossSweep(int64(i+1), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	if len(rows) > 0 {
+		b.ReportMetric(rows[len(rows)-1].Speedup, "speedupHighLoss")
+	}
+}
+
+// BenchmarkAblateBaseline compares the minimax metric against
+// shortest-path and always-direct.
+func BenchmarkAblateBaseline(b *testing.B) {
+	var rows []experiments.BaselineRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.BaselineComparison(int64(i+1), 1200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	if len(rows) == 3 {
+		b.ReportMetric(rows[0].MeanSpeedup, "minimax")
+		b.ReportMetric(rows[1].MeanSpeedup, "shortestPath")
+	}
+}
+
+// --- Microbenchmarks of the core algorithms and substrates ---
+
+// BenchmarkMinimaxTree142 times one MMP tree build on a 142-host dense
+// graph, the per-source unit of work of every replan.
+func BenchmarkMinimaxTree142(b *testing.B) {
+	t := topo.PlanetLab(topo.DefaultPlanetLab(), 1)
+	p, err := schedule.NewPlanner(t, schedule.DefaultEpsilon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := p.Prime(rng, 3); err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Replan(); err != nil {
+		b.Fatal(err)
+	}
+	g := p.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := graph.MinimaxTree(g, graph.NodeID(i%g.N()), 0.1)
+		if tree.Root < 0 {
+			b.Fatal("bad tree")
+		}
+	}
+}
+
+// BenchmarkReplan142 times a full replan: matrix snapshot, site
+// aggregation, and 142 tree builds.
+func BenchmarkReplan142(b *testing.B) {
+	t := topo.PlanetLab(topo.DefaultPlanetLab(), 1)
+	p, err := schedule.NewPlanner(t, schedule.DefaultEpsilon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := p.Prime(rng, 3); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Replan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCPSimTransfer64M times one simulated 64 MB transfer, the
+// unit cost of the evaluation harness.
+func BenchmarkTCPSimTransfer64M(b *testing.B) {
+	cfg := tcpsim.Config{
+		RTT:      simtime.Milliseconds(70),
+		Capacity: 8e6,
+		LossRate: 4e-5,
+	}
+	b.SetBytes(64 << 20)
+	for i := 0; i < b.N; i++ {
+		eng := netsim.New(int64(i + 1))
+		if _, err := pipesim.Run(eng, pipesim.Direct(64<<20, "d", cfg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChainSim64M times a relayed 64 MB chain simulation.
+func BenchmarkChainSim64M(b *testing.B) {
+	cfg := tcpsim.Config{RTT: simtime.Milliseconds(40), Capacity: 12e6, LossRate: 1e-5}
+	b.SetBytes(64 << 20)
+	for i := 0; i < b.N; i++ {
+		eng := netsim.New(int64(i + 1))
+		chain := pipesim.Relayed(64<<20, []pipesim.Hop{{TCP: cfg}, {TCP: cfg}}, []pipesim.Depot{{}})
+		if _, err := pipesim.Run(eng, chain); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeaderMarshal times LSL header encoding with a source route.
+func BenchmarkHeaderMarshal(b *testing.B) {
+	h := &wire.Header{
+		Version: wire.Version1,
+		Type:    wire.TypeData,
+		Src:     wire.MustEndpoint("10.0.0.1:7411"),
+		Dst:     wire.MustEndpoint("10.0.0.2:7411"),
+	}
+	h.AddOption(wire.SourceRouteOption([]wire.Endpoint{
+		wire.MustEndpoint("10.0.0.3:7411"),
+		wire.MustEndpoint("10.0.0.4:7411"),
+	}))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := h.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var got wire.Header
+		if err := got.UnmarshalBinary(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNWSForecast times one monitor update+forecast cycle.
+func BenchmarkNWSForecast(b *testing.B) {
+	t := topo.TwoPath()
+	p, err := schedule.NewPlanner(t, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bw := t.MeasuredBW(0, 3, rng)
+		if err := p.Observe(topo.UCSB, topo.UIUC, bw); err != nil {
+			b.Fatal(err)
+		}
+		_ = p.Monitor.Forecast(topo.UCSB, topo.UIUC)
+	}
+}
+
+// BenchmarkExtHostAware runs the host-transit-aware scheduler
+// comparison (the paper's future work) and reports both means.
+func BenchmarkExtHostAware(b *testing.B) {
+	var rows []experiments.HostAwareRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.HostAwareComparison(int64(i+1), 1500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	if len(rows) == 2 {
+		b.ReportMetric(rows[0].MeanSpeedup, "paperSched")
+		b.ReportMetric(rows[1].MeanSpeedup, "hostAware")
+	}
+}
+
+// BenchmarkExtPSockets runs the parallel-vs-serial sockets comparison.
+func BenchmarkExtPSockets(b *testing.B) {
+	var rows []experiments.PSocketsRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.PSocketsComparison(int64(i+1), 16<<20, []int{2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		if r.Strategy == "LSL via 1 depot" {
+			b.ReportMetric(r.Speedup, "lslSpeedup")
+		}
+		if r.Strategy == "parallel x2" {
+			b.ReportMetric(r.Speedup, "px2Speedup")
+		}
+	}
+}
+
+// BenchmarkExtContention runs the depot-contention sweep and reports
+// the solo and saturated per-session speedups.
+func BenchmarkExtContention(b *testing.B) {
+	var rows []experiments.ContentionRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ContentionSweep(int64(i+1), []int{1, 4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	if len(rows) == 3 {
+		b.ReportMetric(rows[0].MeanSpeedup, "soloSpeedup")
+		b.ReportMetric(rows[2].MeanSpeedup, "x16Speedup")
+	}
+}

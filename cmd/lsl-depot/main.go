@@ -1,0 +1,138 @@
+// Command lsl-depot runs a logistical storage depot on real TCP
+// sockets: it accepts LSL sessions, forwards them along their source
+// routes or its route table, and delivers sessions addressed to itself.
+//
+// Usage:
+//
+//	lsl-depot -listen 0.0.0.0:7411 -self 198.51.100.7:7411 \
+//	          [-routes routes.txt] [-pipeline 32] [-max-sessions 64]
+//
+// The optional routes file has one entry per line:
+//
+//	<destination-ip:port> <next-hop-ip:port>
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/depot"
+	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+var (
+	listenAddr  = flag.String("listen", "0.0.0.0:7411", "TCP listen address")
+	selfAddr    = flag.String("self", "", "this depot's public ip:port (required)")
+	routesPath  = flag.String("routes", "", "optional route table file")
+	pipelineMB  = flag.Int("pipeline", 32, "per-session pipeline buffering in MB")
+	maxSessions = flag.Int("max-sessions", 0, "refuse sessions beyond this concurrency (0 = unlimited)")
+	dialTimeout = flag.Duration("dial-timeout", 10*time.Second, "onward connection timeout")
+	verbose     = flag.Bool("v", false, "log per-session diagnostics")
+)
+
+func main() {
+	flag.Parse()
+	if *selfAddr == "" {
+		fmt.Fprintln(os.Stderr, "lsl-depot: -self is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(); err != nil {
+		log.Fatalf("lsl-depot: %v", err)
+	}
+}
+
+func run() error {
+	self, err := wire.ParseEndpoint(*selfAddr)
+	if err != nil {
+		return err
+	}
+	var routes func(wire.Endpoint) (wire.Endpoint, bool)
+	if *routesPath != "" {
+		table, err := loadRoutes(*routesPath)
+		if err != nil {
+			return err
+		}
+		log.Printf("loaded %d routes from %s", len(table), *routesPath)
+		routes = func(dst wire.Endpoint) (wire.Endpoint, bool) {
+			next, ok := table[dst]
+			return next, ok
+		}
+	}
+
+	cfg := depot.Config{
+		Self: self,
+		Dial: lsl.DialerFunc(func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, *dialTimeout)
+		}),
+		Routes:        routes,
+		PipelineBytes: *pipelineMB << 20,
+		MaxSessions:   *maxSessions,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	srv, err := depot.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listenAddr)
+	if err != nil {
+		return err
+	}
+	log.Printf("depot %s listening on %s (pipeline %d MB)", self, *listenAddr, *pipelineMB)
+
+	// Periodic stats line, so operators can watch forwarding volume.
+	go func() {
+		for range time.Tick(30 * time.Second) {
+			st := srv.Stats()
+			log.Printf("stats: accepted=%d forwarded=%d delivered=%d generated=%d refused=%d errors=%d bytes=%d",
+				st.Accepted, st.Forwarded, st.Delivered, st.Generated, st.Refused, st.Errors,
+				st.BytesForwarded+st.BytesDelivered)
+		}
+	}()
+	return srv.Serve(ln)
+}
+
+func loadRoutes(path string) (map[wire.Endpoint]wire.Endpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	table := make(map[wire.Endpoint]wire.Endpoint)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want 'dst next', got %q", path, lineNo, line)
+		}
+		dst, err := wire.ParseEndpoint(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
+		}
+		next, err := wire.ParseEndpoint(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
+		}
+		table[dst] = next
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return table, nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+func writeRoutes(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "routes.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadRoutes(t *testing.T) {
+	path := writeRoutes(t, `
+# destination           next hop
+10.0.0.5:7411 10.0.0.2:7411
+10.0.0.6:7411 10.0.0.2:7411
+10.0.0.7:7411 10.0.0.3:7411
+`)
+	table, err := loadRoutes(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 3 {
+		t.Fatalf("entries = %d", len(table))
+	}
+	dst := wire.MustEndpoint("10.0.0.5:7411")
+	if got := table[dst]; got != wire.MustEndpoint("10.0.0.2:7411") {
+		t.Fatalf("route = %v", got)
+	}
+}
+
+func TestLoadRoutesErrors(t *testing.T) {
+	cases := []string{
+		"10.0.0.5:7411\n",                 // missing next hop
+		"notanip 10.0.0.2:7411\n",         // bad destination
+		"10.0.0.5:7411 not-an-endpoint\n", // bad next hop
+	}
+	for _, c := range cases {
+		if _, err := loadRoutes(writeRoutes(t, c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+	if _, err := loadRoutes("/does/not/exist"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

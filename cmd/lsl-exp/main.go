@@ -1,0 +1,225 @@
+// Command lsl-exp regenerates the paper's tables and figures and the
+// repository's ablation studies.
+//
+// Usage:
+//
+//	lsl-exp [flags] <experiment>
+//
+// Experiments:
+//
+//	rtts      Section 3 RTT table
+//	fig2      Figure 2: direct vs LSL bandwidth, UCSB→UIUC
+//	fig3      Figure 3: direct vs LSL bandwidth, UCSB→UF
+//	fig4      Figure 4: sequence traces via Houston
+//	fig5      Figure 5: sequence traces via Denver (32 MB knee)
+//	trees     Figures 6-8: MMP trees with and without ε
+//	fig9      Figures 9-10 + percentile table + 26% statistic
+//	fig11     Figure 11: core-depot box statistics
+//	ablate    all ablation sweeps (ε, buffer, loss, freshness, baseline)
+//	all       everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/netlogistics/lsl/internal/experiments"
+)
+
+var (
+	seed         = flag.Int64("seed", 1, "random seed for every experiment")
+	iterations   = flag.Int("iterations", 10, "runs per configuration for the Section 3 figures (paper: 10)")
+	measurements = flag.Int("measurements", 20000, "measurement budget for the aggregate evaluation (paper: 362,895)")
+	epsilon      = flag.Float64("epsilon", 0.1, "edge-equivalence for the tree comparison")
+	format       = flag.String("format", "table", "output format for figures: table or csv")
+)
+
+// emit prints a figure result in the chosen format.
+func emit(table fmt.Stringer, csv func() string) {
+	if *format == "csv" {
+		fmt.Print(csv())
+		return
+	}
+	fmt.Println(table)
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lsl-exp [flags] <rtts|fig2|fig3|fig4|fig5|trees|fig9|fig11|matrix[-twopath|-planetlab|-abilene]|ablate|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "lsl-exp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string) error {
+	switch name {
+	case "rtts":
+		return rtts()
+	case "fig2":
+		c, err := experiments.Fig2(*seed, *iterations)
+		if err != nil {
+			return err
+		}
+		emit(c, c.CSV)
+	case "fig3":
+		c, err := experiments.Fig3(*seed, *iterations)
+		if err != nil {
+			return err
+		}
+		emit(c, c.CSV)
+	case "fig4":
+		r, err := experiments.Fig4(*seed, *iterations)
+		if err != nil {
+			return err
+		}
+		emit(r, r.CSV)
+	case "fig5":
+		r, err := experiments.Fig5(*seed, *iterations)
+		if err != nil {
+			return err
+		}
+		emit(r, r.CSV)
+	case "trees":
+		fmt.Println(experiments.TreeComparison(*epsilon))
+	case "fig9", "fig10", "pct":
+		cfg := experiments.DefaultAggregate()
+		cfg.Seed = *seed
+		cfg.Measurements = *measurements
+		res, err := experiments.Aggregate(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res, res.CSV)
+	case "fig11":
+		cfg := experiments.DefaultCore()
+		cfg.Seed = *seed
+		res, err := experiments.Core(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res, res.CSV)
+	case "matrix", "matrix-twopath", "matrix-planetlab", "matrix-abilene":
+		topoName := "twopath"
+		if idx := strings.IndexByte(name, '-'); idx >= 0 {
+			topoName = name[idx+1:]
+		}
+		out, err := experiments.DumpMeasurements(topoName, *seed, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	case "weather", "weather-twopath", "weather-planetlab", "weather-abilene":
+		topoName := "twopath"
+		if idx := strings.IndexByte(name, '-'); idx >= 0 {
+			topoName = name[idx+1:]
+		}
+		out, err := experiments.Weather(topoName, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	case "nws":
+		out, err := experiments.NWSEvaluation(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	case "robustness":
+		rows, err := experiments.Robustness(nil, *measurements/5)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatRobustness(rows))
+	case "ablate":
+		return ablate()
+	case "all":
+		for _, n := range []string{"rtts", "trees", "fig2", "fig3", "fig4", "fig5", "fig9", "fig11", "robustness", "ablate"} {
+			if err := run(n); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+func rtts() error {
+	rows, err := experiments.RTTs()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Section 3 round-trip times:")
+	for _, r := range rows {
+		fmt.Println(" ", r)
+	}
+	fmt.Println()
+	return nil
+}
+
+func ablate() error {
+	eps, err := experiments.EpsilonSweep(*seed, nil, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatEpsilonSweep(eps))
+
+	buf, err := experiments.BufferSweep(*seed, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatBufferSweep(buf))
+
+	loss, err := experiments.LossSweep(*seed, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatLossSweep(loss))
+
+	fresh, err := experiments.FreshnessSweep(*seed, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatFreshnessSweep(fresh))
+
+	base, err := experiments.BaselineComparison(*seed, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatBaselineComparison(base))
+
+	aware, err := experiments.HostAwareComparison(*seed, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatHostAwareComparison(aware))
+
+	ps, err := experiments.PSocketsComparison(*seed, 0, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatPSocketsComparison(ps))
+
+	cont, err := experiments.ContentionSweep(*seed, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatContentionSweep(cont))
+
+	d, s1, s2, err := experiments.CwndTraces(*seed, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatCwndTraces(d, s1, s2))
+	return nil
+}

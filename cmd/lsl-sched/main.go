@@ -1,0 +1,176 @@
+// Command lsl-sched computes Minimax-Path forwarding schedules from a
+// bandwidth measurement file.
+//
+// The input is a text file with one measurement per line:
+//
+//	<source-host> <dest-host> <bandwidth-bytes-per-sec>
+//
+// Blank lines and lines starting with '#' are ignored. Repeated
+// measurements of a pair are averaged (the NWS forecast stand-in).
+//
+// Usage:
+//
+//	lsl-sched -matrix m.txt -root host-a            # tree + route table
+//	lsl-sched -matrix m.txt -all                    # every route table
+//	lsl-sched -matrix m.txt -path host-a,host-b     # one planned path
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/netlogistics/lsl/internal/graph"
+)
+
+var (
+	matrixPath = flag.String("matrix", "", "measurement file (required)")
+	epsilon    = flag.Float64("epsilon", 0.1, "edge-equivalence ε")
+	root       = flag.String("root", "", "print the MMP tree and route table for this host")
+	all        = flag.Bool("all", false, "print route tables for every host")
+	pathSpec   = flag.String("path", "", "print the planned path for 'src,dst'")
+	dot        = flag.Bool("dot", false, "with -root: emit the tree as Graphviz dot instead of text")
+)
+
+func main() {
+	flag.Parse()
+	if *matrixPath == "" {
+		fmt.Fprintln(os.Stderr, "lsl-sched: -matrix is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lsl-sched:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	g, err := loadMatrix(*matrixPath)
+	if err != nil {
+		return err
+	}
+	plan := graph.BuildRoutePlan(g, *epsilon)
+	fmt.Printf("%d hosts, epsilon=%.2f, depot routes on %.1f%% of paths\n\n",
+		g.N(), *epsilon, 100*plan.RelayedFraction())
+
+	did := false
+	if *root != "" {
+		id, ok := g.Lookup(*root)
+		if !ok {
+			return fmt.Errorf("unknown host %q", *root)
+		}
+		if *dot {
+			fmt.Print(plan.Trees[id].DOT("mmp_" + *root))
+		} else {
+			fmt.Printf("MMP tree from %s:\n%s\n", *root, plan.Trees[id])
+			fmt.Println(plan.FormatTable(id))
+		}
+		did = true
+	}
+	if *all {
+		for v := 0; v < g.N(); v++ {
+			fmt.Println(plan.FormatTable(graph.NodeID(v)))
+		}
+		did = true
+	}
+	if *pathSpec != "" {
+		parts := strings.SplitN(*pathSpec, ",", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("-path wants 'src,dst', got %q", *pathSpec)
+		}
+		s, ok := g.Lookup(strings.TrimSpace(parts[0]))
+		if !ok {
+			return fmt.Errorf("unknown host %q", parts[0])
+		}
+		d, ok := g.Lookup(strings.TrimSpace(parts[1]))
+		if !ok {
+			return fmt.Errorf("unknown host %q", parts[1])
+		}
+		nodes := plan.SourcePath(s, d)
+		if nodes == nil {
+			return fmt.Errorf("no path from %s to %s", parts[0], parts[1])
+		}
+		names := make([]string, len(nodes))
+		for i, v := range nodes {
+			names[i] = g.Name(v)
+		}
+		cost, err := g.PathCost(nodes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("path: %s (minimax cost %.4g)\n", strings.Join(names, " -> "), cost)
+		did = true
+	}
+	if !did {
+		fmt.Println("nothing to do: pass -root, -all, or -path")
+	}
+	return nil
+}
+
+// loadMatrix parses the measurement file into a cost graph
+// (cost = 1/mean bandwidth).
+func loadMatrix(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	type pair struct{ a, b string }
+	sums := make(map[pair]float64)
+	counts := make(map[pair]int)
+	hostSet := make(map[string]bool)
+
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want 'src dst bw', got %q", path, lineNo, line)
+		}
+		bw, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || bw <= 0 {
+			return nil, fmt.Errorf("%s:%d: bad bandwidth %q", path, lineNo, fields[2])
+		}
+		if fields[0] == fields[1] {
+			return nil, fmt.Errorf("%s:%d: self measurement for %q", path, lineNo, fields[0])
+		}
+		hostSet[fields[0]] = true
+		hostSet[fields[1]] = true
+		k := pair{fields[0], fields[1]}
+		sums[k] += bw
+		counts[k]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(hostSet) < 2 {
+		return nil, fmt.Errorf("%s: need measurements between at least 2 hosts", path)
+	}
+
+	hosts := make([]string, 0, len(hostSet))
+	for h := range hostSet {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	g, err := graph.New(hosts)
+	if err != nil {
+		return nil, err
+	}
+	for k, sum := range sums {
+		a, _ := g.Lookup(k.a)
+		b, _ := g.Lookup(k.b)
+		g.SetCost(a, b, float64(counts[k])/sum) // 1 / mean bandwidth
+	}
+	return g, nil
+}

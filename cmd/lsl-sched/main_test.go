@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/graph"
+)
+
+func writeMatrix(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "matrix.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadMatrix(t *testing.T) {
+	path := writeMatrix(t, `
+# comment line
+hostA hostB 1000000
+hostB hostA 2000000
+hostA hostB 3000000
+hostB hostC 500000
+`)
+	g, err := loadMatrix(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 {
+		t.Fatalf("hosts = %d", g.N())
+	}
+	a, _ := g.Lookup("hostA")
+	b, _ := g.Lookup("hostB")
+	c, _ := g.Lookup("hostC")
+	// Duplicates average: mean(1e6, 3e6) = 2e6 → cost 5e-7.
+	if got := g.Cost(a, b); got != 1/2e6 {
+		t.Fatalf("cost A→B = %v", got)
+	}
+	if got := g.Cost(b, a); got != 1/2e6 {
+		t.Fatalf("cost B→A = %v", got)
+	}
+	if got := g.Cost(b, c); got != 1/5e5 {
+		t.Fatalf("cost B→C = %v", got)
+	}
+	// Unmeasured direction has no edge.
+	if g.HasEdge(c, b) {
+		t.Fatal("unmeasured direction got an edge")
+	}
+	// The loaded graph schedules.
+	tree := graph.MinimaxTree(g, a, 0.1)
+	if !tree.Reachable(c) {
+		t.Fatal("C unreachable from A via B")
+	}
+}
+
+func TestLoadMatrixErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		content string
+	}{
+		{"malformed", "a b\n"},
+		{"bad bandwidth", "a b notanumber\n"},
+		{"negative bandwidth", "a b -5\n"},
+		{"self measurement", "a a 100\n"},
+		{"too few hosts", "# nothing\n"},
+	}
+	for _, c := range cases {
+		path := writeMatrix(t, c.content)
+		if _, err := loadMatrix(path); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := loadMatrix("/does/not/exist"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,291 @@
+// Command lsl-xfer moves data over the Logistical Session Layer on
+// real TCP sockets.
+//
+// Sender mode pushes pattern data to a destination, optionally through
+// a loose source route of depots:
+//
+//	lsl-xfer -to 198.51.100.9:7411 -size 64M \
+//	         [-via 198.51.100.7:7411,198.51.100.8:7411] [-src ip:port]
+//
+// With -generate, the first hop (a depot) synthesizes the data instead
+// of the local machine sending it — the paper's test-traffic mechanism:
+//
+//	lsl-xfer -to sink:7411 -via depot:7411 -size 16M -generate
+//
+// Sink mode accepts sessions, verifies the payload pattern, and prints
+// per-session throughput:
+//
+//	lsl-xfer -sink -listen 0.0.0.0:7411 -self 198.51.100.9:7411
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/depot"
+	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+var (
+	to       = flag.String("to", "", "destination ip:port")
+	via      = flag.String("via", "", "comma-separated depot ip:port hops")
+	src      = flag.String("src", "0.0.0.0:0", "source endpoint label carried in the header")
+	sizeSpec = flag.String("size", "16M", "bytes to move (suffixes K, M, G)")
+	generate = flag.Bool("generate", false, "ask the first hop to generate the data")
+	store    = flag.Bool("store", false, "store at the destination depot instead of delivering (async mode); prints the session id")
+	fetchID  = flag.String("fetch", "", "fetch the stored session with this hex id from -to")
+	sink     = flag.Bool("sink", false, "run as a verifying sink instead of a sender")
+	listen   = flag.String("listen", "0.0.0.0:7411", "sink: TCP listen address")
+	selfAddr = flag.String("self", "", "sink: public ip:port (required with -sink)")
+)
+
+func main() {
+	flag.Parse()
+	var err error
+	switch {
+	case *sink:
+		err = runSink()
+	case *fetchID != "":
+		err = runFetch()
+	default:
+		err = runSend()
+	}
+	if err != nil {
+		log.Fatalf("lsl-xfer: %v", err)
+	}
+}
+
+// runFetch retrieves an asynchronously stored session and verifies its
+// pattern.
+func runFetch() error {
+	if *to == "" {
+		return fmt.Errorf("-fetch requires -to <depot>")
+	}
+	raw, err := hex.DecodeString(*fetchID)
+	if err != nil || len(raw) != 16 {
+		return fmt.Errorf("-fetch wants a 32-hex-digit session id")
+	}
+	var id wire.SessionID
+	copy(id[:], raw)
+	depotEP, err := wire.ParseEndpoint(*to)
+	if err != nil {
+		return err
+	}
+	selfEP, err := wire.ParseEndpoint(*src)
+	if err != nil {
+		return err
+	}
+	dial := lsl.DialerFunc(func(addr string) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, 10*time.Second)
+	})
+	start := time.Now()
+	sess, err := lsl.Fetch(dial, selfEP, depotEP, id)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	var total int64
+	buf := make([]byte, 64<<10)
+	for {
+		n, rerr := sess.Read(buf)
+		if n > 0 {
+			if verr := depot.VerifyPattern(buf[:n], id, total); verr != nil {
+				return verr
+			}
+			total += int64(n)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("fetched session %s: %d bytes in %v = %.2f Mbit/s [OK]\n",
+		id, total, elapsed.Round(time.Millisecond),
+		float64(total)*8/1e6/elapsed.Seconds())
+	return nil
+}
+
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func runSend() error {
+	if *to == "" {
+		fmt.Fprintln(os.Stderr, "lsl-xfer: -to is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	size, err := parseSize(*sizeSpec)
+	if err != nil {
+		return err
+	}
+	dst, err := wire.ParseEndpoint(*to)
+	if err != nil {
+		return err
+	}
+	srcEP, err := wire.ParseEndpoint(*src)
+	if err != nil {
+		return err
+	}
+	var route []wire.Endpoint
+	if *via != "" {
+		for _, hop := range strings.Split(*via, ",") {
+			ep, err := wire.ParseEndpoint(strings.TrimSpace(hop))
+			if err != nil {
+				return err
+			}
+			route = append(route, ep)
+		}
+	}
+	dial := lsl.DialerFunc(func(addr string) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, 10*time.Second)
+	})
+
+	start := time.Now()
+	var sess *lsl.Session
+	if *store {
+		sess, err = lsl.OpenStore(dial, srcEP, dst, route)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 64<<10)
+		var written int64
+		for written < size {
+			n := int64(len(buf))
+			if remaining := size - written; remaining < n {
+				n = remaining
+			}
+			depot.FillPattern(buf[:n], sess.ID(), written)
+			m, werr := sess.Write(buf[:n])
+			written += int64(m)
+			if werr != nil {
+				return fmt.Errorf("store after %d bytes: %w", written, werr)
+			}
+		}
+		sess.Close()
+		fmt.Printf("stored session %s at %s: %d bytes in %v (fetch with: lsl-xfer -to %s -fetch %s)\n",
+			sess.ID(), dst, size, time.Since(start).Round(time.Millisecond), dst, sess.ID())
+		return nil
+	} else if *generate {
+		if len(route) == 0 {
+			return fmt.Errorf("-generate needs at least one -via depot to do the generating")
+		}
+		sess, err = lsl.OpenGenerate(dial, srcEP, dst, route, uint64(size))
+		if err != nil {
+			return err
+		}
+		// The depot closes the control connection when generation ends.
+		io.Copy(io.Discard, sess) //nolint:errcheck // EOF is the signal
+		sess.Close()
+	} else {
+		sess, err = lsl.Open(dial, srcEP, dst, route)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 64<<10)
+		var written int64
+		for written < size {
+			n := int64(len(buf))
+			if remaining := size - written; remaining < n {
+				n = remaining
+			}
+			depot.FillPattern(buf[:n], sess.ID(), written)
+			m, werr := sess.Write(buf[:n])
+			written += int64(m)
+			if werr != nil {
+				return fmt.Errorf("send after %d bytes: %w", written, werr)
+			}
+		}
+		sess.Close()
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("session %s: %d bytes in %v = %.2f Mbit/s (send-side)\n",
+		sess.ID(), size, elapsed.Round(time.Millisecond),
+		float64(size)*8/1e6/elapsed.Seconds())
+	return nil
+}
+
+func runSink() error {
+	if *selfAddr == "" {
+		fmt.Fprintln(os.Stderr, "lsl-xfer: -sink requires -self")
+		flag.Usage()
+		os.Exit(2)
+	}
+	self, err := wire.ParseEndpoint(*selfAddr)
+	if err != nil {
+		return err
+	}
+	srv, err := depot.New(depot.Config{
+		Self: self,
+		Dial: lsl.DialerFunc(func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		}),
+		Local: func(s *lsl.Session) error {
+			start := time.Now()
+			buf := make([]byte, 64<<10)
+			var total int64
+			var verr error
+			for {
+				n, rerr := s.Read(buf)
+				if n > 0 {
+					if verr == nil {
+						verr = depot.VerifyPattern(buf[:n], s.ID(), total)
+					}
+					total += int64(n)
+				}
+				if rerr == io.EOF {
+					break
+				}
+				if rerr != nil {
+					verr = rerr
+					break
+				}
+			}
+			elapsed := time.Since(start)
+			status := "OK"
+			if verr != nil {
+				status = verr.Error()
+			}
+			log.Printf("session %s from %s: %d bytes in %v = %.2f Mbit/s [%s]",
+				s.ID(), s.Header.Src, total, elapsed.Round(time.Millisecond),
+				float64(total)*8/1e6/elapsed.Seconds(), status)
+			return verr
+		},
+		Logf: log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("sink %s listening on %s", self, *listen)
+	return srv.Serve(ln)
+}

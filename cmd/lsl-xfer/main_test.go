@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"1024", 1024},
+		{"64K", 64 << 10},
+		{"16M", 16 << 20},
+		{"2G", 2 << 30},
+		{" 8m ", 8 << 20},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "M", "-4M", "0", "12Q"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) accepted", bad)
+		}
+	}
+}

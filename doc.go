@@ -1,0 +1,29 @@
+// Package lsl reproduces "Improving Throughput for Grid Applications
+// with Network Logistics" (Martin Swany, SC 2004): the Logistical
+// Session Layer — split-TCP forwarding through storage depots "in" the
+// network — and the Minimax-Path scheduler that decides when and where
+// to relay.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core      — top-level façade: an in-process deployment
+//     (emulated WAN + depots + planner) with Transfer/Multicast APIs
+//   - internal/wire      — the LSL header and option wire format
+//   - internal/lsl       — session establishment over any net.Conn
+//   - internal/depot     — the forwarding depot server
+//   - internal/graph     — Minimax-Path trees with ε edge-equivalence,
+//     route tables, and baselines
+//   - internal/schedule  — the NWS-fed planner
+//   - internal/nws       — Network Weather Service-style forecasting
+//   - internal/topo      — testbed models (two-path, PlanetLab,
+//     Abilene core)
+//   - internal/netsim, internal/tcpsim, internal/pipesim — the
+//     discrete-event TCP and depot-chain simulator behind the paper's
+//     evaluation figures
+//   - internal/experiments — one entry point per paper table/figure
+//   - internal/emu       — a real-time emulated WAN for the wire stack
+//
+// The benchmarks in this directory regenerate every table and figure of
+// the paper's evaluation; see EXPERIMENTS.md for the measured results
+// and README.md for a tour.
+package lsl

@@ -1,0 +1,82 @@
+// Scheduler walkthrough: build the paper's Figures 6-8 example graph
+// and a synthetic PlanetLab testbed, run the Minimax-Path algorithm
+// with and without ε edge-equivalence, and print the trees, one depot's
+// route table, and the fraction of paths the scheduler relays.
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/netlogistics/lsl/internal/experiments"
+	"github.com/netlogistics/lsl/internal/graph"
+	"github.com/netlogistics/lsl/internal/schedule"
+	"github.com/netlogistics/lsl/internal/topo"
+)
+
+func main() {
+	// Part 1: the six-host example of Figures 6-8.
+	fmt.Println("=== Tree shaping with edge equivalence (Figures 6-8) ===")
+	fmt.Println(experiments.TreeComparison(0.1))
+
+	// Part 2: a full 142-host testbed through the production planner.
+	fmt.Println("=== Scheduling a 142-host PlanetLab-like testbed ===")
+	t := topo.PlanetLab(topo.DefaultPlanetLab(), 7)
+	planner, err := schedule.NewPlanner(t, schedule.DefaultEpsilon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	if err := planner.Prime(rng, 20); err != nil {
+		log.Fatal(err)
+	}
+	if err := planner.Replan(); err != nil {
+		log.Fatal(err)
+	}
+
+	frac, err := planner.RelayedFraction()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduler chose depot routes for %.1f%% of the %d paths (paper: 26%%)\n",
+		100*frac, t.N()*(t.N()-1))
+	fmt.Printf("automatic epsilon from NWS forecast error: %.3f (paper suggests this; default is %.2f)\n\n",
+		planner.AutoEpsilon(), schedule.DefaultEpsilon)
+
+	// Show one relayed path and the first few entries of the source's
+	// route table (the state a depot consumes).
+	for s := 0; s < t.N(); s++ {
+		tree, err := planner.Tree(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for d := 0; d < t.N(); d++ {
+			if s == d || len(tree.Relays(graph.NodeID(d))) == 0 {
+				continue
+			}
+			path, err := planner.Path(s, d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("example scheduled path:\n  ")
+			for i, h := range path {
+				if i > 0 {
+					fmt.Print(" -> ")
+				}
+				fmt.Print(t.Hosts[h].Name)
+			}
+			fmt.Println()
+
+			rt, err := planner.RouteTable(s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nroute table at %s holds %d destinations; e.g. %s is reached via %s\n",
+				t.Hosts[s].Name, len(rt), t.Hosts[d].Name, t.Hosts[int(rt[graph.NodeID(d)])].Name)
+			return
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/netlogistics/lsl
+
+go 1.22

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/depot"
+	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+// StoreResult reports an asynchronous staging operation.
+type StoreResult struct {
+	Session wire.SessionID
+	Bytes   int64
+	Elapsed time.Duration // emulated
+	Path    []string
+}
+
+// StoreAt stages size bytes from srcHost into the depot on depotHost
+// asynchronously: the payload travels the planner's route and is held
+// at the depot under the returned session id until a receiver fetches
+// it — the paper's asynchronous session mode, where sender and receiver
+// need not exist at the same time.
+func (s *System) StoreAt(srcHost, depotHost string, size int64) (StoreResult, error) {
+	if size <= 0 {
+		return StoreResult{}, fmt.Errorf("core: store size %d must be positive", size)
+	}
+	si, err := s.resolve(srcHost)
+	if err != nil {
+		return StoreResult{}, err
+	}
+	di, err := s.resolve(depotHost)
+	if err != nil {
+		return StoreResult{}, err
+	}
+	if !s.Topo.Hosts[di].Depot {
+		return StoreResult{}, fmt.Errorf("core: host %s runs no depot", depotHost)
+	}
+	path, err := s.Planner.Path(si, di)
+	if err != nil {
+		return StoreResult{}, err
+	}
+	if path == nil {
+		return StoreResult{}, fmt.Errorf("core: no route %s → %s", srcHost, depotHost)
+	}
+	route := make([]wire.Endpoint, 0, len(path)-2)
+	for _, h := range path[1 : len(path)-1] {
+		route = append(route, s.endpoints[h])
+	}
+
+	start := time.Now()
+	sess, err := lsl.OpenStore(s.dialerFor(si), s.endpoints[si], s.endpoints[di], route)
+	if err != nil {
+		return StoreResult{}, err
+	}
+	if err := writeSessionPattern(sess, size); err != nil {
+		sess.Close()
+		return StoreResult{}, fmt.Errorf("core: store send: %w", err)
+	}
+	sess.Close()
+
+	// The store is confirmed when the depot holds the whole session.
+	deadline := time.Now().Add(transferTimeout)
+	for {
+		if n, ok := s.depots[di].StoredSession(sess.ID()); ok && n >= size {
+			break
+		}
+		if time.Now().After(deadline) {
+			return StoreResult{}, fmt.Errorf("core: store at %s timed out", depotHost)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	elapsed := time.Duration(float64(time.Since(start)) / s.cfg.TimeScale)
+	return StoreResult{
+		Session: sess.ID(),
+		Bytes:   size,
+		Elapsed: elapsed,
+		Path:    s.hostNames(path),
+	}, nil
+}
+
+// FetchFrom retrieves a stored session from depotHost to dstHost,
+// verifying the payload pattern end to end.
+func (s *System) FetchFrom(dstHost, depotHost string, id wire.SessionID) (TransferResult, error) {
+	di, err := s.resolve(dstHost)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	pi, err := s.resolve(depotHost)
+	if err != nil {
+		return TransferResult{}, err
+	}
+
+	start := time.Now()
+	sess, err := lsl.Fetch(s.dialerFor(di), s.endpoints[di], s.endpoints[pi], id)
+	if err != nil {
+		return TransferResult{}, fmt.Errorf("core: fetch: %w", err)
+	}
+	defer sess.Close()
+
+	var total int64
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := sess.Read(buf)
+		if n > 0 {
+			if verr := depot.VerifyPattern(buf[:n], id, total); verr != nil {
+				return TransferResult{}, fmt.Errorf("core: fetch verification: %w", verr)
+			}
+			total += int64(n)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return TransferResult{}, fmt.Errorf("core: fetch read: %w", rerr)
+		}
+	}
+	elapsed := time.Duration(float64(time.Since(start)) / s.cfg.TimeScale)
+	bw := 0.0
+	if elapsed > 0 {
+		bw = float64(total) / elapsed.Seconds()
+	}
+	return TransferResult{
+		Bytes:     total,
+		Elapsed:   elapsed,
+		Bandwidth: bw,
+		Path:      []string{depotHost, dstHost},
+	}, nil
+}

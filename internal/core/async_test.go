@@ -1,0 +1,72 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/topo"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+func TestAsyncStoreAndFetch(t *testing.T) {
+	sys := smallSystem(t)
+	const size = 96 << 10
+
+	// Producer stages the data at the Denver depot; the consumer is
+	// not yet online.
+	stored, err := sys.StoreAt(topo.UCSB, topo.Denver, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.Bytes != size {
+		t.Fatalf("stored %d bytes", stored.Bytes)
+	}
+	if stored.Path[0] != topo.UCSB || stored.Path[len(stored.Path)-1] != topo.Denver {
+		t.Fatalf("path = %v", stored.Path)
+	}
+
+	// Later, a consumer at UIUC discovers the session id and fetches.
+	got, err := sys.FetchFrom(topo.UIUC, topo.Denver, stored.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bytes != size {
+		t.Fatalf("fetched %d of %d bytes", got.Bytes, size)
+	}
+	if got.Bandwidth <= 0 {
+		t.Fatalf("bandwidth = %v", got.Bandwidth)
+	}
+
+	// A second consumer can fetch the same session.
+	again, err := sys.FetchFrom(topo.UF, topo.Denver, stored.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Bytes != size {
+		t.Fatalf("second fetch got %d bytes", again.Bytes)
+	}
+}
+
+func TestAsyncFetchUnknownSession(t *testing.T) {
+	sys := smallSystem(t)
+	if _, err := sys.FetchFrom(topo.UIUC, topo.Denver, wire.SessionID{1, 2, 3}); err == nil {
+		t.Fatal("unknown session fetch succeeded")
+	}
+}
+
+func TestAsyncStoreValidation(t *testing.T) {
+	sys := smallSystem(t)
+	if _, err := sys.StoreAt(topo.UCSB, topo.UIUC, 1024); err == nil ||
+		!strings.Contains(err.Error(), "no depot") {
+		t.Fatalf("store at non-depot: %v", err)
+	}
+	if _, err := sys.StoreAt(topo.UCSB, topo.Denver, 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := sys.StoreAt("nope", topo.Denver, 1); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if _, err := sys.FetchFrom("nope", topo.Denver, wire.SessionID{}); err == nil {
+		t.Fatal("unknown dest accepted")
+	}
+}

@@ -1,0 +1,284 @@
+// Package core is the top-level façade of the library: it assembles a
+// complete in-process LSL deployment — an emulated wide-area network
+// built from a performance topology, a depot server on every host, an
+// NWS-fed Minimax-Path planner — and exposes the operations a Grid
+// application performs: scheduled transfers, direct transfers, and
+// multicast staging.
+//
+// A System is the "middleware bundle" the paper argues Grid
+// environments need: applications name hosts, the planner chooses the
+// forwarding path, and the session layer moves the bytes through
+// depots.
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/depot"
+	"github.com/netlogistics/lsl/internal/emu"
+	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/schedule"
+	"github.com/netlogistics/lsl/internal/topo"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+// Config parameterizes System construction.
+type Config struct {
+	// TimeScale compresses emulated time: 0.01 runs a 40 ms link with
+	// 0.4 ms of real latency (and scales rates to match). Defaults to
+	// 0.01.
+	TimeScale float64
+	// Epsilon is the scheduler's edge-equivalence (negative selects
+	// schedule.DefaultEpsilon).
+	Epsilon float64
+	// PrimeSamples seeds the NWS monitor before the first plan
+	// (default 8).
+	PrimeSamples int
+	// Seed drives every random choice.
+	Seed int64
+	// BasePort is the depot listening port (default 7411).
+	BasePort uint16
+	// FeedObservations feeds the measured bandwidth of each completed
+	// direct transfer back into the NWS monitor, so subsequent Replan
+	// calls schedule from live data instead of only the priming
+	// measurements — the paper's continuous-measurement operating mode.
+	FeedObservations bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.TimeScale <= 0 {
+		c.TimeScale = 0.01
+	}
+	if c.Epsilon < 0 {
+		c.Epsilon = schedule.DefaultEpsilon
+	}
+	if c.PrimeSamples <= 0 {
+		c.PrimeSamples = 8
+	}
+	if c.BasePort == 0 {
+		c.BasePort = 7411
+	}
+	return c
+}
+
+// System is a running in-process LSL deployment.
+type System struct {
+	Topo    *topo.Topology
+	Net     *emu.Network
+	Planner *schedule.Planner
+
+	cfg       Config
+	endpoints []wire.Endpoint // host index → endpoint
+	byAddr    map[wire.Endpoint]int
+	depots    []*depot.Server
+	listeners []net.Listener
+	rng       *rand.Rand
+
+	mu      sync.Mutex
+	waiters map[wire.SessionID]chan deliverResult
+
+	closeOnce sync.Once
+}
+
+type deliverResult struct {
+	bytes int64
+	err   error
+}
+
+// NewSystem builds the deployment: an emulated link per host pair, a
+// depot server per host, and a primed, planned scheduler.
+func NewSystem(t *topo.Topology, cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	planner, err := schedule.NewPlanner(t, cfg.Epsilon)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s := &System{
+		Topo:      t,
+		Net:       emu.NewNetwork(cfg.TimeScale),
+		Planner:   planner,
+		cfg:       cfg,
+		endpoints: make([]wire.Endpoint, t.N()),
+		byAddr:    make(map[wire.Endpoint]int, t.N()),
+		depots:    make([]*depot.Server, t.N()),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		waiters:   make(map[wire.SessionID]chan deliverResult),
+	}
+
+	// Address plan: host i gets 10.(i/200).(i%200+1).1.
+	for i := 0; i < t.N(); i++ {
+		e := wire.Endpoint{
+			IP:   [4]byte{10, byte(i / 200), byte(i%200 + 1), 1},
+			Port: cfg.BasePort,
+		}
+		s.endpoints[i] = e
+		s.byAddr[e] = i
+	}
+
+	// Emulated links: one-way latency is half the path RTT; rates are
+	// scaled so emulated bandwidth is preserved under time compression.
+	for i := 0; i < t.N(); i++ {
+		for j := i + 1; j < t.N(); j++ {
+			l := t.Link(i, j)
+			if !l.Valid() {
+				continue
+			}
+			window := t.Hosts[i].SndBuf
+			if r := t.Hosts[j].RcvBuf; r < window {
+				window = r
+			}
+			s.Net.SetLink(s.hostAddr(i), s.hostAddr(j), emu.LinkProps{
+				Latency: time.Duration(float64(l.RTT.Std()) / 2),
+				Rate:    l.Capacity / cfg.TimeScale,
+				Window:  int(window),
+			})
+		}
+	}
+
+	// One depot per host. Non-depot hosts still run a server so they
+	// can terminate sessions, but the planner never routes through
+	// them.
+	for i := 0; i < t.N(); i++ {
+		i := i
+		d, err := depot.New(depot.Config{
+			Self: s.endpoints[i],
+			Dial: lsl.DialerFunc(func(address string) (net.Conn, error) {
+				return s.Net.Dial(s.hostAddr(i), address)
+			}),
+			Routes:        s.routeLookup(i),
+			Local:         s.localHandler(),
+			PipelineBytes: int(pipelineOf(t.Hosts[i])),
+		})
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("core: depot %s: %w", t.Hosts[i].Name, err)
+		}
+		s.depots[i] = d
+		ln, err := s.Net.Listen(s.endpoints[i].String())
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("core: listen %s: %w", t.Hosts[i].Name, err)
+		}
+		s.listeners = append(s.listeners, ln)
+		go d.Serve(ln) //nolint:errcheck // serve exits when the listener closes
+	}
+
+	if err := planner.Prime(s.rng, cfg.PrimeSamples); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if err := planner.Replan(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func pipelineOf(h topo.Host) int64 {
+	if h.PipelineBytes > 0 {
+		return h.PipelineBytes
+	}
+	return depot.DefaultPipelineBytes
+}
+
+// hostAddr is the emulated-network host identity of host index i (its
+// IPv4 address as text).
+func (s *System) hostAddr(i int) string {
+	e := s.endpoints[i]
+	return fmt.Sprintf("%d.%d.%d.%d", e.IP[0], e.IP[1], e.IP[2], e.IP[3])
+}
+
+// Endpoint returns host i's LSL endpoint.
+func (s *System) Endpoint(i int) wire.Endpoint { return s.endpoints[i] }
+
+// routeLookup builds a depot's route-table function from the planner's
+// tree rooted at that host, resolved lazily so replans take effect.
+func (s *System) routeLookup(host int) func(wire.Endpoint) (wire.Endpoint, bool) {
+	return func(dst wire.Endpoint) (wire.Endpoint, bool) {
+		di, ok := s.byAddr[dst]
+		if !ok {
+			return wire.Endpoint{}, false
+		}
+		tree, err := s.Planner.Tree(host)
+		if err != nil {
+			return wire.Endpoint{}, false
+		}
+		next := tree.NextHop(graphNode(di))
+		if next < 0 {
+			return wire.Endpoint{}, false
+		}
+		return s.endpoints[int(next)], true
+	}
+}
+
+// localHandler verifies delivered payloads against the session pattern
+// and completes any registered waiter.
+func (s *System) localHandler() depot.Handler {
+	return func(sess *lsl.Session) error {
+		var (
+			total int64
+			verr  error
+		)
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := sess.Read(buf)
+			if n > 0 {
+				if verr == nil {
+					verr = depot.VerifyPattern(buf[:n], sess.ID(), total)
+				}
+				total += int64(n)
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				verr = err
+				break
+			}
+		}
+		s.complete(sess.ID(), deliverResult{bytes: total, err: verr})
+		return verr
+	}
+}
+
+func (s *System) registerWaiter(id wire.SessionID) chan deliverResult {
+	ch := make(chan deliverResult, 8)
+	s.mu.Lock()
+	s.waiters[id] = ch
+	s.mu.Unlock()
+	return ch
+}
+
+func (s *System) complete(id wire.SessionID, r deliverResult) {
+	s.mu.Lock()
+	ch := s.waiters[id]
+	s.mu.Unlock()
+	if ch != nil {
+		ch <- r
+	}
+}
+
+func (s *System) dropWaiter(id wire.SessionID) {
+	s.mu.Lock()
+	delete(s.waiters, id)
+	s.mu.Unlock()
+}
+
+// Close shuts down every listener.
+func (s *System) Close() {
+	s.closeOnce.Do(func() {
+		for _, d := range s.depots {
+			if d != nil {
+				d.Close()
+			}
+		}
+		for _, ln := range s.listeners {
+			ln.Close()
+		}
+	})
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/depot"
+	"github.com/netlogistics/lsl/internal/graph"
+	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+func graphNode(i int) graph.NodeID { return graph.NodeID(i) }
+
+// TransferResult reports one completed transfer.
+type TransferResult struct {
+	Bytes int64
+	// Elapsed is in emulated time (wall time divided by the time
+	// scale).
+	Elapsed time.Duration
+	// Bandwidth is bytes per emulated second.
+	Bandwidth float64
+	// Path is the hostname sequence the session traversed (endpoints
+	// included).
+	Path []string
+}
+
+// dialerFor returns the Dialer that originates connections from host i.
+func (s *System) dialerFor(i int) lsl.Dialer {
+	return lsl.DialerFunc(func(address string) (net.Conn, error) {
+		return s.Net.Dial(s.hostAddr(i), address)
+	})
+}
+
+// resolve maps a host name to its index.
+func (s *System) resolve(host string) (int, error) {
+	i, ok := s.Topo.HostIndex(host)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown host %q", host)
+	}
+	return i, nil
+}
+
+// Transfer moves size bytes from srcHost to dstHost over the planner's
+// chosen path (which may be direct), waiting until the sink has
+// received and verified every byte.
+func (s *System) Transfer(srcHost, dstHost string, size int64) (TransferResult, error) {
+	si, err := s.resolve(srcHost)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	di, err := s.resolve(dstHost)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	path, err := s.Planner.Path(si, di)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	if path == nil {
+		return TransferResult{}, fmt.Errorf("core: no route %s → %s", srcHost, dstHost)
+	}
+	return s.transferAlong(path, size)
+}
+
+// DirectTransfer bypasses the scheduler and moves the bytes over the
+// single end-to-end connection, the baseline of every comparison.
+func (s *System) DirectTransfer(srcHost, dstHost string, size int64) (TransferResult, error) {
+	si, err := s.resolve(srcHost)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	di, err := s.resolve(dstHost)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	return s.transferAlong([]int{si, di}, size)
+}
+
+// PlannedPath reports the host names on the planner's current route.
+func (s *System) PlannedPath(srcHost, dstHost string) ([]string, error) {
+	si, err := s.resolve(srcHost)
+	if err != nil {
+		return nil, err
+	}
+	di, err := s.resolve(dstHost)
+	if err != nil {
+		return nil, err
+	}
+	path, err := s.Planner.Path(si, di)
+	if err != nil {
+		return nil, err
+	}
+	return s.hostNames(path), nil
+}
+
+func (s *System) hostNames(path []int) []string {
+	names := make([]string, len(path))
+	for k, h := range path {
+		names[k] = s.Topo.Hosts[h].Name
+	}
+	return names
+}
+
+func (s *System) transferAlong(path []int, size int64) (TransferResult, error) {
+	if size <= 0 {
+		return TransferResult{}, fmt.Errorf("core: transfer size %d must be positive", size)
+	}
+	if len(path) < 2 {
+		return TransferResult{}, fmt.Errorf("core: path needs at least 2 hosts")
+	}
+	src, dst := path[0], path[len(path)-1]
+	route := make([]wire.Endpoint, 0, len(path)-2)
+	for _, h := range path[1 : len(path)-1] {
+		route = append(route, s.endpoints[h])
+	}
+
+	start := time.Now()
+	sess, err := lsl.Open(s.dialerFor(src), s.endpoints[src], s.endpoints[dst], route)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	ch := s.registerWaiter(sess.ID())
+	defer s.dropWaiter(sess.ID())
+
+	werr := writeSessionPattern(sess, size)
+	sess.Close()
+	if werr != nil {
+		return TransferResult{}, fmt.Errorf("core: send: %w", werr)
+	}
+
+	select {
+	case res := <-ch:
+		elapsed := time.Since(start)
+		if res.err != nil {
+			return TransferResult{}, fmt.Errorf("core: sink: %w", res.err)
+		}
+		if res.bytes != size {
+			return TransferResult{}, fmt.Errorf("core: sink received %d of %d bytes", res.bytes, size)
+		}
+		out := s.result(size, elapsed, path)
+		if s.cfg.FeedObservations && len(path) == 2 {
+			// A direct transfer doubles as an end-to-end measurement.
+			_ = s.Planner.Observe(s.Topo.Hosts[src].Name, s.Topo.Hosts[dst].Name, out.Bandwidth)
+		}
+		return out, nil
+	case <-time.After(transferTimeout):
+		return TransferResult{}, fmt.Errorf("core: transfer timed out after %v", transferTimeout)
+	}
+}
+
+// Replan rebuilds the scheduling trees from the monitor's current
+// forecasts, picking up any observations fed back since the last plan.
+// Deployments call this on the paper's five-minute cadence.
+func (s *System) Replan() error { return s.Planner.Replan() }
+
+// TransferHopByHop moves size bytes using the paper's second routing
+// mode: no loose source route — the initiator dials only the first hop
+// of its own tree, and each depot forwards by its route table
+// ("destination/next hop tuples ... consumed by the logistical depot").
+// The reported path is the initiator's planned path; the depots'
+// per-node trees may in principle route differently.
+func (s *System) TransferHopByHop(srcHost, dstHost string, size int64) (TransferResult, error) {
+	if size <= 0 {
+		return TransferResult{}, fmt.Errorf("core: transfer size %d must be positive", size)
+	}
+	si, err := s.resolve(srcHost)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	di, err := s.resolve(dstHost)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	path, err := s.Planner.Path(si, di)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	if path == nil {
+		return TransferResult{}, fmt.Errorf("core: no route %s → %s", srcHost, dstHost)
+	}
+	first := di
+	if len(path) > 2 {
+		first = path[1]
+	}
+
+	start := time.Now()
+	// Dial the first hop with the final destination in the header and
+	// NO source route: forwarding decisions belong to the depots.
+	conn, err := s.dialerFor(si).Dial(s.endpoints[first].String())
+	if err != nil {
+		return TransferResult{}, err
+	}
+	sess, err := lsl.Wrap(conn, s.endpoints[si], s.endpoints[di])
+	if err != nil {
+		return TransferResult{}, err
+	}
+	ch := s.registerWaiter(sess.ID())
+	defer s.dropWaiter(sess.ID())
+
+	if err := writeSessionPattern(sess, size); err != nil {
+		sess.Close()
+		return TransferResult{}, fmt.Errorf("core: hop-by-hop send: %w", err)
+	}
+	sess.Close()
+
+	select {
+	case res := <-ch:
+		elapsed := time.Since(start)
+		if res.err != nil {
+			return TransferResult{}, fmt.Errorf("core: sink: %w", res.err)
+		}
+		if res.bytes != size {
+			return TransferResult{}, fmt.Errorf("core: sink received %d of %d bytes", res.bytes, size)
+		}
+		return s.result(size, elapsed, path), nil
+	case <-time.After(transferTimeout):
+		return TransferResult{}, fmt.Errorf("core: hop-by-hop transfer timed out after %v", transferTimeout)
+	}
+}
+
+// transferTimeout bounds a single emulated transfer in wall time.
+const transferTimeout = 2 * time.Minute
+
+func (s *System) result(size int64, elapsed time.Duration, path []int) TransferResult {
+	emulated := time.Duration(float64(elapsed) / s.cfg.TimeScale)
+	bw := 0.0
+	if emulated > 0 {
+		bw = float64(size) / emulated.Seconds()
+	}
+	return TransferResult{
+		Bytes:     size,
+		Elapsed:   emulated,
+		Bandwidth: bw,
+		Path:      s.hostNames(path),
+	}
+}
+
+// writeSessionPattern streams the session's deterministic pattern.
+func writeSessionPattern(sess *lsl.Session, size int64) error {
+	buf := make([]byte, 32<<10)
+	var written int64
+	for written < size {
+		n := int64(len(buf))
+		if remaining := size - written; remaining < n {
+			n = remaining
+		}
+		depot.FillPattern(buf[:n], sess.ID(), written)
+		m, err := sess.Write(buf[:n])
+		written += int64(m)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MulticastResult reports a staging operation.
+type MulticastResult struct {
+	Bytes     int64
+	Leaves    []string
+	Elapsed   time.Duration // emulated
+	Bandwidth float64       // aggregate delivered bytes per emulated second
+	Tree      *wire.TreeNode
+}
+
+// Multicast stages size bytes from srcHost to every destination host,
+// fanning out through the depots on the union of the planner's paths —
+// the synchronous application-layer multicast staging option of
+// Section 2.
+func (s *System) Multicast(srcHost string, dstHosts []string, size int64) (MulticastResult, error) {
+	if len(dstHosts) == 0 {
+		return MulticastResult{}, fmt.Errorf("core: multicast needs at least one destination")
+	}
+	si, err := s.resolve(srcHost)
+	if err != nil {
+		return MulticastResult{}, err
+	}
+	// Merge the planned unicast paths into one staging tree rooted at
+	// the source host's own depot.
+	root := &wire.TreeNode{Addr: s.endpoints[si]}
+	nodes := map[int]*wire.TreeNode{si: root}
+	for _, dh := range dstHosts {
+		di, err := s.resolve(dh)
+		if err != nil {
+			return MulticastResult{}, err
+		}
+		path, err := s.Planner.Path(si, di)
+		if err != nil {
+			return MulticastResult{}, err
+		}
+		if path == nil {
+			return MulticastResult{}, fmt.Errorf("core: no route %s → %s", srcHost, dh)
+		}
+		parent := root
+		for _, h := range path[1:] {
+			node, ok := nodes[h]
+			if !ok {
+				node = &wire.TreeNode{Addr: s.endpoints[h]}
+				nodes[h] = node
+				parent.Children = append(parent.Children, node)
+			}
+			parent = node
+		}
+	}
+
+	start := time.Now()
+	sess, err := lsl.OpenMulticast(s.dialerFor(si), s.endpoints[si], s.endpoints[si], root)
+	if err != nil {
+		return MulticastResult{}, err
+	}
+	ch := s.registerWaiter(sess.ID())
+	defer s.dropWaiter(sess.ID())
+
+	if err := writeSessionPattern(sess, size); err != nil {
+		sess.Close()
+		return MulticastResult{}, fmt.Errorf("core: multicast send: %w", err)
+	}
+	sess.Close()
+
+	leaves := root.Leaves()
+	var delivered int64
+	for range leaves {
+		select {
+		case res := <-ch:
+			if res.err != nil {
+				return MulticastResult{}, fmt.Errorf("core: multicast sink: %w", res.err)
+			}
+			delivered += res.bytes
+		case <-time.After(transferTimeout):
+			return MulticastResult{}, fmt.Errorf("core: multicast timed out after %v", transferTimeout)
+		}
+	}
+	elapsed := time.Duration(float64(time.Since(start)) / s.cfg.TimeScale)
+	bw := 0.0
+	if elapsed > 0 {
+		bw = float64(delivered) / elapsed.Seconds()
+	}
+	leafNames := make([]string, len(leaves))
+	for k, l := range leaves {
+		leafNames[k] = s.Topo.Hosts[s.byAddr[l]].Name
+	}
+	return MulticastResult{
+		Bytes:     delivered,
+		Leaves:    leafNames,
+		Elapsed:   elapsed,
+		Bandwidth: bw,
+		Tree:      root,
+	}, nil
+}

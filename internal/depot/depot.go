@@ -1,0 +1,446 @@
+// Package depot implements the logistical storage depot: a user-level
+// session-routing process that accepts LSL sessions, determines the
+// next hop from the loose source route or its route table, forwards the
+// payload through a bounded pipeline buffer, and delivers sessions
+// addressed to itself to a local handler.
+//
+// The bounded buffer is the heart of the logistical effect's mechanics:
+// a depot absorbs up to its pipeline's worth of bytes from a fast
+// upstream sublink while the downstream sublink drains at its own pace;
+// when the pipeline fills, back-pressure propagates upstream exactly as
+// in Figure 5 of the paper.
+package depot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+// DefaultPipelineBytes matches the paper's 32 MB depot pipeline
+// (8 MB kernel send + 8 MB kernel receive + matching user buffers).
+const DefaultPipelineBytes = 32 << 20
+
+// chunkSize is the unit of the forwarding pipeline.
+const chunkSize = 32 << 10
+
+// Handler consumes sessions addressed to this depot's host.
+type Handler func(s *lsl.Session) error
+
+// Config parameterizes a depot server.
+type Config struct {
+	// Self is this depot's own endpoint, used to recognize sessions
+	// addressed to it.
+	Self wire.Endpoint
+	// Dial opens onward transport connections.
+	Dial lsl.Dialer
+	// Routes resolves a destination to the next-hop address when a
+	// session carries no source route. It may be nil, in which case the
+	// depot forwards directly to the destination.
+	Routes func(dst wire.Endpoint) (next wire.Endpoint, ok bool)
+	// Local handles sessions addressed to Self. Nil means count and
+	// discard the payload.
+	Local Handler
+	// PipelineBytes bounds per-session buffering (0 selects
+	// DefaultPipelineBytes).
+	PipelineBytes int
+	// StoreBytes bounds the asynchronous-session store (0 selects
+	// DefaultStoreBytes).
+	StoreBytes int64
+	// IdleTimeout, when positive, aborts a session whose transport
+	// makes no progress for this long (requires the net.Conn to
+	// support read deadlines, which TCP and the emulated network both
+	// do). It protects a depot's pipeline buffers from peers that hang
+	// without closing.
+	IdleTimeout time.Duration
+	// MaxSessions, when positive, makes the depot refuse sessions
+	// beyond this concurrency — the load-based session negotiation the
+	// paper proposes for future work.
+	MaxSessions int
+	// Logf, when non-nil, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+// Stats are the depot's cumulative counters.
+type Stats struct {
+	Accepted       int64
+	Refused        int64
+	Forwarded      int64
+	Delivered      int64
+	Generated      int64
+	Stored         int64
+	Fetched        int64
+	FetchMisses    int64
+	BytesForwarded int64
+	BytesDelivered int64
+	BytesStored    int64
+	BytesFetched   int64
+	Errors         int64
+}
+
+// Server is a running depot.
+type Server struct {
+	cfg    Config
+	active atomic.Int64
+	store  *sessionStore
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	stats Stats
+
+	closed atomic.Bool
+}
+
+// New validates the configuration and builds a depot server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Dial == nil {
+		return nil, errors.New("depot: Config.Dial is required")
+	}
+	if cfg.Self.IsZero() {
+		return nil, errors.New("depot: Config.Self is required")
+	}
+	if cfg.PipelineBytes <= 0 {
+		cfg.PipelineBytes = DefaultPipelineBytes
+	}
+	return &Server{cfg: cfg, store: newSessionStore(cfg.StoreBytes)}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// Serve accepts sessions from l until the listener fails or Close is
+// called. Each session is handled on its own goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return fmt.Errorf("depot: accept: %w", err)
+		}
+		if s.closed.Load() {
+			conn.Close()
+			return nil
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.Handle(conn)
+		}()
+	}
+}
+
+// Close marks the server closed; Serve returns after its listener is
+// closed by the caller. In-flight sessions are not interrupted — use
+// Shutdown to wait for them.
+func (s *Server) Close() { s.closed.Store(true) }
+
+// Shutdown closes the server and waits until every in-flight session
+// completes or the timeout elapses. It reports whether the drain
+// finished in time. The caller closes the listener.
+func (s *Server) Shutdown(timeout time.Duration) bool {
+	s.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Handle processes one incoming transport connection synchronously.
+// Exported so tests and in-process wiring can drive a depot without a
+// listener.
+func (s *Server) Handle(conn net.Conn) {
+	if d := s.cfg.IdleTimeout; d > 0 {
+		conn = &idleConn{Conn: conn, timeout: d}
+	}
+	h, err := wire.ReadHeader(conn)
+	if err != nil {
+		conn.Close()
+		s.count(func(st *Stats) { st.Errors++ })
+		s.logf("depot %s: bad header: %v", s.cfg.Self, err)
+		return
+	}
+	if s.cfg.MaxSessions > 0 && s.active.Load() >= int64(s.cfg.MaxSessions) {
+		s.count(func(st *Stats) { st.Refused++ })
+		s.logf("depot %s: refusing session %s (load)", s.cfg.Self, h.Session)
+		_ = lsl.Refuse(conn, h)
+		return
+	}
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	s.count(func(st *Stats) { st.Accepted++ })
+
+	sess := &lsl.Session{Conn: conn, Header: h}
+	switch h.Type {
+	case wire.TypeData:
+		err = s.handleData(sess)
+	case wire.TypeGenerate:
+		err = s.handleGenerate(sess)
+	case wire.TypeMulticast:
+		err = s.handleMulticast(sess)
+	case wire.TypeStore:
+		err = s.handleStore(sess)
+	case wire.TypeFetch:
+		err = s.handleFetch(sess)
+	default:
+		err = fmt.Errorf("depot: unknown session type %d", h.Type)
+		conn.Close()
+	}
+	if err != nil {
+		s.count(func(st *Stats) { st.Errors++ })
+		s.logf("depot %s: session %s: %v", s.cfg.Self, h.Session, err)
+	}
+}
+
+// nextHop determines where a session goes next: the head of its source
+// route, a route-table entry, or directly to the destination. ok=false
+// means the session is addressed to this depot.
+func (s *Server) nextHop(h *wire.Header) (next wire.Endpoint, rest []wire.Endpoint, local bool, err error) {
+	if opt, found := h.Option(wire.OptSourceRoute); found {
+		hops, perr := wire.ParseSourceRoute(opt)
+		if perr != nil {
+			return wire.Endpoint{}, nil, false, perr
+		}
+		if len(hops) > 0 {
+			return hops[0], hops[1:], false, nil
+		}
+	}
+	if h.Dst == s.cfg.Self {
+		return wire.Endpoint{}, nil, true, nil
+	}
+	if s.cfg.Routes != nil {
+		if hop, ok := s.cfg.Routes(h.Dst); ok {
+			if hop == s.cfg.Self {
+				return wire.Endpoint{}, nil, true, nil
+			}
+			return hop, nil, false, nil
+		}
+	}
+	return h.Dst, nil, false, nil
+}
+
+// forwardHeader rebuilds the header for the next hop, replacing the
+// source-route option with the remaining hops.
+func forwardHeader(h *wire.Header, rest []wire.Endpoint) *wire.Header {
+	out := &wire.Header{
+		Version: h.Version,
+		Type:    h.Type,
+		Session: h.Session,
+		Src:     h.Src,
+		Dst:     h.Dst,
+	}
+	for _, o := range h.Options {
+		if o.Kind == wire.OptSourceRoute {
+			continue
+		}
+		out.AddOption(o)
+	}
+	if len(rest) > 0 {
+		out.AddOption(wire.SourceRouteOption(rest))
+	}
+	return out
+}
+
+func (s *Server) handleData(sess *lsl.Session) error {
+	defer sess.Close()
+	next, rest, local, err := s.nextHop(sess.Header)
+	if err != nil {
+		return err
+	}
+	if local {
+		return s.deliver(sess)
+	}
+	out, err := s.cfg.Dial.Dial(next.String())
+	if err != nil {
+		return fmt.Errorf("forward dial %s: %w", next, err)
+	}
+	defer out.Close()
+	fh := forwardHeader(sess.Header, rest)
+	fh.Type = wire.TypeData
+	if err := wire.WriteHeader(out, fh); err != nil {
+		return err
+	}
+	n, err := s.pump(out, sess)
+	s.count(func(st *Stats) { st.Forwarded++; st.BytesForwarded += n })
+	return err
+}
+
+func (s *Server) deliver(sess *lsl.Session) error {
+	if s.cfg.Local != nil {
+		err := s.cfg.Local(sess)
+		s.count(func(st *Stats) { st.Delivered++ })
+		return err
+	}
+	n, err := io.Copy(io.Discard, sess)
+	s.count(func(st *Stats) { st.Delivered++; st.BytesDelivered += n })
+	if err != nil && !errors.Is(err, io.EOF) {
+		return err
+	}
+	return nil
+}
+
+// handleGenerate synthesizes the requested bytes and pushes them toward
+// the destination as a TypeData session, serving as the evaluation
+// harness's traffic source.
+func (s *Server) handleGenerate(sess *lsl.Session) error {
+	defer sess.Close()
+	opt, found := sess.Header.Option(wire.OptGenerate)
+	if !found {
+		return fmt.Errorf("generate session %s: %w", sess.Header.Session, wire.ErrOptionMissing)
+	}
+	size, err := wire.ParseGenerate(opt)
+	if err != nil {
+		return err
+	}
+	next, rest, local, err := s.nextHop(sess.Header)
+	if err != nil {
+		return err
+	}
+
+	var dst io.WriteCloser
+	if local {
+		// Generating to ourselves: deliver into the local handler via
+		// an in-process pipe.
+		pr, pw := io.Pipe()
+		dst = pw
+		inner := &lsl.Session{Conn: pipeConn{PipeReader: pr}, Header: sess.Header}
+		done := make(chan error, 1)
+		go func() { done <- s.deliver(inner) }()
+		defer func() {
+			pw.Close()
+			<-done
+		}()
+	} else {
+		out, err := s.cfg.Dial.Dial(next.String())
+		if err != nil {
+			return fmt.Errorf("generate dial %s: %w", next, err)
+		}
+		defer out.Close()
+		fh := forwardHeader(sess.Header, rest)
+		fh.Type = wire.TypeData
+		// Strip the generate option: downstream sees a plain stream.
+		kept := fh.Options[:0]
+		for _, o := range fh.Options {
+			if o.Kind != wire.OptGenerate {
+				kept = append(kept, o)
+			}
+		}
+		fh.Options = kept
+		if err := wire.WriteHeader(out, fh); err != nil {
+			return err
+		}
+		dst = out
+	}
+
+	n, err := writePattern(dst, int64(size), sess.Header.Session)
+	s.count(func(st *Stats) { st.Generated++; st.BytesForwarded += n })
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	return nil
+}
+
+// writePattern emits size bytes of a deterministic pattern derived from
+// the session id, so sinks can verify integrity end to end.
+func writePattern(w io.Writer, size int64, id wire.SessionID) (int64, error) {
+	buf := make([]byte, chunkSize)
+	var written int64
+	for written < size {
+		n := int64(len(buf))
+		if remaining := size - written; remaining < n {
+			n = remaining
+		}
+		FillPattern(buf[:n], id, written)
+		m, err := w.Write(buf[:n])
+		written += int64(m)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// FillPattern fills buf with the deterministic byte pattern of the
+// session at the given stream offset.
+func FillPattern(buf []byte, id wire.SessionID, offset int64) {
+	for i := range buf {
+		pos := offset + int64(i)
+		buf[i] = id[pos%16] ^ byte(pos) ^ byte(pos>>8)
+	}
+}
+
+// VerifyPattern checks that buf matches the session pattern at offset.
+func VerifyPattern(buf []byte, id wire.SessionID, offset int64) error {
+	for i := range buf {
+		pos := offset + int64(i)
+		want := id[pos%16] ^ byte(pos) ^ byte(pos>>8)
+		if buf[i] != want {
+			return fmt.Errorf("depot: pattern mismatch at offset %d", pos)
+		}
+	}
+	return nil
+}
+
+// idleConn arms a fresh read deadline before every read, so a stalled
+// peer eventually errors out instead of pinning the depot's buffers.
+type idleConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (c *idleConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+// pipeConn adapts an io.Pipe reader to the minimal net.Conn the local
+// delivery path needs.
+type pipeConn struct {
+	*io.PipeReader
+}
+
+func (pipeConn) Write(p []byte) (int, error)      { return 0, errors.New("depot: read-only session") }
+func (c pipeConn) Close() error                   { return c.PipeReader.Close() }
+func (pipeConn) LocalAddr() net.Addr              { return pipeAddr{} }
+func (pipeConn) RemoteAddr() net.Addr             { return pipeAddr{} }
+func (pipeConn) SetDeadline(time.Time) error      { return nil }
+func (pipeConn) SetReadDeadline(time.Time) error  { return nil }
+func (pipeConn) SetWriteDeadline(time.Time) error { return nil }
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }

@@ -1,0 +1,163 @@
+package depot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+// pump moves the session payload from src to dst through a bounded
+// pipeline of PipelineBytes: a reader goroutine fills chunks into a
+// channel whose total capacity is the pipeline size, and the writer
+// drains it. When the downstream sublink is slower, the channel fills
+// and the reader — and therefore the upstream TCP connection — blocks:
+// the depot back-pressure of Figure 5.
+func (s *Server) pump(dst io.Writer, src io.Reader) (int64, error) {
+	depth := s.cfg.PipelineBytes / chunkSize
+	if depth < 1 {
+		depth = 1
+	}
+	type item struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan item, depth)
+	go func() {
+		for {
+			buf := make([]byte, chunkSize)
+			n, err := src.Read(buf)
+			if n > 0 {
+				ch <- item{data: buf[:n]}
+			}
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					err = nil
+				}
+				ch <- item{err: err}
+				close(ch)
+				return
+			}
+		}
+	}()
+
+	var written int64
+	for it := range ch {
+		if it.data == nil {
+			if it.err != nil {
+				return written, fmt.Errorf("pump read: %w", it.err)
+			}
+			break
+		}
+		n, err := dst.Write(it.data)
+		written += int64(n)
+		if err != nil {
+			// Drain the reader goroutine so it can exit.
+			go func() {
+				for range ch {
+				}
+			}()
+			return written, fmt.Errorf("pump write: %w", err)
+		}
+	}
+	return written, nil
+}
+
+// handleMulticast implements the synchronous application-layer
+// multicast staging option: this depot locates itself in the carried
+// tree, opens a session to each child, and duplicates the payload to
+// all of them (and to local delivery when it is a leaf or the tree
+// marks it as a consumer).
+func (s *Server) handleMulticast(sess *lsl.Session) error {
+	defer sess.Close()
+	opt, found := sess.Header.Option(wire.OptMulticastTree)
+	if !found {
+		return fmt.Errorf("multicast session %s: %w", sess.Header.Session, wire.ErrOptionMissing)
+	}
+	tree, err := wire.ParseMulticastTree(opt)
+	if err != nil {
+		return err
+	}
+	node := findNode(tree, s.cfg.Self)
+	if node == nil {
+		return fmt.Errorf("multicast session %s: depot %s not in tree", sess.Header.Session, s.cfg.Self)
+	}
+
+	// Open one onward session per child, carrying that child's subtree.
+	var writers []io.Writer
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	for _, child := range node.Children {
+		childOpt, err := wire.MulticastTreeOption(child)
+		if err != nil {
+			return err
+		}
+		out, err := s.cfg.Dial.Dial(child.Addr.String())
+		if err != nil {
+			return fmt.Errorf("multicast dial %s: %w", child.Addr, err)
+		}
+		closers = append(closers, out)
+		fh := &wire.Header{
+			Version: sess.Header.Version,
+			Type:    wire.TypeMulticast,
+			Session: sess.Header.Session,
+			Src:     sess.Header.Src,
+			Dst:     child.Addr,
+			Options: []wire.Option{childOpt},
+		}
+		if err := wire.WriteHeader(out, fh); err != nil {
+			return err
+		}
+		writers = append(writers, out)
+	}
+
+	// A leaf consumes the stream locally; an interior node relays.
+	var localW *io.PipeWriter
+	var localDone chan error
+	if len(node.Children) == 0 {
+		pr, pw := io.Pipe()
+		localW = pw
+		localDone = make(chan error, 1)
+		inner := &lsl.Session{Conn: pipeConn{PipeReader: pr}, Header: sess.Header}
+		go func() { localDone <- s.deliver(inner) }()
+		writers = append(writers, pw)
+	}
+
+	var dst io.Writer
+	switch len(writers) {
+	case 0:
+		dst = io.Discard
+	case 1:
+		dst = writers[0]
+	default:
+		dst = io.MultiWriter(writers...)
+	}
+	n, err := s.pump(dst, sess)
+	s.count(func(st *Stats) { st.Forwarded++; st.BytesForwarded += n })
+	if localW != nil {
+		localW.Close()
+		if derr := <-localDone; derr != nil && err == nil {
+			err = derr
+		}
+	}
+	return err
+}
+
+// findNode locates the tree node whose address matches self.
+func findNode(n *wire.TreeNode, self wire.Endpoint) *wire.TreeNode {
+	if n.Addr == self {
+		return n
+	}
+	for _, c := range n.Children {
+		if found := findNode(c, self); found != nil {
+			return found
+		}
+	}
+	return nil
+}

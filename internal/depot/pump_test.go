@@ -1,0 +1,192 @@
+package depot
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+func TestMulticastFanOut(t *testing.T) {
+	h := newHarness(t)
+	h.addDepot(epB, Config{}) // interior relay
+	h.addDepot(epC, Config{}) // leaf
+	h.addDepot(epD, Config{}) // leaf
+
+	tree := &wire.TreeNode{
+		Addr: epB,
+		Children: []*wire.TreeNode{
+			{Addr: epC},
+			{Addr: epD},
+		},
+	}
+	sess, err := lsl.OpenMulticast(h.dialerFrom("10.0.0.1"), epA, epA, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("stage me "), 10000)
+	go func() {
+		sess.Write(payload)
+		sess.Close()
+	}()
+	// Both leaves receive the full payload under the same session id.
+	var got int
+	deadline := 0
+	for got < 2 && deadline < 2 {
+		id := <-h.done
+		if id != sess.ID() {
+			continue
+		}
+		got++
+	}
+	h.mu.Lock()
+	data := h.delivered[sess.ID()]
+	h.mu.Unlock()
+	if !bytes.Equal(data, payload) {
+		t.Fatalf("leaf received %d bytes, want %d", len(data), len(payload))
+	}
+	if st := h.servers[epB].Stats(); st.Forwarded != 1 || st.BytesForwarded != int64(len(payload)) {
+		t.Fatalf("interior stats = %+v", st)
+	}
+}
+
+func TestMulticastThreeLevels(t *testing.T) {
+	h := newHarness(t)
+	h.addDepot(epB, Config{})
+	h.addDepot(epC, Config{})
+	h.addDepot(epD, Config{})
+	tree := &wire.TreeNode{
+		Addr: epB,
+		Children: []*wire.TreeNode{
+			{Addr: epC, Children: []*wire.TreeNode{{Addr: epD}}},
+		},
+	}
+	sess, err := lsl.OpenMulticast(h.dialerFrom("10.0.0.1"), epA, epA, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("down the chain")
+	go func() {
+		sess.Write(payload)
+		sess.Close()
+	}()
+	if got := h.waitDelivery(sess.ID()); !bytes.Equal(got, payload) {
+		t.Fatalf("leaf got %q", got)
+	}
+}
+
+func TestMulticastSingleNodeTreeDeliversLocally(t *testing.T) {
+	h := newHarness(t)
+	h.addDepot(epB, Config{})
+	tree := &wire.TreeNode{Addr: epB}
+	sess, err := lsl.OpenMulticast(h.dialerFrom("10.0.0.1"), epA, epA, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		sess.Write([]byte("solo"))
+		sess.Close()
+	}()
+	if got := h.waitDelivery(sess.ID()); string(got) != "solo" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMulticastDepotNotInTree(t *testing.T) {
+	h := newHarness(t)
+	srv := h.addDepot(epB, Config{})
+	tree := &wire.TreeNode{Addr: epC} // B is not in this tree
+	// Dial B directly with C's tree: B must reject.
+	conn, err := h.net.Dial("10.0.0.1", epB.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := wire.MulticastTreeOption(tree)
+	id, _ := wire.NewSessionID()
+	hd := &wire.Header{Version: wire.Version1, Type: wire.TypeMulticast,
+		Session: id, Src: epA, Dst: epB, Options: []wire.Option{opt}}
+	wire.WriteHeader(conn, hd)
+	conn.Close()
+	waitFor(t, func() bool { return srv.Stats().Errors >= 1 })
+}
+
+func TestPumpMovesEverything(t *testing.T) {
+	srv := &Server{cfg: Config{PipelineBytes: 64 << 10}}
+	src := bytes.NewReader(bytes.Repeat([]byte{42}, 500<<10))
+	var dst bytes.Buffer
+	n, err := srv.pump(&dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500<<10 || dst.Len() != 500<<10 {
+		t.Fatalf("pumped %d, buffered %d", n, dst.Len())
+	}
+}
+
+func TestPumpPropagatesWriteError(t *testing.T) {
+	srv := &Server{cfg: Config{PipelineBytes: 64 << 10}}
+	src := bytes.NewReader(make([]byte, 1<<20))
+	n, err := srv.pump(failWriter{}, src)
+	if err == nil {
+		t.Fatal("write error swallowed")
+	}
+	if n != 0 {
+		t.Fatalf("reported %d bytes written", n)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestPumpPropagatesReadError(t *testing.T) {
+	srv := &Server{cfg: Config{PipelineBytes: 64 << 10}}
+	var dst bytes.Buffer
+	_, err := srv.pump(&dst, failReader{})
+	if err == nil {
+		t.Fatal("read error swallowed")
+	}
+}
+
+type failReader struct{}
+
+func (failReader) Read(p []byte) (int, error) { return 0, io.ErrUnexpectedEOF }
+
+func TestPumpTinyPipeline(t *testing.T) {
+	srv := &Server{cfg: Config{PipelineBytes: 1}} // depth clamps to 1
+	src := bytes.NewReader(make([]byte, 100<<10))
+	var dst bytes.Buffer
+	n, err := srv.pump(&dst, src)
+	if err != nil || n != 100<<10 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestPipeConnInterface(t *testing.T) {
+	pr, pw := io.Pipe()
+	c := pipeConn{PipeReader: pr}
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("pipeConn should be read-only")
+	}
+	if c.LocalAddr().Network() != "pipe" || c.RemoteAddr().String() != "pipe" {
+		t.Fatal("pipe addresses wrong")
+	}
+	if err := c.SetDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetWriteDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	go pw.Write([]byte("ok"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("read via pipeConn: %q, %v", buf, err)
+	}
+	c.Close()
+}

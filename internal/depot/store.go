@@ -1,0 +1,177 @@
+package depot
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+// DefaultStoreBytes bounds a depot's asynchronous-session storage.
+const DefaultStoreBytes = 256 << 20
+
+// sessionStore holds stored payloads keyed by session id, evicting the
+// oldest entries when the byte budget is exceeded — the short-term,
+// cooperative storage of user data the paper's introduction proposes.
+type sessionStore struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[wire.SessionID][]byte
+	order    []wire.SessionID // insertion order for eviction
+	evicted  int64
+}
+
+func newSessionStore(capacity int64) *sessionStore {
+	if capacity <= 0 {
+		capacity = DefaultStoreBytes
+	}
+	return &sessionStore{
+		capacity: capacity,
+		entries:  make(map[wire.SessionID][]byte),
+	}
+}
+
+// errTooLarge rejects single payloads beyond the whole store budget.
+var errTooLarge = errors.New("depot: payload exceeds store capacity")
+
+// put stores data under id, evicting oldest entries as needed. Storing
+// under an existing id replaces the previous payload.
+func (s *sessionStore) put(id wire.SessionID, data []byte) error {
+	if int64(len(data)) > s.capacity {
+		return errTooLarge
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[id]; ok {
+		s.used -= int64(len(old))
+		delete(s.entries, id)
+		s.removeFromOrder(id)
+	}
+	for s.used+int64(len(data)) > s.capacity && len(s.order) > 0 {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		s.used -= int64(len(s.entries[victim]))
+		delete(s.entries, victim)
+		s.evicted++
+	}
+	s.entries[id] = data
+	s.order = append(s.order, id)
+	s.used += int64(len(data))
+	return nil
+}
+
+func (s *sessionStore) removeFromOrder(id wire.SessionID) {
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// get returns the stored payload (without removing it).
+func (s *sessionStore) get(id wire.SessionID) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.entries[id]
+	return data, ok
+}
+
+// usage reports (bytes used, entry count, evictions).
+func (s *sessionStore) usage() (int64, int, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used, len(s.entries), s.evicted
+}
+
+// handleStore implements the storing half of asynchronous sessions: a
+// TypeStore session addressed to this depot is absorbed into the store;
+// one addressed elsewhere is forwarded like data with its type intact.
+func (s *Server) handleStore(sess *lsl.Session) error {
+	defer sess.Close()
+	next, rest, local, err := s.nextHop(sess.Header)
+	if err != nil {
+		return err
+	}
+	if !local {
+		out, err := s.cfg.Dial.Dial(next.String())
+		if err != nil {
+			return fmt.Errorf("store forward dial %s: %w", next, err)
+		}
+		defer out.Close()
+		fh := forwardHeader(sess.Header, rest)
+		if err := wire.WriteHeader(out, fh); err != nil {
+			return err
+		}
+		n, err := s.pump(out, sess)
+		s.count(func(st *Stats) { st.Forwarded++; st.BytesForwarded += n })
+		return err
+	}
+
+	var buf bytes.Buffer
+	limited := io.LimitReader(sess, s.store.capacity+1)
+	n, err := io.Copy(&buf, limited)
+	if err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("store read: %w", err)
+	}
+	if err := s.store.put(sess.ID(), buf.Bytes()); err != nil {
+		return err
+	}
+	s.count(func(st *Stats) { st.Stored++; st.BytesStored += n })
+	return nil
+}
+
+// handleFetch implements the reading half: the receiver names a stored
+// session id and the depot streams the payload back as a TypeData
+// response on the same connection.
+func (s *Server) handleFetch(sess *lsl.Session) error {
+	defer sess.Close()
+	opt, found := sess.Header.Option(wire.OptFetchID)
+	if !found {
+		return fmt.Errorf("fetch session %s: %w", sess.Header.Session, wire.ErrOptionMissing)
+	}
+	id, err := wire.ParseFetchID(opt)
+	if err != nil {
+		return err
+	}
+	data, ok := s.store.get(id)
+	if !ok {
+		// Unknown id: answer with a refusal so the receiver can
+		// distinguish "not here" from a transport failure.
+		s.count(func(st *Stats) { st.FetchMisses++ })
+		return lsl.Refuse(sess.Conn, sess.Header)
+	}
+	resp := &wire.Header{
+		Version: wire.Version1,
+		Type:    wire.TypeData,
+		Session: id,
+		Src:     s.cfg.Self,
+		Dst:     sess.Header.Src,
+	}
+	if err := wire.WriteHeader(sess.Conn, resp); err != nil {
+		return err
+	}
+	if _, err := sess.Conn.Write(data); err != nil {
+		return fmt.Errorf("fetch write: %w", err)
+	}
+	s.count(func(st *Stats) { st.Fetched++; st.BytesFetched += int64(len(data)) })
+	return nil
+}
+
+// StoreUsage reports the async store's occupancy: bytes held, entries,
+// and evictions so far.
+func (s *Server) StoreUsage() (bytes int64, entries int, evicted int64) {
+	return s.store.usage()
+}
+
+// StoredSession reports whether the store holds the given session and
+// how many bytes it has.
+func (s *Server) StoredSession(id wire.SessionID) (int64, bool) {
+	data, ok := s.store.get(id)
+	return int64(len(data)), ok
+}

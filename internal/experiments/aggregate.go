@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/netlogistics/lsl/internal/netsim"
+	"github.com/netlogistics/lsl/internal/schedule"
+	"github.com/netlogistics/lsl/internal/stats"
+	"github.com/netlogistics/lsl/internal/topo"
+	"github.com/netlogistics/lsl/internal/workload"
+)
+
+// AggregateResult is the outcome of the Section 4.2 PlanetLab-style
+// run, backing Figures 9 and 10, the crossover-percentile table, and
+// the 26%-of-paths statistic.
+type AggregateResult struct {
+	Hosts           int
+	RelayedFraction float64
+	Measurements    int
+	SkippedTests    int
+	Rows            []stats.SizeRow
+}
+
+// AggregateConfig tunes the Figure 9/10 experiment.
+type AggregateConfig struct {
+	Seed         int64
+	Measurements int // executed measurements (paper: 362,895)
+	Hosts        int // pool size (paper: 142)
+	Epsilon      float64
+	ReplanEvery  int     // measurements between replans (paper: 5-minute cadence)
+	PrimeSamples int     // NWS history per pair before the first plan
+	LoadDrift    float64 // per-measurement σ of the slow host-load walk (0 = static loads)
+}
+
+// DefaultAggregate returns a configuration that keeps the experiment's
+// statistical shape at a laptop-friendly measurement count.
+func DefaultAggregate() AggregateConfig {
+	return AggregateConfig{
+		Seed:         1,
+		Measurements: 20000,
+		Hosts:        142,
+		Epsilon:      schedule.DefaultEpsilon,
+		ReplanEvery:  2000,
+		PrimeSamples: 20,
+	}
+}
+
+// Aggregate runs the PlanetLab-style random-test evaluation.
+func Aggregate(cfg AggregateConfig) (AggregateResult, error) {
+	if cfg.Measurements <= 0 {
+		cfg = DefaultAggregate()
+	}
+	plCfg := topo.DefaultPlanetLab()
+	if cfg.Hosts > 0 {
+		plCfg.Hosts = cfg.Hosts
+	}
+	t := topo.PlanetLab(plCfg, cfg.Seed)
+	if cfg.LoadDrift > 0 {
+		t.EnableLoadDrift(cfg.LoadDrift)
+	}
+	planner, err := schedule.NewPlanner(t, cfg.Epsilon)
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 100))
+	if cfg.PrimeSamples <= 0 {
+		cfg.PrimeSamples = 3
+	}
+	if err := planner.Prime(rng, cfg.PrimeSamples); err != nil {
+		return AggregateResult{}, err
+	}
+	if err := planner.Replan(); err != nil {
+		return AggregateResult{}, err
+	}
+	frac, err := planner.RelayedFraction()
+	if err != nil {
+		return AggregateResult{}, err
+	}
+
+	// Concentrate the measurement budget on a pool of pairs for which
+	// the scheduler chose depot routes, so each (pair, size) case
+	// accumulates several direct and several scheduled observations —
+	// the paper's per-case averaging needs both.
+	genRng := rand.New(rand.NewSource(cfg.Seed + 300))
+	var eligible [][2]int
+	for s := 0; s < t.N(); s++ {
+		for d := 0; d < t.N(); d++ {
+			if s == d {
+				continue
+			}
+			relayed, err := planner.Relayed(s, d)
+			if err != nil {
+				return AggregateResult{}, err
+			}
+			if relayed {
+				eligible = append(eligible, [2]int{s, d})
+			}
+		}
+	}
+	if len(eligible) == 0 {
+		return AggregateResult{}, fmt.Errorf("experiments: scheduler found no depot routes")
+	}
+	poolSize := cfg.Measurements / 140
+	if poolSize < 20 {
+		poolSize = 20
+	}
+	genRng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+	if poolSize < len(eligible) {
+		eligible = eligible[:poolSize]
+	}
+
+	eng := netsim.New(cfg.Seed + 200)
+	runner := workload.NewRunner(t, planner, eng, rng)
+	runner.ReplanEvery = cfg.ReplanEvery
+	runner.FeedObservations = cfg.ReplanEvery > 0
+	runner.ReprimeOnReplan = cfg.ReplanEvery > 0 && cfg.LoadDrift > 0
+	gen := workload.NewPoolGenerator(eligible, genRng)
+	if err := runner.Run(gen, cfg.Measurements); err != nil {
+		return AggregateResult{}, err
+	}
+
+	return AggregateResult{
+		Hosts:           t.N(),
+		RelayedFraction: frac,
+		Measurements:    runner.Executed(),
+		SkippedTests:    runner.Skipped(),
+		Rows:            runner.Agg.BySize(),
+	}, nil
+}
+
+// String renders the Figure 9/10 report: mean speedup, quartiles, and
+// the crossover-percentile table per size.
+func (r AggregateResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Aggregate scheduling evaluation: %d hosts, %d measurements (%d tests skipped: direct route chosen)\n",
+		r.Hosts, r.Measurements, r.SkippedTests)
+	fmt.Fprintf(&b, "scheduler identified depot routes for %.0f%% of paths\n", 100*r.RelayedFraction)
+	fmt.Fprintf(&b, "%6s %6s %9s %8s %8s %8s %8s %8s %7s\n",
+		"size", "cases", "mean", "min", "q1", "median", "q3", "max", "pct>1")
+	for _, row := range r.Rows {
+		pct := fmt.Sprintf("%d", row.PctOver)
+		if !row.PctOK {
+			pct = ">100"
+		}
+		fmt.Fprintf(&b, "%6s %6d %8.3fx %8.3f %8.3f %8.3f %8.3f %8.3f %7s\n",
+			stats.FormatSize(row.Size), row.Cases, row.Mean,
+			row.Box.Min, row.Box.Q1, row.Box.Median, row.Box.Q3, row.Box.Max, pct)
+	}
+	return b.String()
+}
+
+// CoreConfig tunes the Figure 11 experiment.
+type CoreConfig struct {
+	Seed    int64
+	Reps16  int // repetitions per pair at 16 MB (paper: 10)
+	Reps128 int // repetitions per pair at 128 MB (paper: 5)
+	Epsilon float64
+}
+
+// DefaultCore matches the paper's second experiment.
+func DefaultCore() CoreConfig {
+	return CoreConfig{Seed: 1, Reps16: 10, Reps128: 5, Epsilon: schedule.DefaultEpsilon}
+}
+
+// CoreResult is the Figure 11 outcome.
+type CoreResult struct {
+	Universities    int
+	Depots          int
+	Measurements    int
+	RelayedPairs    int
+	TotalPairs      int
+	Rows            []stats.SizeRow
+	SampleRelayPath []string // one planned path, to show core depots got picked
+}
+
+// Core runs the Figure 11 experiment: university endpoints on an
+// Abilene-like backbone with depots at the core POPs, every ordered
+// pair measured directly and over the scheduled route at 16 MB and
+// 128 MB. The plan is built once from initial measurements and never
+// refreshed, matching the paper ("for the second experiment, it was run
+// only initially").
+func Core(cfg CoreConfig) (CoreResult, error) {
+	if cfg.Reps16 <= 0 {
+		cfg = DefaultCore()
+	}
+	t := topo.AbileneCore(topo.DefaultAbileneCore(), cfg.Seed)
+	planner, err := schedule.NewPlanner(t, cfg.Epsilon)
+	if err != nil {
+		return CoreResult{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	if err := planner.Prime(rng, 3); err != nil {
+		return CoreResult{}, err
+	}
+	if err := planner.Replan(); err != nil {
+		return CoreResult{}, err
+	}
+
+	eng := netsim.New(cfg.Seed + 2)
+	runner := workload.NewRunner(t, planner, eng, rng)
+
+	unis := topo.AbileneUniversities(t)
+	res := CoreResult{
+		Universities: len(unis),
+		Depots:       len(t.DepotCandidates()),
+	}
+	for _, src := range unis {
+		for _, dst := range unis {
+			if src == dst {
+				continue
+			}
+			res.TotalPairs++
+			path, err := runner.MeasurePair(src, dst, 16<<20, cfg.Reps16)
+			if err != nil {
+				return res, err
+			}
+			if _, err := runner.MeasurePair(src, dst, 128<<20, cfg.Reps128); err != nil {
+				return res, err
+			}
+			if len(path) > 2 {
+				res.RelayedPairs++
+				if res.SampleRelayPath == nil {
+					for _, h := range path {
+						res.SampleRelayPath = append(res.SampleRelayPath, t.Hosts[h].Name)
+					}
+				}
+			}
+		}
+	}
+	res.Measurements = runner.Executed()
+	res.Rows = runner.Agg.BySize()
+	return res, nil
+}
+
+// String renders the Figure 11 box summary per transfer size.
+func (r CoreResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Core-depot evaluation: %d universities, %d core depots, %d measurements\n",
+		r.Universities, r.Depots, r.Measurements)
+	fmt.Fprintf(&b, "scheduler chose depot routes for %d/%d pairs\n", r.RelayedPairs, r.TotalPairs)
+	if r.SampleRelayPath != nil {
+		fmt.Fprintf(&b, "sample scheduled path: %s\n", strings.Join(r.SampleRelayPath, " -> "))
+	}
+	fmt.Fprintf(&b, "%6s %6s %8s %8s %8s %8s %8s\n",
+		"size", "pairs", "min", "q1", "median", "q3", "max")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6s %6d %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			stats.FormatSize(row.Size), row.Cases,
+			row.Box.Min, row.Box.Q1, row.Box.Median, row.Box.Q3, row.Box.Max)
+	}
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/netlogistics/lsl/internal/netsim"
+	"github.com/netlogistics/lsl/internal/pipesim"
+	"github.com/netlogistics/lsl/internal/simtime"
+	"github.com/netlogistics/lsl/internal/tcpsim"
+	"github.com/netlogistics/lsl/internal/trace"
+)
+
+// ContentionRow summarizes one concurrency level at a shared depot.
+type ContentionRow struct {
+	Sessions    int
+	PerSession  float64 // mean per-session bandwidth, bytes/sec
+	Aggregate   float64 // total bytes moved / wall time
+	DirectEach  float64 // what each session would get going direct
+	MeanSpeedup float64 // per-session bandwidth vs direct
+}
+
+// ContentionSweep answers the paper's closing question — "we must
+// consider the scalability of host-based forwarding" — by pushing k
+// concurrent sessions through one depot whose forwarding engine is a
+// shared resource. Per-session relayed bandwidth decays as the depot
+// saturates, and past the crossover the direct path wins again.
+func ContentionSweep(seed int64, levels []int) ([]ContentionRow, error) {
+	if len(levels) == 0 {
+		levels = []int{1, 2, 4, 8, 16}
+	}
+	const (
+		size        = 8 << 20
+		forwardRate = 6e6 // the depot host's total forwarding capacity
+		window      = 64 << 10
+	)
+	full := tcpsim.Config{
+		RTT:      simtime.Milliseconds(80),
+		Capacity: 100e6,
+		SndBuf:   window,
+		RcvBuf:   window,
+	}
+	half := full
+	half.RTT = simtime.Milliseconds(40)
+
+	// Direct baseline: each session gets the window-limited rate; the
+	// endpoints, not a shared middle, are the constraint.
+	eng := netsim.New(seed)
+	res, err := pipesim.Run(eng, pipesim.Direct(size, "direct", full))
+	if err != nil {
+		return nil, err
+	}
+	direct := res.Bandwidth
+
+	rows := make([]ContentionRow, 0, len(levels))
+	for _, k := range levels {
+		eng := netsim.New(seed)
+		shared := tcpsim.NewSharedLink(forwardRate)
+		chains := make([]pipesim.Chain, k)
+		for i := range chains {
+			in := half
+			out := half
+			// Every byte crosses the depot host twice; both sublinks
+			// contend for its forwarding engine.
+			in.Shared = shared
+			out.Shared = shared
+			chains[i] = pipesim.Chain{
+				Size:   size,
+				Hops:   []pipesim.Hop{{TCP: in}, {TCP: out}},
+				Depots: []pipesim.Depot{{}},
+			}
+		}
+		results, err := pipesim.RunMany(eng, chains)
+		if err != nil {
+			return nil, err
+		}
+		var end simtime.Time
+		var per float64
+		for _, r := range results {
+			if r.End > end {
+				end = r.End
+			}
+			per += r.Bandwidth
+		}
+		per /= float64(k)
+		row := ContentionRow{
+			Sessions:    k,
+			PerSession:  per,
+			Aggregate:   float64(k) * size / end.Sub(results[0].Start).Seconds(),
+			DirectEach:  direct,
+			MeanSpeedup: per / direct,
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatContentionSweep renders the sweep.
+func FormatContentionSweep(rows []ContentionRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: depot forwarding contention (8MB sessions, 6MB/s depot host)\n")
+	fmt.Fprintf(&b, "%9s %16s %16s %16s %9s\n",
+		"sessions", "per-sess Mbit/s", "aggregate Mbit/s", "direct Mbit/s", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%9d %16.2f %16.2f %16.2f %8.2fx\n",
+			r.Sessions, mbit(r.PerSession), mbit(r.Aggregate), mbit(r.DirectEach), r.MeanSpeedup)
+	}
+	return b.String()
+}
+
+// CwndTraces captures congestion-window sawtooths for the direct path
+// and the two sublinks of the Figure 3 transfer, the mechanism-level
+// view of why splitting the control loop helps: the long path's
+// recovery is slow (shallow sawtooth ramps), the short sublinks' is
+// fast.
+func CwndTraces(seed int64, size int64) (direct, sub1, sub2 *trace.Series, err error) {
+	if size <= 0 {
+		size = 32 << 20
+	}
+	t := BuildTwoPathChains()
+	eng := netsim.New(seed)
+
+	capture := func(c *tcpsim.Conn, s *trace.Series) {
+		c.OnCwnd = func(now simtime.Time, cwnd float64) {
+			s.Observe(now, int64(cwnd))
+		}
+	}
+
+	direct = trace.NewSeries("direct-cwnd")
+	src := tcpsim.NewByteSource(size)
+	dst := tcpsim.NewCountSink()
+	dc := tcpsim.New(eng, "direct", t.Direct, src, dst)
+	capture(dc, direct)
+	dc.Start(0)
+	if _, err = eng.RunAll(); err != nil {
+		return nil, nil, nil, err
+	}
+
+	// The relayed chain, hand-wired so the per-sublink cwnd hooks can
+	// be attached (pipesim owns its connections).
+	eng = netsim.New(seed)
+	sub1 = trace.NewSeries("sublink1-cwnd")
+	sub2 = trace.NewSeries("sublink2-cwnd")
+	buf := newCwndBuffer()
+	c1 := tcpsim.New(eng, "s1", t.Sub1, tcpsim.NewByteSource(size), buf)
+	c2 := tcpsim.New(eng, "s2", t.Sub2, buf, tcpsim.NewCountSink())
+	buf.producer, buf.consumer = c1, c2
+	c1.OnDone = func(simtime.Time) { buf.closed = true; c2.Wake() }
+	capture(c1, sub1)
+	capture(c2, sub2)
+	c1.Start(0)
+	c2.Start(simtime.Time(1.5 * float64(t.Sub1.RTT)))
+	if _, err = eng.RunAll(); err != nil {
+		return nil, nil, nil, err
+	}
+	return direct, sub1, sub2, nil
+}
+
+// TwoPathChains carries the Figure 3 TCP parameter sets.
+type TwoPathChains struct {
+	Direct, Sub1, Sub2 tcpsim.Config
+}
+
+// BuildTwoPathChains extracts the UCSB→UF parameters from the testbed.
+func BuildTwoPathChains() TwoPathChains {
+	t, err := BuildTopology("twopath", 1)
+	if err != nil {
+		panic(err)
+	}
+	ucsb := t.MustHost("ash.ucsb.edu")
+	hou := t.MustHost("depot.houston.pop")
+	uf := t.MustHost("gator.ufl.edu")
+	return TwoPathChains{
+		Direct: t.PathConfig(ucsb, uf),
+		Sub1:   t.PathConfig(ucsb, hou),
+		Sub2:   t.PathConfig(hou, uf),
+	}
+}
+
+// cwndBuffer is a minimal unbounded depot buffer for the hand-wired
+// cwnd-trace chain.
+type cwndBuffer struct {
+	occ                int64
+	closed             bool
+	producer, consumer *tcpsim.Conn
+}
+
+func newCwndBuffer() *cwndBuffer { return &cwndBuffer{} }
+
+func (b *cwndBuffer) Free() int64 { return 32<<20 - b.occ }
+func (b *cwndBuffer) Put(n int64) {
+	b.occ += n
+	if b.consumer != nil {
+		b.consumer.Wake()
+	}
+}
+func (b *cwndBuffer) Available() int64 { return b.occ }
+func (b *cwndBuffer) Take(n int64) {
+	b.occ -= n
+	if b.producer != nil {
+		b.producer.Wake()
+	}
+}
+func (b *cwndBuffer) Exhausted() bool { return b.closed && b.occ == 0 }
+
+// FormatCwndTraces renders the three sawtooths on a common grid, cwnd
+// in KB.
+func FormatCwndTraces(direct, sub1, sub2 *trace.Series) string {
+	var b strings.Builder
+	b.WriteString("Congestion-window traces (KB): the split control loops recover faster\n")
+	var end simtime.Time
+	for _, s := range []*trace.Series{direct, sub1, sub2} {
+		if f := s.Final().At; f > end {
+			end = f
+		}
+	}
+	fmt.Fprintf(&b, "%8s %14s %14s %14s\n", "time(s)", "direct", "sublink1", "sublink2")
+	const n = 30
+	for i := 0; i <= n; i++ {
+		ts := simtime.Time(end.Seconds() * float64(i) / n)
+		fmt.Fprintf(&b, "%8.2f %14.1f %14.1f %14.1f\n", ts.Seconds(),
+			float64(direct.AckedAt(ts))/1024,
+			float64(sub1.AckedAt(ts))/1024,
+			float64(sub2.AckedAt(ts))/1024)
+	}
+	return b.String()
+}

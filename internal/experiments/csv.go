@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/netlogistics/lsl/internal/simtime"
+	"github.com/netlogistics/lsl/internal/stats"
+)
+
+// CSV renders the Figure 2/3 curve as plot-ready comma-separated data.
+func (c BandwidthCurve) CSV() string {
+	var b strings.Builder
+	b.WriteString("size_mb,direct_mbit,lsl_mbit,speedup\n")
+	for i, s := range c.Sizes {
+		speed := 0.0
+		if c.DirectMbit[i] > 0 {
+			speed = c.LSLMbit[i] / c.DirectMbit[i]
+		}
+		fmt.Fprintf(&b, "%d,%.4f,%.4f,%.4f\n", s>>20, c.DirectMbit[i], c.LSLMbit[i], speed)
+	}
+	return b.String()
+}
+
+// CSV renders the Figure 4/5 traces on a common time grid: time in
+// seconds, acknowledged sequence numbers in MB for each series.
+func (r SeqTraces) CSV() string {
+	var b strings.Builder
+	b.WriteString("time_s,sublink1_mb,sublink2_mb,direct_mb\n")
+	end := r.Sub1.Final().At
+	if e := r.Sub2.Final().At; e > end {
+		end = e
+	}
+	if e := r.Direct.Final().At; e > end {
+		end = e
+	}
+	const n = 100
+	for i := 0; i <= n; i++ {
+		t := end.Seconds() * float64(i) / n
+		ts := simtime.Time(t)
+		fmt.Fprintf(&b, "%.4f,%.4f,%.4f,%.4f\n", t,
+			float64(r.Sub1.AckedAt(ts))/(1<<20),
+			float64(r.Sub2.AckedAt(ts))/(1<<20),
+			float64(r.Direct.AckedAt(ts))/(1<<20))
+	}
+	return b.String()
+}
+
+// CSV renders the Figure 9/10 per-size speedup statistics.
+func (r AggregateResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("size_mb,cases,mean,min,q1,median,q3,max,pct_over_1\n")
+	for _, row := range r.Rows {
+		pct := row.PctOver
+		if !row.PctOK {
+			pct = -1
+		}
+		fmt.Fprintf(&b, "%d,%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d\n",
+			row.Size>>20, row.Cases, row.Mean,
+			row.Box.Min, row.Box.Q1, row.Box.Median, row.Box.Q3, row.Box.Max, pct)
+	}
+	return b.String()
+}
+
+// CSV renders the Figure 11 box statistics.
+func (r CoreResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("size_mb,pairs,min,q1,median,q3,max\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%d,%d,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			row.Size>>20, row.Cases,
+			row.Box.Min, row.Box.Q1, row.Box.Median, row.Box.Q3, row.Box.Max)
+	}
+	return b.String()
+}
+
+// RowsCSV renders any per-size rows (shared helper for callers that
+// have a bare []stats.SizeRow).
+func RowsCSV(rows []stats.SizeRow) string {
+	var b strings.Builder
+	b.WriteString("size_mb,cases,mean,min,q1,median,q3,max\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%d,%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			row.Size>>20, row.Cases, row.Mean,
+			row.Box.Min, row.Box.Q1, row.Box.Median, row.Box.Q3, row.Box.Max)
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, out string, wantCols int) [][]string {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("csv too short:\n%s", out)
+	}
+	var rows [][]string
+	for i, l := range lines {
+		fields := strings.Split(l, ",")
+		if len(fields) != wantCols {
+			t.Fatalf("line %d has %d columns, want %d: %q", i, len(fields), wantCols, l)
+		}
+		rows = append(rows, fields)
+	}
+	return rows
+}
+
+func TestBandwidthCurveCSV(t *testing.T) {
+	c, err := Fig2(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, c.CSV(), 4)
+	if rows[0][0] != "size_mb" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if len(rows)-1 != len(c.Sizes) {
+		t.Fatalf("data rows = %d, want %d", len(rows)-1, len(c.Sizes))
+	}
+	for _, r := range rows[1:] {
+		for _, f := range r {
+			if _, err := strconv.ParseFloat(f, 64); err != nil {
+				t.Fatalf("non-numeric field %q", f)
+			}
+		}
+	}
+}
+
+func TestSeqTracesCSV(t *testing.T) {
+	r, err := Fig5(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, r.CSV(), 4)
+	if rows[0][0] != "time_s" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	// Sequence columns are monotone non-decreasing.
+	var prev [3]float64
+	for _, row := range rows[1:] {
+		for c := 1; c <= 3; c++ {
+			v, err := strconv.ParseFloat(row[c], 64)
+			if err != nil {
+				t.Fatalf("bad field %q", row[c])
+			}
+			if v < prev[c-1] {
+				t.Fatalf("column %d not monotone: %v after %v", c, v, prev[c-1])
+			}
+			prev[c-1] = v
+		}
+	}
+	// The final row reaches the full 64 MB on every series.
+	last := rows[len(rows)-1]
+	for c := 1; c <= 3; c++ {
+		v, _ := strconv.ParseFloat(last[c], 64)
+		if v < 63.5 {
+			t.Fatalf("series %d ends at %v MB, want 64", c, v)
+		}
+	}
+}
+
+func TestAggregateCSV(t *testing.T) {
+	cfg := DefaultAggregate()
+	cfg.Measurements = 600
+	cfg.ReplanEvery = 0
+	res, err := Aggregate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, res.CSV(), 9)
+	if rows[0][0] != "size_mb" {
+		t.Fatalf("header = %v", rows[0])
+	}
+}
+
+func TestCoreCSV(t *testing.T) {
+	cfg := DefaultCore()
+	cfg.Reps16 = 1
+	cfg.Reps128 = 1
+	res, err := Core(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, res.CSV(), 7)
+	if len(rows) != 3 { // header + 16M + 128M
+		t.Fatalf("rows = %d", len(rows))
+	}
+}

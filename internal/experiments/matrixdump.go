@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/netlogistics/lsl/internal/nws"
+	"github.com/netlogistics/lsl/internal/schedule"
+	"github.com/netlogistics/lsl/internal/topo"
+)
+
+// BuildTopology constructs one of the named evaluation testbeds:
+// "twopath", "planetlab", or "abilene".
+func BuildTopology(name string, seed int64) (*topo.Topology, error) {
+	switch name {
+	case "twopath":
+		return topo.TwoPath(), nil
+	case "planetlab":
+		return topo.PlanetLab(topo.DefaultPlanetLab(), seed), nil
+	case "abilene":
+		return topo.AbileneCore(topo.DefaultAbileneCore(), seed), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown topology %q (want twopath, planetlab, or abilene)", name)
+	}
+}
+
+// DumpMeasurements renders NWS-style bandwidth measurements of a
+// testbed in the text format cmd/lsl-sched consumes:
+//
+//	<source-host> <dest-host> <bandwidth-bytes-per-sec>
+//
+// samples observations are emitted per ordered pair, so lsl-sched's
+// averaging mirrors the forecast smoothing of the in-process planner.
+func DumpMeasurements(topoName string, seed int64, samples int) (string, error) {
+	t, err := BuildTopology(topoName, seed)
+	if err != nil {
+		return "", err
+	}
+	if samples < 1 {
+		samples = 1
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s testbed, seed %d, %d samples per ordered pair\n", topoName, seed, samples)
+	fmt.Fprintf(&b, "# <source-host> <dest-host> <bandwidth-bytes-per-sec>\n")
+	for s := 0; s < t.N(); s++ {
+		for d := 0; d < t.N(); d++ {
+			if s == d {
+				continue
+			}
+			for k := 0; k < samples; k++ {
+				fmt.Fprintf(&b, "%s %s %.0f\n",
+					t.Hosts[s].Name, t.Hosts[d].Name, t.MeasuredBW(s, d, rng))
+			}
+		}
+	}
+	return b.String(), nil
+}
+
+// Weather renders the current NWS forecast matrix for a testbed — the
+// "performance topology" the scheduler consumes. Small testbeds print
+// the host-level matrix; the 142-host mesh is site-aggregated for
+// readability (and because that is what the planner actually uses).
+func Weather(topoName string, seed int64) (string, error) {
+	t, err := BuildTopology(topoName, seed)
+	if err != nil {
+		return "", err
+	}
+	planner, err := schedule.NewPlanner(t, schedule.DefaultEpsilon)
+	if err != nil {
+		return "", err
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	if err := planner.Prime(rng, 8); err != nil {
+		return "", err
+	}
+	mx := planner.Monitor.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "NWS forecast matrix for %s (MB/s, mean relative error %.1f%%)\n",
+		topoName, 100*planner.Monitor.MeanRelativeError())
+	if t.N() > 24 {
+		idx := make(map[string]int, t.N())
+		for i, h := range t.Hosts {
+			idx[h.Name] = i
+		}
+		site := mx.AggregateBySite(func(host string) string { return t.SiteOf(idx[host]) })
+		fmt.Fprintf(&b, "(aggregated to %d sites)\n", len(site.Hosts))
+		b.WriteString(site.String())
+	} else {
+		b.WriteString(mx.String())
+	}
+	return b.String(), nil
+}
+
+// NWSEvaluation exercises the forecaster bank the way Wolski's NWS
+// paper motivates dynamic predictor selection: on three synthetic
+// bandwidth regimes (stationary noise, drifting level, measurement
+// spikes) plus a real measured series from the two-path testbed, no
+// single expert wins everywhere but the selector stays competitive
+// with the best one in hindsight.
+func NWSEvaluation(seed int64) (string, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+
+	regimes := []struct {
+		name   string
+		series []float64
+	}{
+		{"stationary", synthSeries(400, rng, func(i int) float64 { return 100 + rng.NormFloat64()*8 })},
+		{"drifting", driftSeries(400, rng)},
+		{"spiky", synthSeries(400, rng, func(i int) float64 {
+			v := 100 + rng.NormFloat64()*3
+			if rng.Float64() < 0.08 {
+				v *= 5
+			}
+			return v
+		})},
+		{"measured (UCSB→UF)", measuredSeries(seed, 400)},
+	}
+	for _, r := range regimes {
+		experts, selector, err := nws.Evaluate(r.series)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "=== %s series ===\n%s\n", r.name, nws.FormatEvaluation(experts, selector))
+	}
+	return b.String(), nil
+}
+
+func synthSeries(n int, rng *rand.Rand, gen func(int) float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = gen(i)
+	}
+	return out
+}
+
+func driftSeries(n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	level := 100.0
+	for i := range out {
+		level += rng.NormFloat64() * 3
+		out[i] = level + rng.NormFloat64()*2
+	}
+	return out
+}
+
+// measuredSeries samples the two-path testbed's UCSB→UF bandwidth with
+// the slow load walk enabled, producing a realistically autocorrelated
+// series.
+func measuredSeries(seed int64, n int) []float64 {
+	t := topo.TwoPath()
+	t.EnableLoadDrift(0.08)
+	// Give the endpoints node ceilings below the path's steady state so
+	// the load walk, not i.i.d. measurement noise, shapes the series.
+	for i := range t.Hosts {
+		if t.Hosts[i].NodeBW == 0 {
+			t.Hosts[i].NodeBW = 2.2e6
+		}
+	}
+	t.MeasureNoise = 0.04
+	rng := rand.New(rand.NewSource(seed + 7))
+	a, bIdx := t.MustHost("ash.ucsb.edu"), t.MustHost("gator.ufl.edu")
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = t.MeasuredBW(a, bIdx, rng)
+		t.AdvanceLoad(rng)
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the tree in Graphviz dot syntax, the format the paper's
+// Figures 6-8 were drawn in: nodes grouped into site clusters (derived
+// from the part of each name after the first '.'), tree edges labelled
+// with their minimax cost.
+func (t *Tree) DOT(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+
+	// Group nodes by site, as the paper's figures box them.
+	sites := map[string][]NodeID{}
+	var order []string
+	for v := 0; v < t.G.N(); v++ {
+		name := t.G.Name(NodeID(v))
+		site := name
+		if i := strings.IndexByte(name, '.'); i >= 0 {
+			site = name[i+1:]
+		}
+		if _, ok := sites[site]; !ok {
+			order = append(order, site)
+		}
+		sites[site] = append(sites[site], NodeID(v))
+	}
+	for i, site := range order {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", i, site)
+		for _, v := range sites[site] {
+			fmt.Fprintf(&b, "    %q;\n", t.G.Name(v))
+		}
+		b.WriteString("  }\n")
+	}
+	for v := 0; v < t.G.N(); v++ {
+		id := NodeID(v)
+		if id == t.Root || t.Parent[id] == None {
+			continue
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%.3g\"];\n",
+			t.G.Name(t.Parent[id]), t.G.Name(id), t.Cost[id])
+	}
+	fmt.Fprintf(&b, "  %q [style=bold];\n", t.G.Name(t.Root))
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"github.com/netlogistics/lsl/internal/graph"
+)
+
+// ExampleMinimaxTree reproduces the paper's Figures 7-8 situation in
+// miniature: exact minimax (ε=0) relays through a marginally better
+// host; ε=0.1 treats the edges as equivalent and keeps the direct one.
+func ExampleMinimaxTree() {
+	g := graph.MustNew([]string{"ash", "opus", "bell"})
+	ash, _ := g.Lookup("ash")
+	opus, _ := g.Lookup("opus")
+	bell, _ := g.Lookup("bell")
+	g.SetCostSym(ash, opus, 5.1)
+	g.SetCostSym(opus, bell, 0.3)
+	g.SetCostSym(ash, bell, 5.5)
+
+	for _, eps := range []float64{0, 0.1} {
+		tree := graph.MinimaxTree(g, ash, eps)
+		path := tree.PathTo(bell)
+		names := make([]string, len(path))
+		for i, v := range path {
+			names[i] = g.Name(v)
+		}
+		fmt.Printf("eps=%.1f: %v (cost %.1f)\n", eps, names, tree.Cost[bell])
+	}
+	// Output:
+	// eps=0.0: [ash opus bell] (cost 5.1)
+	// eps=0.1: [ash bell] (cost 5.5)
+}
+
+// ExampleTree_Routes shows the reduction of a tree to the
+// destination/next-hop table a depot consumes.
+func ExampleTree_Routes() {
+	g := graph.MustNew([]string{"src", "depot", "dst"})
+	g.SetCostSym(0, 1, 1)
+	g.SetCostSym(1, 2, 1)
+	g.SetCostSym(0, 2, 10)
+	tree := graph.MinimaxTree(g, 0, 0)
+	routes := tree.Routes()
+	fmt.Printf("to dst via %s\n", g.Name(routes[2]))
+	// Output:
+	// to dst via depot
+}
+
+// ExampleMinimaxTreeTransit demonstrates the host-bandwidth extension:
+// charging the relay's forwarding rate flips the decision.
+func ExampleMinimaxTreeTransit() {
+	g := graph.MustNew([]string{"a", "m", "b"})
+	g.SetCostSym(0, 1, 2)
+	g.SetCostSym(1, 2, 2)
+	g.SetCostSym(0, 2, 5)
+
+	free := graph.MinimaxTreeTransit(g, 0, 0, []float64{0, 0, 0})
+	slow := graph.MinimaxTreeTransit(g, 0, 0, []float64{0, 6, 0})
+	fmt.Println("free transit relays:", len(free.Relays(2)) > 0)
+	fmt.Println("slow transit relays:", len(slow.Relays(2)) > 0)
+	// Output:
+	// free transit relays: true
+	// slow transit relays: false
+}

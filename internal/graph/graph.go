@@ -1,0 +1,166 @@
+// Package graph implements the paper's scheduling graph machinery: a
+// dense directed cost graph over Grid hosts, the Minimax-Path (MMP)
+// tree-building algorithm with ε edge-equivalence from Appendix A, a
+// Dijkstra shortest-path baseline, tree walking, and the reduction of
+// trees to depot route tables.
+//
+// Edge costs are transfer-time weights (1/bandwidth); the cost of a path
+// is the maximum edge cost along it, so the optimal path is the one
+// whose worst sublink is least bad — exactly the bottleneck behaviour of
+// a pipelined chain of TCP connections through depots.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NodeID indexes a node within a Graph.
+type NodeID int
+
+// None is the nil NodeID, used for absent parents and missing routes.
+const None NodeID = -1
+
+// Inf is the edge cost of a missing edge.
+var Inf = math.Inf(1)
+
+// Graph is a dense directed graph with float64 edge costs. Construct
+// with New; the zero value is unusable.
+type Graph struct {
+	names []string
+	index map[string]NodeID
+	cost  []float64 // row-major n×n; Inf = absent, diagonal 0
+}
+
+// New returns a graph over the given node names with no edges. Names
+// must be unique and non-empty.
+func New(names []string) (*Graph, error) {
+	n := len(names)
+	g := &Graph{
+		names: append([]string(nil), names...),
+		index: make(map[string]NodeID, n),
+		cost:  make([]float64, n*n),
+	}
+	for i, name := range names {
+		if name == "" {
+			return nil, errors.New("graph: empty node name")
+		}
+		if _, dup := g.index[name]; dup {
+			return nil, fmt.Errorf("graph: duplicate node name %q", name)
+		}
+		g.index[name] = NodeID(i)
+	}
+	for i := range g.cost {
+		g.cost[i] = Inf
+	}
+	for i := 0; i < n; i++ {
+		g.cost[i*n+i] = 0
+	}
+	return g, nil
+}
+
+// MustNew is New panicking on error, for tests and literals.
+func MustNew(names []string) *Graph {
+	g, err := New(names)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return len(g.names) }
+
+// Name returns the display name of id.
+func (g *Graph) Name(id NodeID) string {
+	if id < 0 || int(id) >= len(g.names) {
+		return fmt.Sprintf("node#%d", int(id))
+	}
+	return g.names[id]
+}
+
+// Lookup resolves a node name to its id.
+func (g *Graph) Lookup(name string) (NodeID, bool) {
+	id, ok := g.index[name]
+	return id, ok
+}
+
+func (g *Graph) check(id NodeID) {
+	if id < 0 || int(id) >= len(g.names) {
+		panic(fmt.Sprintf("graph: node id %d out of range [0,%d)", int(id), len(g.names)))
+	}
+}
+
+// SetCost sets the directed edge cost i→j. Costs must be non-negative;
+// use Inf to remove an edge.
+func (g *Graph) SetCost(i, j NodeID, c float64) {
+	g.check(i)
+	g.check(j)
+	if c < 0 || math.IsNaN(c) {
+		panic(fmt.Sprintf("graph: invalid edge cost %v", c))
+	}
+	if i == j {
+		return
+	}
+	g.cost[int(i)*g.N()+int(j)] = c
+}
+
+// SetCostSym sets both directions of an edge.
+func (g *Graph) SetCostSym(i, j NodeID, c float64) {
+	g.SetCost(i, j, c)
+	g.SetCost(j, i, c)
+}
+
+// Cost returns the directed edge cost i→j (Inf when absent, 0 on the
+// diagonal).
+func (g *Graph) Cost(i, j NodeID) float64 {
+	g.check(i)
+	g.check(j)
+	return g.cost[int(i)*g.N()+int(j)]
+}
+
+// HasEdge reports whether a finite edge i→j exists.
+func (g *Graph) HasEdge(i, j NodeID) bool { return i != j && !math.IsInf(g.Cost(i, j), 1) }
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		names: append([]string(nil), g.names...),
+		index: make(map[string]NodeID, len(g.index)),
+		cost:  append([]float64(nil), g.cost...),
+	}
+	for k, v := range g.index {
+		c.index[k] = v
+	}
+	return c
+}
+
+// PathCost evaluates a path (a node sequence) under the minimax metric:
+// the maximum edge cost along it. It returns Inf for paths using absent
+// edges and an error for malformed paths.
+func (g *Graph) PathCost(path []NodeID) (float64, error) {
+	if len(path) == 0 {
+		return Inf, errors.New("graph: empty path")
+	}
+	var max float64
+	for i := 0; i+1 < len(path); i++ {
+		c := g.Cost(path[i], path[i+1])
+		if c > max {
+			max = c
+		}
+	}
+	return max, nil
+}
+
+// PathSum evaluates a path under the additive shortest-path metric.
+func (g *Graph) PathSum(path []NodeID) (float64, error) {
+	if len(path) == 0 {
+		return Inf, errors.New("graph: empty path")
+	}
+	var sum float64
+	for i := 0; i+1 < len(path); i++ {
+		sum += g.Cost(path[i], path[i+1])
+	}
+	return sum, nil
+}

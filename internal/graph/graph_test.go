@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]string{"a", ""}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := New([]string{"a", "a"}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	g, err := New([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 {
+		t.Fatalf("N = %d", g.N())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on bad input")
+		}
+	}()
+	MustNew([]string{"x", "x"})
+}
+
+func TestCostDefaults(t *testing.T) {
+	g := MustNew([]string{"a", "b", "c"})
+	a, _ := g.Lookup("a")
+	b, _ := g.Lookup("b")
+	if !math.IsInf(g.Cost(a, b), 1) {
+		t.Fatal("missing edge should be Inf")
+	}
+	if g.Cost(a, a) != 0 {
+		t.Fatal("diagonal should be 0")
+	}
+	if g.HasEdge(a, b) {
+		t.Fatal("HasEdge on missing edge")
+	}
+	if g.HasEdge(a, a) {
+		t.Fatal("HasEdge on diagonal")
+	}
+}
+
+func TestSetCost(t *testing.T) {
+	g := MustNew([]string{"a", "b"})
+	a, _ := g.Lookup("a")
+	b, _ := g.Lookup("b")
+	g.SetCost(a, b, 2.5)
+	if g.Cost(a, b) != 2.5 {
+		t.Fatalf("cost = %v", g.Cost(a, b))
+	}
+	if !math.IsInf(g.Cost(b, a), 1) {
+		t.Fatal("directed set leaked to reverse edge")
+	}
+	g.SetCostSym(a, b, 3)
+	if g.Cost(a, b) != 3 || g.Cost(b, a) != 3 {
+		t.Fatal("SetCostSym failed")
+	}
+	// Self edges are ignored.
+	g.SetCost(a, a, 9)
+	if g.Cost(a, a) != 0 {
+		t.Fatal("self edge modified diagonal")
+	}
+}
+
+func TestSetCostPanicsOnInvalid(t *testing.T) {
+	g := MustNew([]string{"a", "b"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative cost should panic")
+		}
+	}()
+	g.SetCost(0, 1, -1)
+}
+
+func TestLookupAndName(t *testing.T) {
+	g := MustNew([]string{"a", "b"})
+	if id, ok := g.Lookup("b"); !ok || g.Name(id) != "b" {
+		t.Fatalf("lookup roundtrip failed: %v %v", id, ok)
+	}
+	if _, ok := g.Lookup("zzz"); ok {
+		t.Fatal("lookup of missing name succeeded")
+	}
+	if g.Name(NodeID(99)) == "" {
+		t.Fatal("out-of-range Name should still render something")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := MustNew([]string{"a", "b"})
+	g.SetCostSym(0, 1, 5)
+	c := g.Clone()
+	c.SetCostSym(0, 1, 7)
+	if g.Cost(0, 1) != 5 {
+		t.Fatal("clone shares storage with original")
+	}
+	if c.Cost(0, 1) != 7 {
+		t.Fatal("clone not writable")
+	}
+}
+
+func TestPathCost(t *testing.T) {
+	g := MustNew([]string{"a", "b", "c"})
+	g.SetCost(0, 1, 2)
+	g.SetCost(1, 2, 5)
+	got, err := g.PathCost([]NodeID{0, 1, 2})
+	if err != nil || got != 5 {
+		t.Fatalf("minimax path cost = %v, %v", got, err)
+	}
+	sum, err := g.PathSum([]NodeID{0, 1, 2})
+	if err != nil || sum != 7 {
+		t.Fatalf("additive path cost = %v, %v", sum, err)
+	}
+	if _, err := g.PathCost(nil); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if c, _ := g.PathCost([]NodeID{0, 2}); !math.IsInf(c, 1) {
+		t.Fatal("path over missing edge should cost Inf")
+	}
+	if c, _ := g.PathCost([]NodeID{1}); c != 0 {
+		t.Fatalf("single-node path cost = %v", c)
+	}
+}

@@ -1,0 +1,227 @@
+// Package lsl implements the Logistical Session Layer over any
+// net.Conn transport: session establishment with loose source routes,
+// the initiator and sink sides of point-to-point data sessions,
+// generate-data test requests, and multicast staging sessions.
+//
+// The session layer binds end-to-end communication to a chain of
+// transport connections instead of a single one: the initiator opens a
+// connection to the first hop (a depot or the final sink), writes the
+// session header, and streams the payload; each depot pops itself off
+// the source route and forwards (internal/depot). "Serial, rather than
+// parallel, sockets" — Section 2.
+package lsl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+// Dialer abstracts transport connection establishment so sessions run
+// identically over the emulated network, real TCP, or test doubles.
+type Dialer interface {
+	Dial(address string) (net.Conn, error)
+}
+
+// DialerFunc adapts a function to the Dialer interface.
+type DialerFunc func(address string) (net.Conn, error)
+
+// Dial implements Dialer.
+func (f DialerFunc) Dial(address string) (net.Conn, error) { return f(address) }
+
+// Session is an established LSL session: a byte stream plus the header
+// that routed it.
+type Session struct {
+	net.Conn
+	Header *wire.Header
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() wire.SessionID { return s.Header.Session }
+
+// Open establishes a data session from src to dst through the given
+// loose source route of depot endpoints (empty route = direct). It
+// dials the first hop, writes the session header carrying the remaining
+// route, and returns the session ready for payload writes. Closing the
+// session propagates end-of-stream down the chain.
+func Open(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint) (*Session, error) {
+	return open(d, src, dst, route, wire.TypeData, nil)
+}
+
+// OpenGenerate asks the first hop (a depot) to synthesize size bytes of
+// test data and forward them toward dst along the remaining route —
+// the paper's "mechanism that requests a depot to generate some amount
+// of arbitrary data". The returned session carries no payload from the
+// initiator; it reads the depot's completion close.
+func OpenGenerate(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, size uint64) (*Session, error) {
+	gen := wire.GenerateOption(size)
+	return open(d, src, dst, route, wire.TypeGenerate, []wire.Option{gen})
+}
+
+// OpenChecked is Open followed by a short listen for a refusal: the
+// depot's load-based session negotiation is optimistic (no news is good
+// news), so after writing the header the initiator waits up to the
+// given grace period for a TypeRefuse response before streaming.
+// ErrRefused is returned when the depot declined; a quiet wire means
+// the session is accepted.
+func OpenChecked(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, grace time.Duration) (*Session, error) {
+	sess, err := Open(d, src, dst, route)
+	if err != nil {
+		return nil, err
+	}
+	if grace <= 0 {
+		return sess, nil
+	}
+	if err := sess.SetReadDeadline(time.Now().Add(grace)); err != nil {
+		// Transport without deadlines: skip the check.
+		return sess, nil //nolint:nilerr // optimistic acceptance
+	}
+	resp, rerr := wire.ReadHeader(sess)
+	_ = sess.SetReadDeadline(time.Time{})
+	if rerr == nil && resp.Type == wire.TypeRefuse {
+		sess.Close()
+		return nil, ErrRefused
+	}
+	// Timeout (or any read failure) means nobody refused us.
+	return sess, nil
+}
+
+// OpenStore establishes an asynchronous session: the payload travels
+// the route but the final depot (dst) holds it instead of delivering,
+// keyed by the returned session's id. A receiver that learns the id
+// retrieves it with Fetch — the paper's asynchronous mode.
+func OpenStore(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint) (*Session, error) {
+	return open(d, src, dst, route, wire.TypeStore, nil)
+}
+
+// Fetch retrieves the payload stored under id at the given depot. It
+// returns a session positioned at the start of the payload; the caller
+// reads to EOF and closes. ErrRefused means the depot holds no such
+// session.
+func Fetch(d Dialer, self, depotAddr wire.Endpoint, id wire.SessionID) (*Session, error) {
+	conn, err := d.Dial(depotAddr.String())
+	if err != nil {
+		return nil, fmt.Errorf("lsl: dial %s: %w", depotAddr, err)
+	}
+	req, err := start(conn, self, depotAddr, wire.TypeFetch, []wire.Option{wire.FetchIDOption(id)})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.ReadHeader(req)
+	if err != nil {
+		req.Close()
+		return nil, fmt.Errorf("lsl: fetch response: %w", err)
+	}
+	if resp.Type == wire.TypeRefuse {
+		req.Close()
+		return nil, ErrRefused
+	}
+	if resp.Type != wire.TypeData || resp.Session != id {
+		req.Close()
+		return nil, fmt.Errorf("lsl: unexpected fetch response type %d session %s", resp.Type, resp.Session)
+	}
+	return &Session{Conn: req.Conn, Header: resp}, nil
+}
+
+// OpenMulticast establishes a staging session whose payload is fanned
+// out to every leaf of the tree. The tree's root must be the first hop
+// to dial; dst conventionally names the initiator's primary sink and is
+// informational for multicast sessions.
+func OpenMulticast(d Dialer, src, dst wire.Endpoint, tree *wire.TreeNode) (*Session, error) {
+	opt, err := wire.MulticastTreeOption(tree)
+	if err != nil {
+		return nil, fmt.Errorf("lsl: %w", err)
+	}
+	conn, err := d.Dial(tree.Addr.String())
+	if err != nil {
+		return nil, fmt.Errorf("lsl: dial %s: %w", tree.Addr, err)
+	}
+	return start(conn, src, dst, wire.TypeMulticast, []wire.Option{opt})
+}
+
+func open(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, typ uint16, opts []wire.Option) (*Session, error) {
+	if dst.IsZero() {
+		return nil, errors.New("lsl: zero destination endpoint")
+	}
+	hops := append(append([]wire.Endpoint(nil), route...), dst)
+	first := hops[0]
+	rest := hops[1:]
+	conn, err := d.Dial(first.String())
+	if err != nil {
+		return nil, fmt.Errorf("lsl: dial %s: %w", first, err)
+	}
+	if len(rest) > 0 {
+		opts = append(opts, wire.SourceRouteOption(rest))
+	}
+	return start(conn, src, dst, typ, opts)
+}
+
+// Wrap opens a plain data session on an already-dialed transport
+// connection with no source route: the header names only src and dst,
+// leaving every forwarding decision to depot route tables (the paper's
+// hop-by-hop mode).
+func Wrap(conn net.Conn, src, dst wire.Endpoint) (*Session, error) {
+	if dst.IsZero() {
+		conn.Close()
+		return nil, errors.New("lsl: zero destination endpoint")
+	}
+	return start(conn, src, dst, wire.TypeData, nil)
+}
+
+func start(conn net.Conn, src, dst wire.Endpoint, typ uint16, opts []wire.Option) (*Session, error) {
+	id, err := wire.NewSessionID()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	h := &wire.Header{
+		Version: wire.Version1,
+		Type:    typ,
+		Session: id,
+		Src:     src,
+		Dst:     dst,
+		Options: opts,
+	}
+	if err := wire.WriteHeader(conn, h); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Session{Conn: conn, Header: h}, nil
+}
+
+// Accept reads the session header from a just-accepted transport
+// connection, returning the session positioned at the start of the
+// payload. Sinks and depots both begin with this.
+func Accept(conn net.Conn) (*Session, error) {
+	h, err := wire.ReadHeader(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if h.Type == wire.TypeRefuse {
+		conn.Close()
+		return nil, ErrRefused
+	}
+	return &Session{Conn: conn, Header: h}, nil
+}
+
+// ErrRefused indicates the remote depot declined the session.
+var ErrRefused = errors.New("lsl: session refused by depot")
+
+// Refuse writes a refusal header mirroring the request and closes the
+// connection — the "session negotiation that allows a potential depot
+// to refuse a new connection based on host load" the paper proposes.
+func Refuse(conn net.Conn, req *wire.Header) error {
+	defer conn.Close()
+	h := &wire.Header{
+		Version: wire.Version1,
+		Type:    wire.TypeRefuse,
+		Session: req.Session,
+		Src:     req.Src,
+		Dst:     req.Dst,
+	}
+	return wire.WriteHeader(conn, h)
+}

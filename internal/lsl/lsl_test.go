@@ -1,0 +1,280 @@
+package lsl
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/emu"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+// testNet builds an emulated net with a sink listener, returning a
+// dialer for the client host and a channel of accepted sessions.
+func testNet(t *testing.T, sinkAddr string) (Dialer, chan *Session) {
+	t.Helper()
+	n := emu.NewNetwork(0.001)
+	ln, err := n.Listen(sinkAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	sessions := make(chan *Session, 4)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s, err := Accept(conn)
+			if err != nil {
+				continue
+			}
+			sessions <- s
+		}
+	}()
+	dial := DialerFunc(func(addr string) (net.Conn, error) { return n.Dial("client", addr) })
+	return dial, sessions
+}
+
+func TestOpenDirectSession(t *testing.T) {
+	dst := wire.MustEndpoint("10.0.0.2:7411")
+	src := wire.MustEndpoint("10.0.0.1:7411")
+	dial, sessions := testNet(t, dst.String())
+
+	sess, err := Open(dial, src, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("grid data")
+	go func() {
+		sess.Write(payload)
+		sess.Close()
+	}()
+
+	got := <-sessions
+	if got.Header.Src != src || got.Header.Dst != dst {
+		t.Fatalf("header endpoints: %+v", got.Header)
+	}
+	if got.Header.Type != wire.TypeData {
+		t.Fatalf("type = %d", got.Header.Type)
+	}
+	if got.ID() != sess.ID() {
+		t.Fatal("session ids differ across the wire")
+	}
+	if _, ok := got.Header.Option(wire.OptSourceRoute); ok {
+		t.Fatal("direct session should carry no source route")
+	}
+	data, err := io.ReadAll(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Fatalf("payload = %q", data)
+	}
+}
+
+func TestOpenWithRoute(t *testing.T) {
+	// The first hop receives the connection; the remaining route (one
+	// depot + final dst) rides in the header.
+	firstHop := wire.MustEndpoint("10.0.0.9:7411")
+	depot2 := wire.MustEndpoint("10.0.0.8:7411")
+	dst := wire.MustEndpoint("10.0.0.2:7411")
+	src := wire.MustEndpoint("10.0.0.1:7411")
+	dial, sessions := testNet(t, firstHop.String())
+
+	sess, err := Open(dial, src, dst, []wire.Endpoint{firstHop, depot2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	got := <-sessions
+	opt, ok := got.Header.Option(wire.OptSourceRoute)
+	if !ok {
+		t.Fatal("source route missing")
+	}
+	hops, err := wire.ParseSourceRoute(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 2 || hops[0] != depot2 || hops[1] != dst {
+		t.Fatalf("remaining route = %v", hops)
+	}
+	if got.Header.Dst != dst {
+		t.Fatalf("dst = %v", got.Header.Dst)
+	}
+}
+
+func TestOpenZeroDestination(t *testing.T) {
+	dial, _ := testNet(t, "10.0.0.2:7411")
+	if _, err := Open(dial, wire.MustEndpoint("10.0.0.1:1"), wire.Endpoint{}, nil); err == nil {
+		t.Fatal("zero destination accepted")
+	}
+}
+
+func TestOpenDialFailure(t *testing.T) {
+	dial := DialerFunc(func(addr string) (net.Conn, error) {
+		return nil, errors.New("refused")
+	})
+	_, err := Open(dial, wire.MustEndpoint("10.0.0.1:1"), wire.MustEndpoint("10.0.0.2:1"), nil)
+	if err == nil {
+		t.Fatal("dial failure not propagated")
+	}
+}
+
+func TestOpenGenerate(t *testing.T) {
+	dst := wire.MustEndpoint("10.0.0.2:7411")
+	src := wire.MustEndpoint("10.0.0.1:7411")
+	dial, sessions := testNet(t, dst.String())
+
+	sess, err := OpenGenerate(dial, src, dst, nil, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	got := <-sessions
+	if got.Header.Type != wire.TypeGenerate {
+		t.Fatalf("type = %d", got.Header.Type)
+	}
+	opt, ok := got.Header.Option(wire.OptGenerate)
+	if !ok {
+		t.Fatal("generate option missing")
+	}
+	size, err := wire.ParseGenerate(opt)
+	if err != nil || size != 12345 {
+		t.Fatalf("size = %d, %v", size, err)
+	}
+}
+
+func TestOpenMulticast(t *testing.T) {
+	root := wire.MustEndpoint("10.0.0.3:7411")
+	src := wire.MustEndpoint("10.0.0.1:7411")
+	dial, sessions := testNet(t, root.String())
+
+	tree := &wire.TreeNode{
+		Addr: root,
+		Children: []*wire.TreeNode{
+			{Addr: wire.MustEndpoint("10.0.0.4:7411")},
+			{Addr: wire.MustEndpoint("10.0.0.5:7411")},
+		},
+	}
+	sess, err := OpenMulticast(dial, src, src, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	got := <-sessions
+	if got.Header.Type != wire.TypeMulticast {
+		t.Fatalf("type = %d", got.Header.Type)
+	}
+	opt, ok := got.Header.Option(wire.OptMulticastTree)
+	if !ok {
+		t.Fatal("tree option missing")
+	}
+	parsed, err := wire.ParseMulticastTree(opt)
+	if err != nil || parsed.Size() != 3 {
+		t.Fatalf("tree = %v, %v", parsed, err)
+	}
+}
+
+func TestRefuse(t *testing.T) {
+	n := emu.NewNetwork(0.001)
+	ln, err := n.Listen("10.0.0.2:7411")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Server refuses every session.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		h, err := wire.ReadHeader(conn)
+		if err != nil {
+			return
+		}
+		Refuse(conn, h)
+	}()
+
+	dial := DialerFunc(func(addr string) (net.Conn, error) { return n.Dial("client", addr) })
+	sess, err := Open(dial, wire.MustEndpoint("10.0.0.1:7411"), wire.MustEndpoint("10.0.0.2:7411"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	// Reading the response surfaces the refusal header.
+	h, err := wire.ReadHeader(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != wire.TypeRefuse {
+		t.Fatalf("response type = %d, want refuse", h.Type)
+	}
+	if h.Session != sess.ID() {
+		t.Fatal("refusal should echo the session id")
+	}
+}
+
+func TestAcceptRefusedType(t *testing.T) {
+	// Accept() treats an incoming TypeRefuse header as ErrRefused.
+	n := emu.NewNetwork(0.001)
+	ln, err := n.Listen("10.0.0.2:7411")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		_, err = Accept(conn)
+		errCh <- err
+	}()
+	conn, err := n.Dial("client", "10.0.0.2:7411")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &wire.Header{Version: wire.Version1, Type: wire.TypeRefuse,
+		Src: wire.MustEndpoint("10.0.0.1:1"), Dst: wire.MustEndpoint("10.0.0.2:1")}
+	if err := wire.WriteHeader(conn, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; !errors.Is(err, ErrRefused) {
+		t.Fatalf("err = %v, want ErrRefused", err)
+	}
+}
+
+func TestAcceptGarbage(t *testing.T) {
+	n := emu.NewNetwork(0.001)
+	ln, err := n.Listen("10.0.0.2:7411")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		_, err = Accept(conn)
+		errCh <- err
+	}()
+	conn, err := n.Dial("client", "10.0.0.2:7411")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write(bytes.Repeat([]byte{0xAB}, 100))
+	conn.Close()
+	if err := <-errCh; err == nil {
+		t.Fatal("garbage header accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Package netsim provides the discrete-event simulation engine underlying
+// the TCP and depot-pipeline models.
+//
+// The engine is a classic event-heap design: callers schedule callbacks at
+// future simulated instants and Run dispatches them in time order. Events
+// scheduled for the same instant fire in scheduling order, which keeps
+// runs deterministic for a fixed seed.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+
+	"github.com/netlogistics/lsl/internal/simtime"
+)
+
+// Event is a callback due at a simulated instant.
+type Event func(now simtime.Time)
+
+type scheduled struct {
+	at    simtime.Time
+	seq   uint64 // tie-break: FIFO among same-instant events
+	fn    Event
+	index int
+	dead  bool
+}
+
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	s := x.(*scheduled)
+	s.index = len(*h)
+	*h = append(*h, s)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	s.index = -1
+	*h = old[:n-1]
+	return s
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ s *scheduled }
+
+// Stop cancels the timer if it has not fired. It reports whether the
+// cancellation prevented a pending event.
+func (t Timer) Stop() bool {
+	if t.s == nil || t.s.dead {
+		return false
+	}
+	t.s.dead = true
+	return true
+}
+
+// ErrTooManyEvents indicates a run exceeded its event budget, which
+// almost always means a model is stuck in a zero-delay loop.
+var ErrTooManyEvents = errors.New("netsim: event budget exhausted")
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with New.
+type Engine struct {
+	now    simtime.Time
+	heap   eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	budget int64
+}
+
+// DefaultEventBudget bounds the number of events a single Run may
+// dispatch before aborting with ErrTooManyEvents.
+const DefaultEventBudget = 500_000_000
+
+// New returns an engine whose random source is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{
+		rng:    rand.New(rand.NewSource(seed)),
+		budget: DefaultEventBudget,
+	}
+}
+
+// SetEventBudget overrides the per-Run event budget. Non-positive
+// budgets restore the default.
+func (e *Engine) SetEventBudget(n int64) {
+	if n <= 0 {
+		n = DefaultEventBudget
+	}
+	e.budget = n
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn at the absolute instant at. Instants earlier than the
+// current time are clamped to the current time.
+func (e *Engine) At(at simtime.Time, fn Event) Timer {
+	if at < e.now {
+		at = e.now
+	}
+	s := &scheduled{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, s)
+	return Timer{s: s}
+}
+
+// After schedules fn after delay d from the current time. Negative
+// delays are treated as zero.
+func (e *Engine) After(d simtime.Duration, fn Event) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Pending reports the number of live scheduled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, s := range e.heap {
+		if !s.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Run dispatches events in time order until the queue drains or until
+// simulated time would pass deadline. Events at exactly deadline fire.
+// It returns the time of the last dispatched event (or the unchanged
+// current time when nothing fired).
+func (e *Engine) Run(deadline simtime.Time) (simtime.Time, error) {
+	var dispatched int64
+	for len(e.heap) > 0 {
+		next := e.heap[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.heap)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		dispatched++
+		if dispatched > e.budget {
+			return e.now, ErrTooManyEvents
+		}
+		next.fn(e.now)
+	}
+	return e.now, nil
+}
+
+// RunAll dispatches events until the queue drains.
+func (e *Engine) RunAll() (simtime.Time, error) { return e.Run(simtime.Never) }

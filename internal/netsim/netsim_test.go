@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/simtime"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	eng := New(1)
+	var order []int
+	eng.At(3, func(simtime.Time) { order = append(order, 3) })
+	eng.At(1, func(simtime.Time) { order = append(order, 1) })
+	eng.At(2, func(simtime.Time) { order = append(order, 2) })
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if eng.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", eng.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	eng := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.At(5, func(simtime.Time) { order = append(order, i) })
+	}
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	eng := New(1)
+	var at simtime.Time
+	eng.At(2, func(now simtime.Time) {
+		eng.After(3, func(now2 simtime.Time) { at = now2 })
+	})
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5 {
+		t.Fatalf("After fired at %v, want 5", at)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	eng := New(1)
+	fired := false
+	eng.After(-5, func(now simtime.Time) {
+		if now != 0 {
+			t.Errorf("negative delay fired at %v", now)
+		}
+		fired = true
+	})
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+}
+
+func TestPastInstantClamped(t *testing.T) {
+	eng := New(1)
+	var second simtime.Time
+	eng.At(10, func(simtime.Time) {
+		eng.At(3, func(now simtime.Time) { second = now })
+	})
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if second != 10 {
+		t.Fatalf("past event fired at %v, want clamp to 10", second)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	eng := New(1)
+	fired := false
+	tm := eng.At(1, func(simtime.Time) { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop should report cancellation")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRunDeadline(t *testing.T) {
+	eng := New(1)
+	var fired []simtime.Time
+	for _, at := range []simtime.Time{1, 2, 3, 4} {
+		at := at
+		eng.At(at, func(now simtime.Time) { fired = append(fired, now) })
+	}
+	if _, err := eng.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 1 and 2 only", fired)
+	}
+	if eng.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", eng.Pending())
+	}
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %v after RunAll", fired)
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	eng := New(1)
+	eng.SetEventBudget(100)
+	var loop func(now simtime.Time)
+	loop = func(now simtime.Time) { eng.After(0, loop) }
+	eng.After(0, loop)
+	if _, err := eng.RunAll(); err != ErrTooManyEvents {
+		t.Fatalf("err = %v, want ErrTooManyEvents", err)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Float64() != b.Rand().Float64() {
+			t.Fatal("same seed should give identical sequences")
+		}
+	}
+}
+
+func TestPendingCountsLiveOnly(t *testing.T) {
+	eng := New(1)
+	eng.At(1, func(simtime.Time) {})
+	tm := eng.At(2, func(simtime.Time) {})
+	tm.Stop()
+	if got := eng.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+}

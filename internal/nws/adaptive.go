@@ -1,0 +1,158 @@
+package nws
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AdaptiveMedian is an error-driven sliding median in the style of
+// NWS's adaptive-window predictors: when its recent predictions have
+// been poor it shrinks the window (react faster), and when they have
+// been good it grows the window (smooth harder), between the given
+// bounds.
+type AdaptiveMedian struct {
+	minW, maxW int
+	w          int
+	buf        []float64 // most recent maxW measurements, oldest first
+	recentErr  []float64 // last few absolute prediction errors
+	scaleSum   float64   // running scale of the series for normalizing
+	n          int
+}
+
+// NewAdaptiveMedian returns an adaptive median predictor with window
+// bounds [minW, maxW].
+func NewAdaptiveMedian(minW, maxW int) *AdaptiveMedian {
+	if minW < 1 {
+		minW = 1
+	}
+	if maxW < minW {
+		maxW = minW
+	}
+	return &AdaptiveMedian{minW: minW, maxW: maxW, w: (minW + maxW) / 2}
+}
+
+// Name implements Forecaster.
+func (f *AdaptiveMedian) Name() string { return fmt.Sprintf("amedian%d..%d", f.minW, f.maxW) }
+
+// Update implements Forecaster.
+func (f *AdaptiveMedian) Update(v float64) {
+	if p := f.Forecast(); !math.IsNaN(p) {
+		f.recentErr = append(f.recentErr, math.Abs(p-v))
+		if len(f.recentErr) > 8 {
+			f.recentErr = f.recentErr[1:]
+		}
+		f.adapt()
+	}
+	f.buf = append(f.buf, v)
+	if len(f.buf) > f.maxW {
+		f.buf = f.buf[1:]
+	}
+	f.scaleSum += math.Abs(v)
+	f.n++
+}
+
+// adapt moves the window by one step according to recent relative
+// error: above 15% shrink, below 5% grow.
+func (f *AdaptiveMedian) adapt() {
+	if len(f.recentErr) < 4 || f.n == 0 {
+		return
+	}
+	var errSum float64
+	for _, e := range f.recentErr {
+		errSum += e
+	}
+	meanErr := errSum / float64(len(f.recentErr))
+	scale := f.scaleSum / float64(f.n)
+	if scale <= 0 {
+		return
+	}
+	switch rel := meanErr / scale; {
+	case rel > 0.15 && f.w > f.minW:
+		f.w--
+	case rel < 0.05 && f.w < f.maxW:
+		f.w++
+	}
+}
+
+// Forecast implements Forecaster.
+func (f *AdaptiveMedian) Forecast() float64 {
+	n := len(f.buf)
+	if n == 0 {
+		return math.NaN()
+	}
+	w := f.w
+	if w > n {
+		w = n
+	}
+	window := append([]float64(nil), f.buf[n-w:]...)
+	sort.Float64s(window)
+	if w%2 == 1 {
+		return window[w/2]
+	}
+	return (window[w/2-1] + window[w/2]) / 2
+}
+
+// Window reports the current adaptive window width.
+func (f *AdaptiveMedian) Window() int { return f.w }
+
+// TrimmedMean predicts the mean of the last W measurements after
+// discarding the smallest and largest trim fraction — NWS's defense
+// against measurement spikes that the plain mean chases and the median
+// over-ignores.
+type TrimmedMean struct {
+	w    int
+	trim float64
+	buf  []float64
+}
+
+// NewTrimmedMean returns a trimmed-mean predictor of width w trimming
+// the given fraction (clamped to [0, 0.4]) from each tail.
+func NewTrimmedMean(w int, trim float64) *TrimmedMean {
+	if w < 1 {
+		w = 1
+	}
+	if trim < 0 {
+		trim = 0
+	}
+	if trim > 0.4 {
+		trim = 0.4
+	}
+	return &TrimmedMean{w: w, trim: trim}
+}
+
+// Name implements Forecaster.
+func (f *TrimmedMean) Name() string { return fmt.Sprintf("tmean%d/%.0f%%", f.w, f.trim*100) }
+
+// Update implements Forecaster.
+func (f *TrimmedMean) Update(v float64) {
+	f.buf = append(f.buf, v)
+	if len(f.buf) > f.w {
+		f.buf = f.buf[1:]
+	}
+}
+
+// Forecast implements Forecaster.
+func (f *TrimmedMean) Forecast() float64 {
+	n := len(f.buf)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), f.buf...)
+	sort.Float64s(sorted)
+	cut := int(float64(n) * f.trim)
+	kept := sorted[cut : n-cut]
+	if len(kept) == 0 {
+		kept = sorted
+	}
+	var sum float64
+	for _, x := range kept {
+		sum += x
+	}
+	return sum / float64(len(kept))
+}
+
+var (
+	_ Forecaster = (*AdaptiveMedian)(nil)
+	_ Forecaster = (*TrimmedMean)(nil)
+)

@@ -1,0 +1,134 @@
+package nws
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAdaptiveMedianBasics(t *testing.T) {
+	f := NewAdaptiveMedian(3, 9)
+	if !math.IsNaN(f.Forecast()) {
+		t.Fatal("fresh forecaster should predict NaN")
+	}
+	feed(f, 5, 5, 5, 5)
+	if f.Forecast() != 5 {
+		t.Fatalf("forecast = %v", f.Forecast())
+	}
+	if f.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestAdaptiveMedianBoundsClamp(t *testing.T) {
+	f := NewAdaptiveMedian(0, -1)
+	feed(f, 1, 2, 3)
+	if w := f.Window(); w < 1 {
+		t.Fatalf("window = %d", w)
+	}
+}
+
+func TestAdaptiveMedianGrowsOnStableSeries(t *testing.T) {
+	f := NewAdaptiveMedian(2, 20)
+	start := f.Window()
+	for i := 0; i < 200; i++ {
+		f.Update(100)
+	}
+	if f.Window() <= start {
+		t.Fatalf("window did not grow on a stable series: %d -> %d", start, f.Window())
+	}
+}
+
+func TestAdaptiveMedianShrinksOnVolatileSeries(t *testing.T) {
+	f := NewAdaptiveMedian(2, 20)
+	rng := rand.New(rand.NewSource(1))
+	// Warm up on stable data to grow the window first.
+	for i := 0; i < 200; i++ {
+		f.Update(100)
+	}
+	grown := f.Window()
+	// Then feed violent level shifts.
+	for i := 0; i < 200; i++ {
+		if rng.Intn(2) == 0 {
+			f.Update(10)
+		} else {
+			f.Update(1000)
+		}
+	}
+	if f.Window() >= grown {
+		t.Fatalf("window did not shrink under volatility: %d -> %d", grown, f.Window())
+	}
+}
+
+func TestAdaptiveMedianTracksShiftFasterThanFixedWide(t *testing.T) {
+	adaptive := NewAdaptiveMedian(2, 40)
+	wide := NewSlidingMedian(40)
+	for i := 0; i < 100; i++ {
+		adaptive.Update(10)
+		wide.Update(10)
+	}
+	// A level shift: feed the new regime for a handful of samples.
+	for i := 0; i < 15; i++ {
+		adaptive.Update(200)
+		wide.Update(200)
+	}
+	aErr := math.Abs(adaptive.Forecast() - 200)
+	wErr := math.Abs(wide.Forecast() - 200)
+	if aErr > wErr {
+		t.Fatalf("adaptive (%v) slower than fixed wide (%v) after shift", adaptive.Forecast(), wide.Forecast())
+	}
+}
+
+func TestTrimmedMeanBasics(t *testing.T) {
+	f := NewTrimmedMean(5, 0.2)
+	if !math.IsNaN(f.Forecast()) {
+		t.Fatal("fresh forecaster should predict NaN")
+	}
+	feed(f, 10, 10, 10, 10, 1000) // the outlier is trimmed
+	if got := f.Forecast(); got != 10 {
+		t.Fatalf("trimmed forecast = %v, want 10", got)
+	}
+}
+
+func TestTrimmedMeanNoTrimEqualsMean(t *testing.T) {
+	f := NewTrimmedMean(4, 0)
+	feed(f, 1, 2, 3, 4)
+	if got := f.Forecast(); got != 2.5 {
+		t.Fatalf("forecast = %v", got)
+	}
+}
+
+func TestTrimmedMeanClamps(t *testing.T) {
+	f := NewTrimmedMean(0, 0.9)
+	if f.w != 1 || f.trim != 0.4 {
+		t.Fatalf("clamping failed: w=%d trim=%v", f.w, f.trim)
+	}
+	feed(f, 7)
+	if f.Forecast() != 7 {
+		t.Fatalf("single-sample forecast = %v", f.Forecast())
+	}
+}
+
+func TestTrimmedMeanWindowSlides(t *testing.T) {
+	f := NewTrimmedMean(3, 0)
+	feed(f, 1, 2, 3, 4)
+	if got := f.Forecast(); got != 3 { // mean of {2,3,4}
+		t.Fatalf("forecast = %v", got)
+	}
+}
+
+func TestDefaultBankIncludesAdaptive(t *testing.T) {
+	bank := DefaultBank()
+	var hasAdaptive, hasTrimmed bool
+	for _, e := range bank {
+		switch e.(type) {
+		case *AdaptiveMedian:
+			hasAdaptive = true
+		case *TrimmedMean:
+			hasTrimmed = true
+		}
+	}
+	if !hasAdaptive || !hasTrimmed {
+		t.Fatal("default bank missing adaptive predictors")
+	}
+}

@@ -1,0 +1,39 @@
+package nws_test
+
+import (
+	"fmt"
+
+	"github.com/netlogistics/lsl/internal/nws"
+)
+
+// ExampleSelector shows the mixture-of-experts forecaster converging on
+// a noisy-but-stationary bandwidth series: the windowed experts beat
+// the last-value predictor, so the selector's forecast lands near the
+// true level rather than the last noisy sample.
+func ExampleSelector() {
+	s := nws.NewSelector()
+	series := []float64{100, 96, 104, 99, 101, 95, 105, 100, 98, 102, 140 /* spike */, 101, 99}
+	for _, v := range series {
+		s.Update(v)
+	}
+	fmt.Printf("forecast near 100: %v\n", s.Forecast() > 95 && s.Forecast() < 110)
+	// Output:
+	// forecast near 100: true
+}
+
+// ExampleMonitor shows the per-pair forecast matrix the scheduler
+// consumes.
+func ExampleMonitor() {
+	m, err := nws.NewMonitor([]string{"ucsb", "uiuc"}, nil)
+	if err != nil {
+		panic(err)
+	}
+	for _, bw := range []float64{4e6, 4.2e6, 3.9e6} {
+		if err := m.Observe("ucsb", "uiuc", bw); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("ucsb→uiuc ≈ 4 MB/s: %v\n", m.Forecast("ucsb", "uiuc") > 3.5e6)
+	// Output:
+	// ucsb→uiuc ≈ 4 MB/s: true
+}

@@ -1,0 +1,309 @@
+// Package pipesim simulates LSL transfer chains: one or more tcpsim
+// connections coupled through depot buffers with bounded capacity.
+//
+// A chain with a single hop is a direct TCP transfer. A chain with k>1
+// hops models an LSL session relayed through k-1 depots: sublink i
+// drains its upstream buffer and fills its downstream buffer, and the
+// bounded buffers impose the back-pressure that makes the end-to-end
+// rate the minimum of the sublink rates (the paper's minimax principle)
+// and that produces the Figure 5 knee when an upstream sublink runs one
+// depot-pipeline ahead of the bottleneck.
+package pipesim
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/netlogistics/lsl/internal/netsim"
+	"github.com/netlogistics/lsl/internal/simtime"
+	"github.com/netlogistics/lsl/internal/tcpsim"
+	"github.com/netlogistics/lsl/internal/trace"
+)
+
+// DefaultDepotPipeline is the per-depot buffering of the paper's
+// deployment: 8 MB kernel send + 8 MB kernel receive buffers plus
+// matching user-space buffers, 32 MB in total.
+const DefaultDepotPipeline int64 = 32 << 20
+
+// Hop describes one TCP sublink of a chain.
+type Hop struct {
+	Name string
+	TCP  tcpsim.Config
+}
+
+// Depot describes the relay between two hops.
+type Depot struct {
+	Name string
+	// PipelineBytes is the total buffering a stream can occupy inside
+	// the depot (kernel plus user-space). Zero selects
+	// DefaultDepotPipeline; negative means unlimited.
+	PipelineBytes int64
+	// ForwardRate caps the rate at which the depot host can move bytes
+	// between its sockets, in bytes/sec (the paper's "bandwidth through
+	// the host", degraded on virtualized PlanetLab nodes). Zero means
+	// unlimited.
+	ForwardRate float64
+}
+
+// Chain specifies one end-to-end transfer.
+type Chain struct {
+	Size   int64
+	Hops   []Hop
+	Depots []Depot // must have len(Hops)-1 entries
+	// Capture enables per-hop acknowledged-sequence traces.
+	Capture bool
+	// NoSetupCascade starts every sublink at the chain start instead of
+	// cascading hop i's connection setup behind hop i-1's handshake and
+	// the session-header propagation (the LSL loose-source-route
+	// behaviour). Cascading is the default because it is what the
+	// deployed system does.
+	NoSetupCascade bool
+}
+
+// Result reports one completed transfer.
+type Result struct {
+	Start     simtime.Time
+	End       simtime.Time
+	Elapsed   simtime.Duration
+	Bandwidth float64 // bytes/sec over the whole transfer
+	HopStats  []tcpsim.Stats
+	Traces    []*trace.Series // nil unless Chain.Capture
+}
+
+// Errors returned by Run.
+var (
+	ErrNoHops        = errors.New("pipesim: chain needs at least one hop")
+	ErrDepotMismatch = errors.New("pipesim: chain needs exactly len(hops)-1 depots")
+	ErrBadSize       = errors.New("pipesim: transfer size must be positive")
+)
+
+// buffer is the depot pipeline between two sublinks. It is a
+// tcpsim.Sink for the upstream connection and a tcpsim.Source for the
+// downstream one.
+type buffer struct {
+	cap      int64 // <=0 means unlimited
+	occ      int64
+	closed   bool
+	producer *tcpsim.Conn
+	consumer *tcpsim.Conn
+	maxOcc   int64
+}
+
+func (b *buffer) Free() int64 {
+	if b.cap <= 0 {
+		return 1 << 62
+	}
+	return b.cap - b.occ
+}
+
+func (b *buffer) Put(n int64) {
+	b.occ += n
+	if b.cap > 0 && b.occ > b.cap {
+		panic(fmt.Sprintf("pipesim: buffer overfilled (%d > %d)", b.occ, b.cap))
+	}
+	if b.occ > b.maxOcc {
+		b.maxOcc = b.occ
+	}
+	if b.consumer != nil {
+		b.consumer.Wake()
+	}
+}
+
+func (b *buffer) Available() int64 { return b.occ }
+
+func (b *buffer) Take(n int64) {
+	if n > b.occ {
+		panic("pipesim: buffer overdrawn")
+	}
+	b.occ -= n
+	if b.producer != nil {
+		b.producer.Wake()
+	}
+}
+
+func (b *buffer) Exhausted() bool { return b.closed && b.occ == 0 }
+
+func (b *buffer) close() {
+	b.closed = true
+	if b.consumer != nil {
+		b.consumer.Wake()
+	}
+}
+
+// Run simulates the chain on eng, starting at the engine's current time,
+// and drives the engine until the transfer completes.
+func Run(eng *netsim.Engine, chain Chain) (Result, error) {
+	results, err := RunMany(eng, []Chain{chain})
+	if err != nil {
+		return Result{}, err
+	}
+	return results[0], nil
+}
+
+// RunMany simulates several chains concurrently on eng — e.g. the
+// parallel-socket (PSockets-style) baseline, where one transfer is
+// striped over k simultaneous connections — and drives the engine until
+// every chain completes.
+func RunMany(eng *netsim.Engine, chains []Chain) ([]Result, error) {
+	if len(chains) == 0 {
+		return nil, ErrNoHops
+	}
+	results := make([]Result, len(chains))
+	finishers := make([]func() (Result, error), len(chains))
+	for i, chain := range chains {
+		fin, err := launch(eng, chain)
+		if err != nil {
+			return nil, err
+		}
+		finishers[i] = fin
+	}
+	if _, err := eng.RunAll(); err != nil {
+		return nil, fmt.Errorf("pipesim: %w", err)
+	}
+	for i, fin := range finishers {
+		res, err := fin()
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+// launch wires one chain's connections and buffers onto the engine and
+// returns a closure that assembles the Result after the engine runs.
+func launch(eng *netsim.Engine, chain Chain) (func() (Result, error), error) {
+	if len(chain.Hops) == 0 {
+		return nil, ErrNoHops
+	}
+	if len(chain.Depots) != len(chain.Hops)-1 {
+		return nil, ErrDepotMismatch
+	}
+	if chain.Size <= 0 {
+		return nil, ErrBadSize
+	}
+
+	start := eng.Now()
+	nHops := len(chain.Hops)
+
+	// Assemble buffers between hops.
+	buffers := make([]*buffer, nHops-1)
+	for i, d := range chain.Depots {
+		capBytes := d.PipelineBytes
+		if capBytes == 0 {
+			capBytes = DefaultDepotPipeline
+		}
+		buffers[i] = &buffer{cap: capBytes}
+	}
+
+	// Assemble connections. A depot's forwarding rate caps the capacity
+	// of both adjacent sublinks (every byte crosses the host twice:
+	// once in, once out).
+	conns := make([]*tcpsim.Conn, nHops)
+	var traces []*trace.Series
+	if chain.Capture {
+		traces = make([]*trace.Series, nHops)
+	}
+	var finished int
+	var endAt simtime.Time
+
+	for i, hop := range chain.Hops {
+		cfg := hop.TCP
+		if i > 0 {
+			if r := chain.Depots[i-1].ForwardRate; r > 0 && (cfg.Capacity <= 0 || r < cfg.Capacity) {
+				cfg.Capacity = r
+			}
+		}
+		if i < nHops-1 {
+			if r := chain.Depots[i].ForwardRate; r > 0 && (cfg.Capacity <= 0 || r < cfg.Capacity) {
+				cfg.Capacity = r
+			}
+		}
+
+		var src tcpsim.Source
+		if i == 0 {
+			src = tcpsim.NewByteSource(chain.Size)
+		} else {
+			src = buffers[i-1]
+		}
+		var dst tcpsim.Sink
+		if i == nHops-1 {
+			dst = tcpsim.NewCountSink()
+		} else {
+			dst = buffers[i]
+		}
+
+		name := hop.Name
+		if name == "" {
+			name = fmt.Sprintf("sublink-%d", i+1)
+		}
+		conn := tcpsim.New(eng, name, cfg, src, dst)
+		conns[i] = conn
+		if i > 0 {
+			buffers[i-1].consumer = conn
+		}
+		if i < nHops-1 {
+			buffers[i].producer = conn
+		}
+		if chain.Capture {
+			s := trace.NewSeries(name)
+			traces[i] = s
+			conn.OnAck = s.Observe
+		}
+
+		idx := i
+		conn.OnDone = func(now simtime.Time) {
+			finished++
+			if idx < nHops-1 {
+				buffers[idx].close()
+			}
+			if idx == nHops-1 {
+				endAt = now
+			}
+		}
+	}
+
+	// Start times: the first sublink starts now; with the setup cascade
+	// each later sublink starts after the previous hop's handshake plus
+	// a half-RTT for the session header to reach the depot.
+	at := start
+	for _, conn := range conns {
+		if chain.NoSetupCascade {
+			conn.Start(start)
+			continue
+		}
+		conn.Start(at)
+		at = at.Add(simtime.Duration(1.5 * float64(conn.Config().RTT)))
+	}
+
+	finish := func() (Result, error) {
+		if finished != nHops {
+			return Result{}, fmt.Errorf("pipesim: deadlock, %d/%d sublinks finished", finished, nHops)
+		}
+		elapsed := endAt.Sub(start)
+		res := Result{
+			Start:     start,
+			End:       endAt,
+			Elapsed:   elapsed,
+			Bandwidth: float64(chain.Size) / elapsed.Seconds(),
+			HopStats:  make([]tcpsim.Stats, nHops),
+			Traces:    traces,
+		}
+		for i, c := range conns {
+			res.HopStats[i] = c.Stats()
+		}
+		return res, nil
+	}
+	return finish, nil
+}
+
+// Direct builds a single-hop chain for the given TCP parameters.
+func Direct(size int64, name string, cfg tcpsim.Config) Chain {
+	return Chain{Size: size, Hops: []Hop{{Name: name, TCP: cfg}}}
+}
+
+// Relayed builds a chain through the given depots. hops must have
+// exactly one more element than depots.
+func Relayed(size int64, hops []Hop, depots []Depot) Chain {
+	return Chain{Size: size, Hops: hops, Depots: depots}
+}

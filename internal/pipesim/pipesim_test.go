@@ -1,0 +1,272 @@
+package pipesim
+
+import (
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/netsim"
+	"github.com/netlogistics/lsl/internal/simtime"
+	"github.com/netlogistics/lsl/internal/tcpsim"
+)
+
+func ms(v float64) simtime.Duration { return simtime.Milliseconds(v) }
+
+func TestDirectChainDelivers(t *testing.T) {
+	eng := netsim.New(1)
+	res, err := Run(eng, Direct(4<<20, "d", tcpsim.Config{RTT: ms(40), Capacity: 1e7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 || res.Bandwidth <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.HopStats[0].BytesAcked != 4<<20 {
+		t.Fatalf("acked %d", res.HopStats[0].BytesAcked)
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	eng := netsim.New(1)
+	if _, err := Run(eng, Chain{Size: 1}); err != ErrNoHops {
+		t.Fatalf("no hops: %v", err)
+	}
+	if _, err := Run(eng, Chain{Size: 1, Hops: make([]Hop, 2)}); err != ErrDepotMismatch {
+		t.Fatalf("depot mismatch: %v", err)
+	}
+	if _, err := Run(eng, Chain{Size: 0, Hops: make([]Hop, 1)}); err != ErrBadSize {
+		t.Fatalf("bad size: %v", err)
+	}
+}
+
+func TestRelayedConservesBytes(t *testing.T) {
+	eng := netsim.New(1)
+	size := int64(8 << 20)
+	chain := Relayed(size,
+		[]Hop{
+			{TCP: tcpsim.Config{RTT: ms(30), Capacity: 1e7}},
+			{TCP: tcpsim.Config{RTT: ms(30), Capacity: 1e7}},
+		},
+		[]Depot{{}},
+	)
+	res, err := Run(eng, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range res.HopStats {
+		if st.BytesAcked != size {
+			t.Fatalf("hop %d acked %d of %d", i, st.BytesAcked, size)
+		}
+	}
+}
+
+func TestLogisticalEffect(t *testing.T) {
+	// A long window-limited path split in half through a depot should
+	// be substantially faster — the paper's core claim.
+	size := int64(8 << 20)
+	window := tcpsim.Config{
+		RTT:      ms(120),
+		Capacity: 1e9,
+		SndBuf:   64 << 10,
+		RcvBuf:   64 << 10,
+	}
+	eng := netsim.New(1)
+	direct, err := Run(eng, Direct(size, "direct", window))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := window
+	half.RTT = ms(60)
+	relayed, err := Run(eng, Relayed(size, []Hop{{TCP: half}, {TCP: half}}, []Depot{{}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := relayed.Bandwidth / direct.Bandwidth
+	if speedup < 1.5 {
+		t.Fatalf("logistical speedup = %.2f, want > 1.5", speedup)
+	}
+}
+
+func TestBottleneckDominates(t *testing.T) {
+	// End-to-end bandwidth of a chain should approximate its slowest
+	// sublink (minimax), not the sum or the first link.
+	size := int64(16 << 20)
+	fast := tcpsim.Config{RTT: ms(20), Capacity: 16e6}
+	slow := tcpsim.Config{RTT: ms(20), Capacity: 2e6}
+	eng := netsim.New(1)
+	res, err := Run(eng, Relayed(size, []Hop{{TCP: fast}, {TCP: slow}}, []Depot{{}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bandwidth > 2e6*1.05 {
+		t.Fatalf("chain bandwidth %.0f exceeds bottleneck 2e6", res.Bandwidth)
+	}
+	if res.Bandwidth < 2e6*0.5 {
+		t.Fatalf("chain bandwidth %.0f far below bottleneck", res.Bandwidth)
+	}
+}
+
+func TestBufferLimitsUpstreamLead(t *testing.T) {
+	// With a fast first hop and slow second, the first sublink may run
+	// at most one depot pipeline ahead — the Figure 5 knee.
+	size := int64(24 << 20)
+	pipeline := int64(4 << 20)
+	eng := netsim.New(1)
+	chain := Chain{
+		Size: size,
+		Hops: []Hop{
+			{TCP: tcpsim.Config{RTT: ms(20), Capacity: 50e6}},
+			{TCP: tcpsim.Config{RTT: ms(20), Capacity: 2e6}},
+		},
+		Depots:  []Depot{{PipelineBytes: pipeline}},
+		Capture: true,
+	}
+	res, err := Run(eng, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lead := res.Traces[0].MaxLead(res.Traces[1])
+	if lead > pipeline+(1<<20) {
+		t.Fatalf("lead %d exceeds pipeline %d", lead, pipeline)
+	}
+	if lead < pipeline/2 {
+		t.Fatalf("lead %d never approached pipeline %d", lead, pipeline)
+	}
+}
+
+func TestUnlimitedBufferAllowsFullLead(t *testing.T) {
+	size := int64(8 << 20)
+	eng := netsim.New(1)
+	chain := Chain{
+		Size: size,
+		Hops: []Hop{
+			{TCP: tcpsim.Config{RTT: ms(20), Capacity: 50e6}},
+			{TCP: tcpsim.Config{RTT: ms(20), Capacity: 2e6}},
+		},
+		Depots:  []Depot{{PipelineBytes: -1}},
+		Capture: true,
+	}
+	res, err := Run(eng, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lead := res.Traces[0].MaxLead(res.Traces[1])
+	if lead < size/2 {
+		t.Fatalf("unlimited buffer lead %d, want most of transfer", lead)
+	}
+}
+
+func TestForwardRateCapsChain(t *testing.T) {
+	size := int64(8 << 20)
+	cfg := tcpsim.Config{RTT: ms(20), Capacity: 50e6}
+	eng := netsim.New(1)
+	res, err := Run(eng, Chain{
+		Size:   size,
+		Hops:   []Hop{{TCP: cfg}, {TCP: cfg}},
+		Depots: []Depot{{ForwardRate: 1e6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bandwidth > 1.1e6 {
+		t.Fatalf("bandwidth %.0f exceeds depot forward rate 1e6", res.Bandwidth)
+	}
+}
+
+func TestThreeHopChain(t *testing.T) {
+	size := int64(4 << 20)
+	cfg := tcpsim.Config{RTT: ms(25), Capacity: 1e7}
+	eng := netsim.New(1)
+	res, err := Run(eng, Relayed(size,
+		[]Hop{{TCP: cfg}, {TCP: cfg}, {TCP: cfg}},
+		[]Depot{{}, {}},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HopStats) != 3 {
+		t.Fatalf("hops = %d", len(res.HopStats))
+	}
+	for i, st := range res.HopStats {
+		if st.BytesAcked != size {
+			t.Fatalf("hop %d acked %d", i, st.BytesAcked)
+		}
+	}
+}
+
+func TestSetupCascadeDelaysLaterHops(t *testing.T) {
+	size := int64(1 << 20)
+	cfg := tcpsim.Config{RTT: ms(100), Capacity: 1e9}
+	mk := func(noCascade bool) simtime.Duration {
+		eng := netsim.New(1)
+		res, err := Run(eng, Chain{
+			Size:           size,
+			Hops:           []Hop{{TCP: cfg}, {TCP: cfg}},
+			Depots:         []Depot{{}},
+			NoSetupCascade: noCascade,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	cascaded := mk(false)
+	parallel := mk(true)
+	if cascaded <= parallel {
+		t.Fatalf("cascade (%v) should be slower than parallel setup (%v)", cascaded, parallel)
+	}
+}
+
+func TestCaptureTraces(t *testing.T) {
+	eng := netsim.New(1)
+	res, err := Run(eng, Chain{
+		Size:    1 << 20,
+		Hops:    []Hop{{Name: "a", TCP: tcpsim.Config{RTT: ms(10), Capacity: 1e7}}},
+		Capture: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 1 || res.Traces[0].Len() == 0 {
+		t.Fatalf("traces = %+v", res.Traces)
+	}
+	if res.Traces[0].Name != "a" {
+		t.Fatalf("trace name = %q", res.Traces[0].Name)
+	}
+	if got := res.Traces[0].Final().Acked; got != 1<<20 {
+		t.Fatalf("final acked %d", got)
+	}
+}
+
+func TestSequentialRunsAccumulateTime(t *testing.T) {
+	eng := netsim.New(1)
+	cfg := tcpsim.Config{RTT: ms(10), Capacity: 1e7}
+	r1, err := Run(eng, Direct(1<<20, "a", cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(eng, Direct(1<<20, "b", cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Start < r1.End {
+		t.Fatalf("second run started at %v before first ended %v", r2.Start, r1.End)
+	}
+	if r2.Elapsed <= 0 {
+		t.Fatalf("second elapsed = %v", r2.Elapsed)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() Result {
+		eng := netsim.New(99)
+		res, err := Run(eng, Direct(4<<20, "d",
+			tcpsim.Config{RTT: ms(30), Capacity: 1e7, LossRate: 1e-4, Jitter: 0.1}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(), mk()
+	if a.Elapsed != b.Elapsed || a.Bandwidth != b.Bandwidth {
+		t.Fatalf("same seed diverged: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}

@@ -1,0 +1,141 @@
+package pipesim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/netlogistics/lsl/internal/netsim"
+	"github.com/netlogistics/lsl/internal/simtime"
+	"github.com/netlogistics/lsl/internal/tcpsim"
+)
+
+// TestPropertyConservation: for arbitrary (bounded) chain parameters,
+// every hop acknowledges exactly the transfer size — bytes are neither
+// lost nor duplicated through depot buffers — and the transfer always
+// terminates.
+func TestPropertyConservation(t *testing.T) {
+	f := func(seed int64, sizeKB uint16, rtt1, rtt2 uint8, capMbit1, capMbit2 uint8, lossMil uint8, bufKB uint16) bool {
+		size := int64(sizeKB%2048+1) << 10
+		mk := func(rttRaw, capRaw uint8) tcpsim.Config {
+			return tcpsim.Config{
+				RTT:      simtime.Milliseconds(float64(rttRaw%200) + 1),
+				Capacity: (float64(capRaw%100) + 1) * 1e5,
+				LossRate: float64(lossMil%50) / 10000, // up to 0.5%
+			}
+		}
+		chain := Chain{
+			Size: size,
+			Hops: []Hop{
+				{TCP: mk(rtt1, capMbit1)},
+				{TCP: mk(rtt2, capMbit2)},
+			},
+			Depots: []Depot{{PipelineBytes: int64(bufKB%512+4) << 10}},
+		}
+		eng := netsim.New(seed)
+		res, err := Run(eng, chain)
+		if err != nil {
+			return false
+		}
+		for _, st := range res.HopStats {
+			if st.BytesAcked != size {
+				return false
+			}
+		}
+		return res.Elapsed > 0 && res.Bandwidth > 0
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMinimaxBound: the chain bandwidth never exceeds the
+// slowest sublink's capacity.
+func TestPropertyMinimaxBound(t *testing.T) {
+	f := func(seed int64, cap1, cap2 uint8) bool {
+		c1 := (float64(cap1%50) + 2) * 1e5
+		c2 := (float64(cap2%50) + 2) * 1e5
+		min := c1
+		if c2 < min {
+			min = c2
+		}
+		chain := Chain{
+			Size: 2 << 20,
+			Hops: []Hop{
+				{TCP: tcpsim.Config{RTT: simtime.Milliseconds(20), Capacity: c1}},
+				{TCP: tcpsim.Config{RTT: simtime.Milliseconds(20), Capacity: c2}},
+			},
+			Depots: []Depot{{}},
+		}
+		eng := netsim.New(seed)
+		res, err := Run(eng, chain)
+		if err != nil {
+			return false
+		}
+		return res.Bandwidth <= min*1.01
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRunManyMatchesRun: a single chain behaves identically
+// whether run alone or via RunMany.
+func TestPropertyRunManyMatchesRun(t *testing.T) {
+	cfg := tcpsim.Config{RTT: simtime.Milliseconds(30), Capacity: 5e6, LossRate: 1e-4, Jitter: 0.1}
+	a := func() Result {
+		eng := netsim.New(42)
+		r, err := Run(eng, Direct(3<<20, "d", cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}()
+	b := func() Result {
+		eng := netsim.New(42)
+		rs, err := RunMany(eng, []Chain{Direct(3<<20, "d", cfg)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs[0]
+	}()
+	if a.Elapsed != b.Elapsed || a.Bandwidth != b.Bandwidth {
+		t.Fatalf("Run %v vs RunMany %v", a.Elapsed, b.Elapsed)
+	}
+}
+
+// TestRunManyConcurrent: several chains progress concurrently on one
+// engine, all complete, and total simulated time is far below the sum
+// of their individual durations.
+func TestRunManyConcurrent(t *testing.T) {
+	cfg := tcpsim.Config{RTT: simtime.Milliseconds(50), Capacity: 2e6}
+	const k = 4
+	chains := make([]Chain, k)
+	for i := range chains {
+		chains[i] = Direct(2<<20, "p", cfg)
+	}
+	eng := netsim.New(1)
+	results, err := RunMany(eng, chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxEnd simtime.Time
+	var sum simtime.Duration
+	for _, r := range results {
+		if r.HopStats[0].BytesAcked != 2<<20 {
+			t.Fatalf("chain incomplete: %+v", r.HopStats[0])
+		}
+		if r.End > maxEnd {
+			maxEnd = r.End
+		}
+		sum += r.Elapsed
+	}
+	// They ran concurrently: wall clock ≈ one transfer, not k.
+	if maxEnd.Sub(0) > sum {
+		t.Fatalf("no concurrency: wall %v vs sum %v", maxEnd, sum)
+	}
+	if maxEnd.Sub(0).Seconds() > 0.6*sum.Seconds() {
+		t.Fatalf("weak concurrency: wall %v vs sum %v", maxEnd, sum)
+	}
+}

@@ -1,0 +1,343 @@
+package schedule
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/graph"
+	"github.com/netlogistics/lsl/internal/nws"
+	"github.com/netlogistics/lsl/internal/topo"
+)
+
+func newPlanned(t *testing.T, tp *topo.Topology, eps float64) *Planner {
+	t.Helper()
+	p, err := NewPlanner(tp, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := p.Prime(rng, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPlannerValidation(t *testing.T) {
+	cfg := topo.DefaultPlanetLab()
+	cfg.Hosts = 1
+	cfg.MaxHostsPerSite = 1
+	tiny := topo.PlanetLab(cfg, 99)
+	if _, err := NewPlanner(tiny, 0.1); err == nil {
+		t.Fatal("single-host topology accepted")
+	}
+}
+
+func TestErrNotPlanned(t *testing.T) {
+	p, err := NewPlanner(topo.TwoPath(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Path(0, 1); !errors.Is(err, ErrNotPlanned) {
+		t.Fatalf("Path before Replan: %v", err)
+	}
+	if _, err := p.RelayedFraction(); !errors.Is(err, ErrNotPlanned) {
+		t.Fatalf("RelayedFraction before Replan: %v", err)
+	}
+	if _, err := p.Tree(0); !errors.Is(err, ErrNotPlanned) {
+		t.Fatalf("Tree before Replan: %v", err)
+	}
+}
+
+func TestTwoPathPlanFindsDepotRoutes(t *testing.T) {
+	tp := topo.TwoPath()
+	p := newPlanned(t, tp, DefaultEpsilon)
+	ucsb := tp.MustHost(topo.UCSB)
+	uiuc := tp.MustHost(topo.UIUC)
+	path, err := p.Path(ucsb, uiuc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 3 {
+		t.Fatalf("expected a depot route UCSB→UIUC, got %v", path)
+	}
+	// Every intermediate node must be a depot.
+	for _, h := range path[1 : len(path)-1] {
+		if !tp.Hosts[h].Depot {
+			t.Fatalf("relay through non-depot %s", tp.Hosts[h].Name)
+		}
+	}
+	relayed, err := p.Relayed(ucsb, uiuc)
+	if err != nil || !relayed {
+		t.Fatalf("Relayed = %v, %v", relayed, err)
+	}
+}
+
+func TestNonDepotNeverForwards(t *testing.T) {
+	tp := topo.AbileneCore(topo.DefaultAbileneCore(), 1)
+	p := newPlanned(t, tp, DefaultEpsilon)
+	for s := 0; s < tp.N(); s++ {
+		for d := 0; d < tp.N(); d++ {
+			if s == d {
+				continue
+			}
+			path, err := p.Path(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, h := range path[1:max(len(path)-1, 1)] {
+				if !tp.Hosts[h].Depot {
+					t.Fatalf("non-depot %s forwards on path %v", tp.Hosts[h].Name, path)
+				}
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestPathEndpoints(t *testing.T) {
+	tp := topo.TwoPath()
+	p := newPlanned(t, tp, DefaultEpsilon)
+	for s := 0; s < tp.N(); s++ {
+		for d := 0; d < tp.N(); d++ {
+			if s == d {
+				continue
+			}
+			path, err := p.Path(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if path == nil {
+				t.Fatalf("no path %d→%d in a complete graph", s, d)
+			}
+			if path[0] != s || path[len(path)-1] != d {
+				t.Fatalf("path endpoints wrong: %v", path)
+			}
+		}
+	}
+}
+
+func TestRelayedFractionRange(t *testing.T) {
+	tp := topo.PlanetLab(topo.DefaultPlanetLab(), 1)
+	p := newPlanned(t, tp, DefaultEpsilon)
+	frac, err := p.RelayedFraction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibrated to the paper's ballpark (26%): accept a generous band.
+	if frac < 0.10 || frac > 0.60 {
+		t.Fatalf("relayed fraction = %.2f, want within [0.10, 0.60]", frac)
+	}
+}
+
+func TestEpsilonMonotone(t *testing.T) {
+	tp := topo.PlanetLab(topo.DefaultPlanetLab(), 1)
+	var prev float64 = 2
+	for _, eps := range []float64{0.05, 0.2, 0.5} {
+		p := newPlanned(t, tp, eps)
+		frac, err := p.RelayedFraction()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frac > prev+0.02 {
+			t.Fatalf("relayed fraction rose with epsilon: %v at eps=%v (prev %v)", frac, eps, prev)
+		}
+		prev = frac
+	}
+}
+
+func TestRouteTable(t *testing.T) {
+	tp := topo.TwoPath()
+	p := newPlanned(t, tp, DefaultEpsilon)
+	rt, err := p.RouteTable(tp.MustHost(topo.UCSB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt) != tp.N()-1 {
+		t.Fatalf("route table entries = %d, want %d", len(rt), tp.N()-1)
+	}
+}
+
+func TestCostGraph(t *testing.T) {
+	mx := nws.Matrix{
+		Hosts: []string{"a", "b"},
+		BW: [][]float64{
+			{math.Inf(1), 2},
+			{math.NaN(), math.Inf(1)},
+		},
+	}
+	g, err := CostGraph(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Cost(0, 1); got != 0.5 {
+		t.Fatalf("cost = %v, want 1/2", got)
+	}
+	if g.HasEdge(1, 0) {
+		t.Fatal("NaN forecast should give no edge")
+	}
+}
+
+func TestObserveFeedsMonitor(t *testing.T) {
+	tp := topo.TwoPath()
+	p := newPlanned(t, tp, DefaultEpsilon)
+	before := p.Monitor.Updates()
+	if err := p.Observe(topo.UCSB, topo.UIUC, 5e6); err != nil {
+		t.Fatal(err)
+	}
+	if p.Monitor.Updates() != before+1 {
+		t.Fatal("observation not recorded")
+	}
+}
+
+func TestAutoEpsilon(t *testing.T) {
+	tp := topo.TwoPath()
+	p, err := NewPlanner(tp, DefaultEpsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without history it falls back to the default.
+	if got := p.AutoEpsilon(); got != DefaultEpsilon {
+		t.Fatalf("fallback epsilon = %v", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := p.Prime(rng, 20); err != nil {
+		t.Fatal(err)
+	}
+	got := p.AutoEpsilon()
+	if got <= 0 || got > 0.5 {
+		t.Fatalf("auto epsilon = %v", got)
+	}
+}
+
+func TestReplanCountsAndGraph(t *testing.T) {
+	tp := topo.TwoPath()
+	p := newPlanned(t, tp, DefaultEpsilon)
+	if p.Replans() != 1 {
+		t.Fatalf("replans = %d", p.Replans())
+	}
+	if p.Graph() == nil {
+		t.Fatal("graph missing after replan")
+	}
+	if err := p.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Replans() != 2 {
+		t.Fatalf("replans = %d", p.Replans())
+	}
+}
+
+func TestSiteAggregationMakesSiteMatesEquivalent(t *testing.T) {
+	// With aggregation on, two hosts at the same site must see the
+	// same inter-site costs in the planner's graph.
+	tp := topo.PlanetLab(topo.DefaultPlanetLab(), 3)
+	p := newPlanned(t, tp, DefaultEpsilon)
+	g := p.Graph()
+
+	// Find a site with two hosts.
+	bySite := map[string][]int{}
+	for i := range tp.Hosts {
+		site := tp.SiteOf(i)
+		bySite[site] = append(bySite[site], i)
+	}
+	for site, hosts := range bySite {
+		if len(hosts) < 2 {
+			continue
+		}
+		a, b := hosts[0], hosts[1]
+		for j := 0; j < tp.N(); j++ {
+			if tp.SiteOf(j) == site {
+				continue
+			}
+			ca := g.Cost(graph.NodeID(a), graph.NodeID(j))
+			cb := g.Cost(graph.NodeID(b), graph.NodeID(j))
+			if math.Abs(ca-cb) > 1e-12*math.Max(ca, cb) {
+				t.Fatalf("site mates %d,%d see different costs to %d: %v vs %v", a, b, j, ca, cb)
+			}
+		}
+		return // one site suffices
+	}
+	t.Skip("no multi-host site in this topology draw")
+}
+
+func TestTreeBounds(t *testing.T) {
+	tp := topo.TwoPath()
+	p := newPlanned(t, tp, DefaultEpsilon)
+	if _, err := p.Tree(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := p.Tree(999); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestHostTransitPrunesSlowForwarders(t *testing.T) {
+	tp := topo.PlanetLab(topo.DefaultPlanetLab(), 1)
+	plain := newPlanned(t, tp, DefaultEpsilon)
+
+	aware, err := NewPlanner(tp, DefaultEpsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware.HostTransit = true
+	rng := rand.New(rand.NewSource(1))
+	if err := aware.Prime(rng, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := aware.Replan(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Host-transit awareness can only remove relays whose forwarding
+	// bandwidth would be the bottleneck, never add capacity from thin
+	// air: the relayed fraction must not grow meaningfully.
+	fPlain, err := plain.RelayedFraction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fAware, err := aware.RelayedFraction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fAware > fPlain+0.05 {
+		t.Fatalf("host-aware relayed %.2f > plain %.2f", fAware, fPlain)
+	}
+
+	// Every host-aware relay path must clear the forwarding-bandwidth
+	// bar: no relay whose depot ForwardRate is below the path's
+	// bottleneck estimate.
+	g := aware.Graph()
+	for s := 0; s < tp.N(); s++ {
+		tree, err := aware.Tree(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := 0; d < tp.N(); d++ {
+			if s == d {
+				continue
+			}
+			relays := tree.Relays(graph.NodeID(d))
+			for _, r := range relays {
+				fwd := tp.Hosts[int(r)].ForwardRate
+				if fwd <= 0 {
+					continue
+				}
+				// The path cost includes 1/fwd, so cost >= 1/fwd.
+				if cost := tree.Cost[d]; cost < 1/fwd-1e-12 {
+					t.Fatalf("path cost %v below transit floor %v of relay %d", cost, 1/fwd, r)
+				}
+			}
+			_ = g
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package simtime provides the simulated-time primitives shared by the
+// discrete-event network simulator and the TCP models.
+//
+// Simulated time is a float64 count of seconds since the start of a
+// simulation run. A float64 second keeps the arithmetic in the TCP fluid
+// model simple (rates are bytes per second, RTTs are fractional seconds)
+// while retaining sub-microsecond resolution over any realistic run length.
+package simtime
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is an instant in simulated time, in seconds from the simulation
+// epoch. The zero value is the epoch itself.
+type Time float64
+
+// Duration is a span of simulated time in seconds.
+type Duration float64
+
+// Common durations, expressed in seconds.
+const (
+	Nanosecond  Duration = 1e-9
+	Microsecond Duration = 1e-6
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+	Minute      Duration = 60
+	Hour        Duration = 3600
+)
+
+// Never is a sentinel instant later than any reachable simulation time.
+const Never = Time(math.MaxFloat64)
+
+// Milliseconds returns a Duration of ms milliseconds.
+func Milliseconds(ms float64) Duration { return Duration(ms) * Millisecond }
+
+// Seconds returns a Duration of s seconds.
+func Seconds(s float64) Duration { return Duration(s) }
+
+// FromStd converts a time.Duration to a simulated Duration.
+func FromStd(d time.Duration) Duration { return Duration(d.Seconds()) }
+
+// Std converts the simulated Duration to a time.Duration, saturating at
+// the bounds of int64 nanoseconds.
+func (d Duration) Std() time.Duration {
+	ns := float64(d) * 1e9
+	switch {
+	case ns >= math.MaxInt64:
+		return time.Duration(math.MaxInt64)
+	case ns <= math.MinInt64:
+		return time.Duration(math.MinInt64)
+	}
+	return time.Duration(ns)
+}
+
+// Seconds reports the duration as a float64 second count.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Add advances t by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds reports the instant as seconds since the epoch.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// String formats the instant with millisecond precision.
+func (t Time) String() string {
+	if t == Never {
+		return "never"
+	}
+	return fmt.Sprintf("t=%.6fs", float64(t))
+}
+
+// String formats the duration with adaptive units.
+func (d Duration) String() string {
+	s := float64(d)
+	abs := math.Abs(s)
+	switch {
+	case abs >= 1:
+		return fmt.Sprintf("%.4fs", s)
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.4fms", s*1e3)
+	case abs >= 1e-6:
+		return fmt.Sprintf("%.4fµs", s*1e6)
+	case abs == 0:
+		return "0s"
+	default:
+		return fmt.Sprintf("%.4fns", s*1e9)
+	}
+}

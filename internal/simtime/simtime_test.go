@@ -1,0 +1,124 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDurationConstants(t *testing.T) {
+	if Second != 1 {
+		t.Fatalf("Second = %v, want 1", Second)
+	}
+	if Millisecond*1000 != Second {
+		t.Fatalf("1000ms = %v, want 1s", Millisecond*1000)
+	}
+	if Minute != 60*Second {
+		t.Fatalf("Minute = %v", Minute)
+	}
+	if Hour != 60*Minute {
+		t.Fatalf("Hour = %v", Hour)
+	}
+}
+
+func TestMilliseconds(t *testing.T) {
+	if got := Milliseconds(250); got != 0.25 {
+		t.Fatalf("Milliseconds(250) = %v, want 0.25", got)
+	}
+	if got := Seconds(3.5); got != 3.5 {
+		t.Fatalf("Seconds(3.5) = %v", got)
+	}
+}
+
+func TestStdRoundTrip(t *testing.T) {
+	cases := []time.Duration{
+		0,
+		time.Nanosecond,
+		time.Millisecond,
+		42 * time.Second,
+		-3 * time.Second,
+	}
+	for _, d := range cases {
+		got := FromStd(d).Std()
+		if got != d {
+			t.Errorf("FromStd(%v).Std() = %v", d, got)
+		}
+	}
+}
+
+func TestStdSaturates(t *testing.T) {
+	huge := Duration(1e300)
+	if got := huge.Std(); got != time.Duration(math.MaxInt64) {
+		t.Fatalf("huge.Std() = %v, want MaxInt64", got)
+	}
+	if got := (-huge).Std(); got != time.Duration(math.MinInt64) {
+		t.Fatalf("-huge.Std() = %v, want MinInt64", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(10)
+	t1 := t0.Add(2.5)
+	if t1 != 12.5 {
+		t.Fatalf("Add: got %v", t1)
+	}
+	if d := t1.Sub(t0); d != 2.5 {
+		t.Fatalf("Sub: got %v", d)
+	}
+	if !t0.Before(t1) || t0.After(t1) {
+		t.Fatalf("ordering broken: %v vs %v", t0, t1)
+	}
+	if t1.Seconds() != 12.5 {
+		t.Fatalf("Seconds: got %v", t1.Seconds())
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(base float64, delta float64) bool {
+		if math.IsNaN(base) || math.IsInf(base, 0) || math.IsNaN(delta) || math.IsInf(delta, 0) {
+			return true
+		}
+		// Keep magnitudes sane so float cancellation stays exact enough.
+		base = math.Mod(base, 1e9)
+		delta = math.Mod(delta, 1e6)
+		t0 := Time(base)
+		t1 := t0.Add(Duration(delta))
+		return math.Abs(float64(t1.Sub(t0))-delta) <= 1e-6*math.Abs(delta)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNever(t *testing.T) {
+	if !Time(1e18).Before(Never) {
+		t.Fatal("Never should exceed any reachable time")
+	}
+	if Never.String() != "never" {
+		t.Fatalf("Never.String() = %q", Never.String())
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{Seconds(1.5), "1.5000s"},
+		{Milliseconds(2), "2.0000ms"},
+		{Microsecond * 3, "3.0000µs"},
+		{0, "0s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", float64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Time(1.25).String(); got != "t=1.250000s" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,159 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: percentiles, quartile/box summaries, means, and
+// speedup aggregation in the style of the paper's Figures 9-11.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by summaries of empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All inputs must be positive;
+// non-positive inputs yield NaN, as does an empty slice.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Variance returns the unbiased sample variance of xs (NaN for n < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. xs need not be sorted.
+// It returns NaN for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Box is a five-number summary plus the mean and count, matching the
+// box-and-whisker presentation of the paper's Figure 11.
+type Box struct {
+	N      int
+	Min    float64
+	Q1     float64 // 25th percentile
+	Median float64
+	Q3     float64 // 75th percentile
+	Max    float64
+	Mean   float64
+}
+
+// Summarize computes the Box summary of xs.
+func Summarize(xs []float64) (Box, error) {
+	if len(xs) == 0 {
+		return Box{}, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Box{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Q1:     percentileSorted(sorted, 25),
+		Median: percentileSorted(sorted, 50),
+		Q3:     percentileSorted(sorted, 75),
+		Max:    sorted[len(sorted)-1],
+		Mean:   Mean(sorted),
+	}, nil
+}
+
+// String renders the box summary on one line.
+func (b Box) String() string {
+	return fmt.Sprintf("n=%d min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f mean=%.3f",
+		b.N, b.Min, b.Q1, b.Median, b.Q3, b.Max, b.Mean)
+}
+
+// CrossoverPercentile returns the smallest integer percentile p in
+// [0,100] such that Percentile(xs, p) > threshold, mirroring the paper's
+// "percentile where the speedup becomes greater than 1" table. It
+// returns 100, false when no percentile exceeds the threshold and 0,
+// true when even the minimum does.
+func CrossoverPercentile(xs []float64, threshold float64) (int, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if sorted[len(sorted)-1] <= threshold {
+		return 100, false
+	}
+	// Binary search over integer percentiles: percentileSorted is
+	// monotone non-decreasing in p.
+	lo, hi := 0, 100
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if percentileSorted(sorted, float64(mid)) > threshold {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
+}

@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); !almost(got, 2.5) {
+		t.Fatalf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almost(got, 2) {
+		t.Fatalf("GeoMean = %v", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("GeoMean with non-positive input should be NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Fatal("GeoMean(nil) should be NaN")
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almost(got, 32.0/7.0) {
+		t.Fatalf("Variance = %v", got)
+	}
+	if got := StdDev(xs); !almost(got, math.Sqrt(32.0/7.0)) {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("Variance of one sample should be NaN")
+	}
+}
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10},
+		{100, 40},
+		{50, 25},
+		{25, 17.5},
+		{-5, 10},
+		{150, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("Percentile(nil) should be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{5, 1, 3}); !almost(got, 3) {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); !almost(got, 2.5) {
+		t.Fatalf("even median = %v", got)
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(xs, p1) <= Percentile(xs, p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	box, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.N != 5 || box.Min != 1 || box.Max != 5 {
+		t.Fatalf("box = %+v", box)
+	}
+	if !almost(box.Median, 3) || !almost(box.Q1, 2) || !almost(box.Q3, 4) {
+		t.Fatalf("quartiles: %+v", box)
+	}
+	if !almost(box.Mean, 3) {
+		t.Fatalf("mean: %v", box.Mean)
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatalf("empty summary error = %v", err)
+	}
+}
+
+func TestBoxString(t *testing.T) {
+	box, _ := Summarize([]float64{1, 2, 3})
+	if box.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestBoxOrderingInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		box, err := Summarize(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(box.Min <= box.Q1 && box.Q1 <= box.Median &&
+			box.Median <= box.Q3 && box.Q3 <= box.Max) {
+			t.Fatalf("ordering violated: %+v", box)
+		}
+		if box.Mean < box.Min || box.Mean > box.Max {
+			t.Fatalf("mean outside range: %+v", box)
+		}
+	}
+}
+
+func TestCrossoverPercentile(t *testing.T) {
+	// Half below 1, half above: crossover near the 50th percentile.
+	xs := []float64{0.5, 0.6, 0.7, 0.8, 1.2, 1.3, 1.4, 1.5}
+	p, ok := CrossoverPercentile(xs, 1.0)
+	if !ok {
+		t.Fatal("expected a crossover")
+	}
+	if p < 40 || p > 60 {
+		t.Fatalf("crossover percentile = %d, want near 50", p)
+	}
+}
+
+func TestCrossoverPercentileEdges(t *testing.T) {
+	if p, ok := CrossoverPercentile([]float64{2, 3}, 1); !ok || p != 0 {
+		t.Fatalf("all-above: p=%d ok=%v", p, ok)
+	}
+	if p, ok := CrossoverPercentile([]float64{0.1, 0.2}, 1); ok || p != 100 {
+		t.Fatalf("all-below: p=%d ok=%v", p, ok)
+	}
+	if _, ok := CrossoverPercentile(nil, 1); ok {
+		t.Fatal("empty should report no crossover")
+	}
+}
+
+func TestCrossoverPercentileConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		xs := make([]float64, 1+rng.Intn(40))
+		for i := range xs {
+			xs[i] = rng.Float64() * 2
+		}
+		p, ok := CrossoverPercentile(xs, 1.0)
+		if !ok {
+			continue
+		}
+		if Percentile(xs, float64(p)) <= 1.0 {
+			t.Fatalf("P%d = %v, expected > 1", p, Percentile(xs, float64(p)))
+		}
+		if p > 0 && Percentile(xs, float64(p-1)) > 1.0 {
+			t.Fatalf("P%d = %v already > 1, p not minimal", p-1, Percentile(xs, float64(p-1)))
+		}
+	}
+}
+
+func TestPercentileAgainstSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	// With 101 points, integer percentiles land exactly on ranks.
+	for p := 0; p <= 100; p++ {
+		if got := Percentile(xs, float64(p)); !almost(got, sorted[p]) {
+			t.Fatalf("P%d = %v, want %v", p, got, sorted[p])
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package tcpmodel
+
+import (
+	"math"
+
+	"github.com/netlogistics/lsl/internal/simtime"
+)
+
+// PadhyeBW returns the steady-state TCP Reno throughput of the PFTK
+// model (Padhye, Firoiu, Towsley, Kurose, SIGCOMM '98), which extends
+// the Mathis relation with retransmission-timeout effects:
+//
+//	B(p) = MSS / ( RTT·sqrt(2bp/3) + T0·min(1, 3·sqrt(3bp/8))·p·(1+32p²) )
+//
+// where b is the number of segments acknowledged per ACK (2 with
+// delayed ACKs) and T0 the base retransmission timeout. At small loss
+// it converges to the Mathis bound; at heavy loss the timeout term
+// dominates and throughput collapses much faster — which is what the
+// round-based simulator exhibits and the Mathis bound misses.
+//
+// rto <= 0 selects the conventional 4·RTT floor of 200 ms. The result
+// is additionally capped at the window and capacity limits, like
+// SteadyBW. A loss-free path returns the window/capacity limit.
+func PadhyeBW(p Params, rto simtime.Duration) float64 {
+	p = p.Normalize()
+	capped := p.Capacity
+	if w := WindowBW(p); w < capped {
+		capped = w
+	}
+	if p.LossRate == 0 {
+		return capped
+	}
+	if rto <= 0 {
+		rto = 4 * p.RTT
+		if min := simtime.Milliseconds(200); rto < min {
+			rto = min
+		}
+	}
+	const b = 2.0 // delayed ACKs
+	loss := p.LossRate
+	rtt := p.RTT.Seconds()
+	t0 := rto.Seconds()
+
+	sqrtTerm := rtt * math.Sqrt(2*b*loss/3)
+	toProb := math.Min(1, 3*math.Sqrt(3*b*loss/8))
+	toTerm := t0 * toProb * loss * (1 + 32*loss*loss)
+	bw := float64(p.MSS) / (sqrtTerm + toTerm)
+	if bw > capped {
+		return capped
+	}
+	return bw
+}
+
+// SteadyBWPadhye is SteadyBW with the PFTK model in place of Mathis.
+func SteadyBWPadhye(p Params) float64 { return PadhyeBW(p, 0) }

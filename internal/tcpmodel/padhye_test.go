@@ -1,0 +1,101 @@
+package tcpmodel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/simtime"
+)
+
+func padhyeParams(loss float64) Params {
+	return Params{
+		RTT:         simtime.Milliseconds(80),
+		Capacity:    1e9,
+		LossRate:    loss,
+		WindowLimit: 64 << 20,
+	}
+}
+
+func TestPadhyeBelowMathis(t *testing.T) {
+	// The timeout term only subtracts throughput: Padhye ≤ Mathis
+	// everywhere (up to the delayed-ACK factor — compare against the
+	// b=2 Mathis form MSS/RTT·sqrt(3/(2·b·p))).
+	for _, loss := range []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1} {
+		p := padhyeParams(loss)
+		mathisB2 := float64(p.Normalize().MSS) / p.Normalize().RTT.Seconds() *
+			math.Sqrt(3/(2*2*loss))
+		if got := PadhyeBW(p, 0); got > mathisB2*1.001 {
+			t.Fatalf("loss %v: Padhye %v exceeds Mathis(b=2) %v", loss, got, mathisB2)
+		}
+	}
+}
+
+func TestPadhyeConvergesToMathisAtLowLoss(t *testing.T) {
+	p := padhyeParams(1e-7)
+	padhye := PadhyeBW(p, 0)
+	mathisB2 := float64(p.Normalize().MSS) / p.Normalize().RTT.Seconds() *
+		math.Sqrt(3/(2*2*1e-7))
+	ratio := padhye / mathisB2
+	if ratio < 0.95 || ratio > 1.0001 {
+		t.Fatalf("low-loss ratio = %v, want ≈1", ratio)
+	}
+}
+
+func TestPadhyeTimeoutsDominateAtHighLoss(t *testing.T) {
+	// At 10% loss the timeout term must cost at least half the Mathis
+	// prediction.
+	p := padhyeParams(0.1)
+	padhye := PadhyeBW(p, 0)
+	mathisB2 := float64(p.Normalize().MSS) / p.Normalize().RTT.Seconds() *
+		math.Sqrt(3/(2*2*0.1))
+	if padhye > mathisB2/2 {
+		t.Fatalf("high-loss Padhye %v vs Mathis %v: timeouts should dominate", padhye, mathisB2)
+	}
+}
+
+func TestPadhyeMonotoneInLoss(t *testing.T) {
+	prev := math.Inf(1)
+	for _, loss := range []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5} {
+		got := PadhyeBW(padhyeParams(loss), 0)
+		if got >= prev {
+			t.Fatalf("throughput not decreasing in loss at %v: %v >= %v", loss, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestPadhyeLossFree(t *testing.T) {
+	p := Params{RTT: simtime.Milliseconds(50), Capacity: 5e6, WindowLimit: 64 << 20}
+	if got := PadhyeBW(p, 0); got != 5e6 {
+		t.Fatalf("loss-free Padhye = %v, want capacity", got)
+	}
+}
+
+func TestPadhyeRTOSensitivity(t *testing.T) {
+	p := padhyeParams(0.02)
+	fast := PadhyeBW(p, simtime.Milliseconds(200))
+	slow := PadhyeBW(p, simtime.Seconds(3))
+	if slow >= fast {
+		t.Fatalf("longer RTO should hurt: fast=%v slow=%v", fast, slow)
+	}
+}
+
+func TestPadhyeRespectsWindowCap(t *testing.T) {
+	p := Params{
+		RTT:         simtime.Milliseconds(100),
+		Capacity:    1e9,
+		LossRate:    1e-9,
+		WindowLimit: 64 << 10,
+	}
+	want := WindowBW(p)
+	if got := PadhyeBW(p, 0); math.Abs(got-want) > 1 {
+		t.Fatalf("window cap ignored: %v vs %v", got, want)
+	}
+}
+
+func TestSteadyBWPadhye(t *testing.T) {
+	p := padhyeParams(1e-3)
+	if SteadyBWPadhye(p) != PadhyeBW(p, 0) {
+		t.Fatal("SteadyBWPadhye should match PadhyeBW with default RTO")
+	}
+}

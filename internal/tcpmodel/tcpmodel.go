@@ -1,0 +1,202 @@
+// Package tcpmodel provides closed-form models of TCP Reno throughput.
+//
+// The paper's "logistical effect" rests on two RTT dependences of TCP:
+//
+//  1. Slow start is ACK-clocked, so the ramp to a usable window costs a
+//     number of round trips that scales with log2(window/initial window).
+//     A shorter-RTT connection pays less wall-clock time for the same
+//     number of rounds.
+//  2. The loss-limited steady state follows the Mathis relation
+//     BW ≈ (MSS/RTT) · sqrt(3/2) / sqrt(p), again inversely
+//     proportional to RTT.
+//
+// These analytic forms are used to cross-check the event-driven
+// simulation in internal/tcpsim and to seed scheduler cost estimates.
+package tcpmodel
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/netlogistics/lsl/internal/simtime"
+)
+
+// Params describes one TCP connection for the analytic models.
+type Params struct {
+	RTT         simtime.Duration // round-trip time
+	Capacity    float64          // path bottleneck rate, bytes/sec
+	LossRate    float64          // per-packet loss probability
+	MSS         int64            // maximum segment size, bytes
+	WindowLimit int64            // min(send buffer, receive buffer), bytes
+	InitCwnd    int64            // initial congestion window, bytes
+}
+
+// Default protocol constants, matching the Linux 2.4 systems of the
+// paper's testbed.
+const (
+	DefaultMSS      int64 = 1448 // 1500 MTU - IP/TCP headers w/ timestamps
+	DefaultInitCwnd int64 = 2 * 1448
+	DefaultWindow   int64 = 8 << 20 // the paper's 8 MB socket buffers
+)
+
+// Normalize fills zero fields with defaults and clamps nonsense values.
+func (p Params) Normalize() Params {
+	if p.MSS <= 0 {
+		p.MSS = DefaultMSS
+	}
+	if p.InitCwnd <= 0 {
+		p.InitCwnd = 2 * p.MSS
+	}
+	if p.WindowLimit <= 0 {
+		p.WindowLimit = DefaultWindow
+	}
+	if p.RTT <= 0 {
+		p.RTT = simtime.Milliseconds(1)
+	}
+	if p.Capacity <= 0 {
+		p.Capacity = math.MaxFloat64
+	}
+	if p.LossRate < 0 {
+		p.LossRate = 0
+	}
+	if p.LossRate > 1 {
+		p.LossRate = 1
+	}
+	return p
+}
+
+// BDP returns the bandwidth-delay product of the path in bytes.
+func (p Params) BDP() float64 {
+	p = p.Normalize()
+	if p.Capacity == math.MaxFloat64 {
+		return math.MaxFloat64
+	}
+	return p.Capacity * p.RTT.Seconds()
+}
+
+// MathisBW returns the loss-limited steady-state throughput in
+// bytes/sec: (MSS/RTT)·sqrt(3/2)/sqrt(p). It returns +Inf for a
+// loss-free path.
+func MathisBW(p Params) float64 {
+	p = p.Normalize()
+	if p.LossRate == 0 {
+		return math.Inf(1)
+	}
+	return float64(p.MSS) / p.RTT.Seconds() * math.Sqrt(1.5/p.LossRate)
+}
+
+// WindowBW returns the flow-control-limited throughput in bytes/sec:
+// WindowLimit/RTT.
+func WindowBW(p Params) float64 {
+	p = p.Normalize()
+	return float64(p.WindowLimit) / p.RTT.Seconds()
+}
+
+// SteadyBW returns the steady-state throughput estimate: the minimum of
+// the capacity, window, and Mathis limits.
+func SteadyBW(p Params) float64 {
+	p = p.Normalize()
+	bw := p.Capacity
+	if w := WindowBW(p); w < bw {
+		bw = w
+	}
+	if m := MathisBW(p); m < bw {
+		bw = m
+	}
+	return bw
+}
+
+// EquilibriumWindow returns the window, in bytes, that the steady-state
+// throughput corresponds to (SteadyBW·RTT), clamped to at least one MSS.
+func EquilibriumWindow(p Params) int64 {
+	p = p.Normalize()
+	w := int64(SteadyBW(p) * p.RTT.Seconds())
+	if w < p.MSS {
+		w = p.MSS
+	}
+	return w
+}
+
+// SlowStartRounds returns the number of round trips slow start needs to
+// move size bytes, assuming the congestion window doubles each round
+// starting from InitCwnd and is capped at cap bytes (after which the
+// remainder is sent at one cap per round). It also returns the bytes
+// carried during the doubling phase.
+func SlowStartRounds(size int64, initCwnd, capWindow int64) (rounds int, rampBytes int64) {
+	if size <= 0 {
+		return 0, 0
+	}
+	if initCwnd <= 0 {
+		initCwnd = DefaultInitCwnd
+	}
+	if capWindow < initCwnd {
+		capWindow = initCwnd
+	}
+	w := initCwnd
+	var sent int64
+	for sent < size {
+		rounds++
+		w2 := w
+		if remaining := size - sent; w2 > remaining {
+			w2 = remaining
+		}
+		sent += w2
+		if w < capWindow {
+			rampBytes = sent
+			w *= 2
+			if w > capWindow {
+				w = capWindow
+			}
+		} else {
+			// Post-ramp rounds move capWindow bytes each; short-circuit.
+			remaining := size - sent
+			extra := remaining / capWindow
+			rounds += int(extra)
+			sent += extra * capWindow
+			if sent < size {
+				rounds++
+				sent = size
+			}
+			return rounds, rampBytes
+		}
+	}
+	return rounds, rampBytes
+}
+
+// TransferTime estimates the wall-clock time to move size bytes over a
+// fresh connection: one RTT of connection establishment plus the
+// slow-start/steady-state phases. The estimate ignores loss-recovery
+// stalls and so is a lower bound for lossy paths below the Mathis rate.
+func TransferTime(p Params, size int64) simtime.Duration {
+	p = p.Normalize()
+	if size <= 0 {
+		return 0
+	}
+	capWindow := EquilibriumWindow(p)
+	if w := p.WindowLimit; capWindow > w {
+		capWindow = w
+	}
+	rounds, _ := SlowStartRounds(size, p.InitCwnd, capWindow)
+	t := p.RTT // handshake
+	t += simtime.Duration(float64(rounds)) * p.RTT
+	// Serialization floor: the bytes cannot move faster than capacity.
+	if min := simtime.Seconds(float64(size) / p.Capacity); t < min+p.RTT {
+		t = min + p.RTT
+	}
+	return t
+}
+
+// ObservedBW converts a transfer of size bytes over elapsed time to the
+// paper's observed-bandwidth metric in bytes/sec.
+func ObservedBW(size int64, elapsed simtime.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(size) / elapsed.Seconds()
+}
+
+// String renders the parameter set compactly for logs and errors.
+func (p Params) String() string {
+	return fmt.Sprintf("tcp{rtt=%s cap=%.3gMB/s loss=%.2g mss=%d win=%d}",
+		p.RTT, p.Capacity/1e6, p.LossRate, p.MSS, p.WindowLimit)
+}

@@ -1,0 +1,202 @@
+package tcpmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/netlogistics/lsl/internal/simtime"
+)
+
+func TestNormalizeDefaults(t *testing.T) {
+	p := Params{}.Normalize()
+	if p.MSS != DefaultMSS {
+		t.Fatalf("MSS = %d", p.MSS)
+	}
+	if p.InitCwnd != 2*DefaultMSS {
+		t.Fatalf("InitCwnd = %d", p.InitCwnd)
+	}
+	if p.WindowLimit != DefaultWindow {
+		t.Fatalf("WindowLimit = %d", p.WindowLimit)
+	}
+	if p.RTT <= 0 || p.Capacity <= 0 {
+		t.Fatalf("normalize left invalid fields: %+v", p)
+	}
+}
+
+func TestNormalizeClampsLoss(t *testing.T) {
+	if p := (Params{LossRate: -1}).Normalize(); p.LossRate != 0 {
+		t.Fatalf("negative loss -> %v", p.LossRate)
+	}
+	if p := (Params{LossRate: 2}).Normalize(); p.LossRate != 1 {
+		t.Fatalf("loss > 1 -> %v", p.LossRate)
+	}
+}
+
+func TestMathisInverseRTT(t *testing.T) {
+	base := Params{RTT: simtime.Milliseconds(40), LossRate: 1e-5}
+	double := base
+	double.RTT = simtime.Milliseconds(80)
+	b1, b2 := MathisBW(base), MathisBW(double)
+	if math.Abs(b1/b2-2) > 1e-9 {
+		t.Fatalf("Mathis should halve when RTT doubles: %v vs %v", b1, b2)
+	}
+}
+
+func TestMathisInverseSqrtLoss(t *testing.T) {
+	base := Params{RTT: simtime.Milliseconds(40), LossRate: 1e-5}
+	worse := base
+	worse.LossRate = 4e-5
+	b1, b2 := MathisBW(base), MathisBW(worse)
+	if math.Abs(b1/b2-2) > 1e-9 {
+		t.Fatalf("Mathis should halve when loss quadruples: %v vs %v", b1, b2)
+	}
+}
+
+func TestMathisLossFree(t *testing.T) {
+	if !math.IsInf(MathisBW(Params{RTT: simtime.Milliseconds(10)}), 1) {
+		t.Fatal("loss-free Mathis should be +Inf")
+	}
+}
+
+func TestWindowBW(t *testing.T) {
+	p := Params{RTT: simtime.Milliseconds(100), WindowLimit: 64 << 10}
+	want := float64(64<<10) / 0.1
+	if got := WindowBW(p); math.Abs(got-want) > 1 {
+		t.Fatalf("WindowBW = %v, want %v", got, want)
+	}
+}
+
+func TestSteadyBWIsMinOfLimits(t *testing.T) {
+	p := Params{
+		RTT:         simtime.Milliseconds(100),
+		Capacity:    1e6,
+		LossRate:    1e-9, // Mathis huge
+		WindowLimit: 1 << 30,
+	}
+	if got := SteadyBW(p); got != 1e6 {
+		t.Fatalf("capacity-limited: %v", got)
+	}
+	p.WindowLimit = 50 << 10 // window bw = 512 KB/s < capacity
+	if got := SteadyBW(p); math.Abs(got-float64(50<<10)/0.1) > 1 {
+		t.Fatalf("window-limited: %v", got)
+	}
+	p.WindowLimit = 1 << 30
+	p.LossRate = 1e-2 // Mathis small
+	if got, want := SteadyBW(p), MathisBW(p); got != want {
+		t.Fatalf("loss-limited: %v vs %v", got, want)
+	}
+}
+
+func TestSteadyBWNeverExceedsLimits(t *testing.T) {
+	f := func(rttMS, capMBps, loss float64, window int64) bool {
+		p := Params{
+			RTT:         simtime.Milliseconds(1 + math.Abs(math.Mod(rttMS, 500))),
+			Capacity:    1e5 + math.Abs(math.Mod(capMBps, 100))*1e6,
+			LossRate:    math.Abs(math.Mod(loss, 0.01)),
+			WindowLimit: 1024 + window%(64<<20),
+		}
+		if p.WindowLimit < 1024 {
+			p.WindowLimit = 1024
+		}
+		bw := SteadyBW(p)
+		if bw > p.Normalize().Capacity+1e-6 {
+			return false
+		}
+		if bw > WindowBW(p)+1e-6 {
+			return false
+		}
+		m := MathisBW(p)
+		return math.IsInf(m, 1) || bw <= m+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquilibriumWindowFloor(t *testing.T) {
+	p := Params{RTT: simtime.Milliseconds(1), LossRate: 0.5, MSS: 1448}
+	if got := EquilibriumWindow(p); got < 1448 {
+		t.Fatalf("window below one MSS: %d", got)
+	}
+}
+
+func TestSlowStartRoundsDoubling(t *testing.T) {
+	// 2 MSS initial, cap far away: rounds carry 2,4,8,... MSS.
+	mss := int64(1000)
+	rounds, _ := SlowStartRounds(14*mss, 2*mss, 1<<30)
+	// 2+4+8 = 14 MSS in 3 rounds.
+	if rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", rounds)
+	}
+}
+
+func TestSlowStartRoundsCapped(t *testing.T) {
+	mss := int64(1000)
+	// Cap at 4 MSS: rounds carry 2,4,4,4,... so 30 MSS needs 1+7=8 rounds.
+	rounds, _ := SlowStartRounds(30*mss, 2*mss, 4*mss)
+	if rounds != 8 {
+		t.Fatalf("rounds = %d, want 8", rounds)
+	}
+}
+
+func TestSlowStartRoundsEdge(t *testing.T) {
+	if r, _ := SlowStartRounds(0, 1000, 1000); r != 0 {
+		t.Fatalf("zero size rounds = %d", r)
+	}
+	if r, _ := SlowStartRounds(1, 1000, 1000); r != 1 {
+		t.Fatalf("one byte rounds = %d", r)
+	}
+}
+
+func TestSlowStartMonotoneInSize(t *testing.T) {
+	prev := 0
+	for size := int64(1000); size <= 64_000_000; size *= 4 {
+		r, _ := SlowStartRounds(size, 2896, 8<<20)
+		if r < prev {
+			t.Fatalf("rounds decreased: size=%d rounds=%d prev=%d", size, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestTransferTimeShorterRTTFaster(t *testing.T) {
+	long := Params{RTT: simtime.Milliseconds(100), Capacity: 1e9, WindowLimit: 64 << 10}
+	short := long
+	short.RTT = simtime.Milliseconds(20)
+	size := int64(16 << 20)
+	if TransferTime(short, size) >= TransferTime(long, size) {
+		t.Fatal("shorter RTT should transfer faster")
+	}
+}
+
+func TestTransferTimeSerializationFloor(t *testing.T) {
+	p := Params{RTT: simtime.Milliseconds(1), Capacity: 1e6, WindowLimit: 1 << 30}
+	size := int64(10 << 20)
+	min := simtime.Seconds(float64(size) / 1e6)
+	if got := TransferTime(p, size); got < min {
+		t.Fatalf("TransferTime %v below serialization floor %v", got, min)
+	}
+}
+
+func TestObservedBW(t *testing.T) {
+	if got := ObservedBW(1<<20, simtime.Seconds(2)); got != float64(1<<20)/2 {
+		t.Fatalf("ObservedBW = %v", got)
+	}
+	if got := ObservedBW(1, 0); got != 0 {
+		t.Fatalf("zero elapsed should give 0, got %v", got)
+	}
+}
+
+func TestBDP(t *testing.T) {
+	p := Params{RTT: simtime.Milliseconds(100), Capacity: 1e6}
+	if got := p.BDP(); math.Abs(got-1e5) > 1 {
+		t.Fatalf("BDP = %v, want 1e5", got)
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	if s := (Params{}).Normalize().String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,50 @@
+package tcpsim
+
+import "math"
+
+// ByteSource is a Source holding a fixed number of bytes, modelling an
+// application that has the whole transfer ready to send (the paper's
+// depot-generated arbitrary test data).
+type ByteSource struct {
+	remaining int64
+}
+
+// NewByteSource returns a source holding size bytes.
+func NewByteSource(size int64) *ByteSource {
+	if size < 0 {
+		size = 0
+	}
+	return &ByteSource{remaining: size}
+}
+
+// Available implements Source.
+func (s *ByteSource) Available() int64 { return s.remaining }
+
+// Take implements Source.
+func (s *ByteSource) Take(n int64) {
+	if n > s.remaining {
+		panic("tcpsim: ByteSource overdrawn")
+	}
+	s.remaining -= n
+}
+
+// Exhausted implements Source.
+func (s *ByteSource) Exhausted() bool { return s.remaining == 0 }
+
+// CountSink is a Sink with unlimited space that counts delivered bytes,
+// modelling a receiving application that drains its socket promptly.
+type CountSink struct {
+	received int64
+}
+
+// NewCountSink returns an empty counting sink.
+func NewCountSink() *CountSink { return &CountSink{} }
+
+// Free implements Sink.
+func (s *CountSink) Free() int64 { return math.MaxInt64 }
+
+// Put implements Sink.
+func (s *CountSink) Put(n int64) { s.received += n }
+
+// Received reports the cumulative delivered byte count.
+func (s *CountSink) Received() int64 { return s.received }

@@ -1,0 +1,40 @@
+package tcpsim
+
+// SharedLink models a resource whose capacity is divided among the
+// connections actively transmitting through it — a depot host's
+// forwarding engine or a saturated access link. Each connection's
+// round sees capacity/active, the classic processor-sharing
+// approximation of TCP fairness on a common bottleneck.
+//
+// The paper's evaluation measured transfers one at a time, but its
+// conclusion asks about "the scalability of host-based forwarding";
+// SharedLink is what the depot-contention ablation uses to answer it.
+type SharedLink struct {
+	capacity float64
+	active   int
+}
+
+// NewSharedLink returns a shared resource of the given capacity in
+// bytes/sec.
+func NewSharedLink(capacity float64) *SharedLink {
+	if capacity <= 0 {
+		panic("tcpsim: shared link needs positive capacity")
+	}
+	return &SharedLink{capacity: capacity}
+}
+
+// Capacity returns the total capacity.
+func (l *SharedLink) Capacity() float64 { return l.capacity }
+
+// Active reports how many connections are currently mid-round.
+func (l *SharedLink) Active() int { return l.active }
+
+func (l *SharedLink) join()  { l.active++ }
+func (l *SharedLink) leave() { l.active-- }
+
+// share returns the per-flow capacity at the current occupancy, as
+// seen by a flow about to start a round (so it counts itself).
+func (l *SharedLink) share() float64 {
+	n := l.active + 1
+	return l.capacity / float64(n)
+}

@@ -1,0 +1,395 @@
+// Package tcpsim simulates individual TCP Reno connections on the
+// discrete-event engine.
+//
+// The model is round-based fluid TCP: each "round" carries up to one
+// congestion window of bytes and lasts max(RTT, bytes/capacity); at the
+// end of a round the bytes are acknowledged and delivered to the
+// connection's Sink. Slow start doubles the window each round,
+// congestion avoidance adds roughly one MSS per round, loss events halve
+// the window (fast recovery) or collapse it to one MSS after a
+// retransmission timeout. The window is clamped by the socket buffers
+// (flow control), and each round is additionally limited by the bytes
+// the Source can supply and the space the Sink can absorb — which is how
+// depot back-pressure couples chained connections in internal/pipesim.
+//
+// The abstraction deliberately trades packet-level detail for speed: a
+// 128 MB transfer is a few thousand events, so the PlanetLab-scale
+// aggregate experiments (hundreds of thousands of transfers) remain
+// cheap, while the RTT-clocked ramp and loss response that produce the
+// paper's logistical effect are preserved.
+package tcpsim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/netlogistics/lsl/internal/netsim"
+	"github.com/netlogistics/lsl/internal/simtime"
+	"github.com/netlogistics/lsl/internal/tcpmodel"
+)
+
+// Source supplies the bytes a connection sends.
+type Source interface {
+	// Available reports how many bytes are ready to send now.
+	Available() int64
+	// Take removes n bytes from the source. n never exceeds the last
+	// reported Available.
+	Take(n int64)
+	// Exhausted reports that no bytes are available now and none will
+	// ever become available.
+	Exhausted() bool
+}
+
+// Sink absorbs the bytes a connection delivers.
+type Sink interface {
+	// Free reports how many bytes of space are available now.
+	Free() int64
+	// Put adds n bytes. n never exceeds the last reported Free.
+	Put(n int64)
+}
+
+// Config parameterizes one simulated connection.
+type Config struct {
+	RTT      simtime.Duration // base round-trip time
+	Capacity float64          // bottleneck rate in bytes/sec (0 = unlimited)
+	LossRate float64          // per-packet loss probability
+	MSS      int64            // segment size (0 = tcpmodel.DefaultMSS)
+	SndBuf   int64            // sender socket buffer (0 = 8 MB)
+	RcvBuf   int64            // receiver socket buffer (0 = 8 MB)
+	InitCwnd int64            // initial congestion window (0 = 2 MSS)
+	Jitter   float64          // fractional uniform RTT jitter (e.g. 0.1)
+	RTOMin   simtime.Duration // minimum retransmission timeout (0 = 200 ms)
+	// QueueFactor sizes the bottleneck router queue as a fraction of
+	// the bandwidth-delay product. The congestion window is capped at
+	// BDP·(1+QueueFactor); growing past the cap overflows the drop-tail
+	// queue and counts as a congestion loss, which is what confines a
+	// Reno flow near the path capacity instead of letting the fluid
+	// model serialize arbitrarily large windows. Zero selects the
+	// classic buffer-equals-BDP rule (factor 1).
+	QueueFactor float64
+	// Shared, when non-nil, is a bottleneck whose capacity is divided
+	// among the connections concurrently transmitting through it (e.g.
+	// a depot host forwarding several sessions). Each round is limited
+	// by min(Capacity, Shared.capacity/flows).
+	Shared *SharedLink
+}
+
+func (c Config) normalize() Config {
+	if c.MSS <= 0 {
+		c.MSS = tcpmodel.DefaultMSS
+	}
+	if c.SndBuf <= 0 {
+		c.SndBuf = tcpmodel.DefaultWindow
+	}
+	if c.RcvBuf <= 0 {
+		c.RcvBuf = tcpmodel.DefaultWindow
+	}
+	if c.InitCwnd <= 0 {
+		c.InitCwnd = 2 * c.MSS
+	}
+	if c.RTT <= 0 {
+		c.RTT = simtime.Milliseconds(1)
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = math.MaxFloat64
+	}
+	if c.LossRate < 0 {
+		c.LossRate = 0
+	}
+	if c.LossRate > 1 {
+		c.LossRate = 1
+	}
+	if c.Jitter < 0 {
+		c.Jitter = 0
+	}
+	if c.RTOMin <= 0 {
+		c.RTOMin = simtime.Milliseconds(200)
+	}
+	if c.QueueFactor <= 0 {
+		c.QueueFactor = 1
+	}
+	return c
+}
+
+// Model converts the simulation config to analytic model parameters.
+func (c Config) Model() tcpmodel.Params {
+	c = c.normalize()
+	w := c.SndBuf
+	if c.RcvBuf < w {
+		w = c.RcvBuf
+	}
+	return tcpmodel.Params{
+		RTT:         c.RTT,
+		Capacity:    c.Capacity,
+		LossRate:    c.LossRate,
+		MSS:         c.MSS,
+		WindowLimit: w,
+		InitCwnd:    c.InitCwnd,
+	}
+}
+
+// Stats reports a connection's cumulative behaviour.
+type Stats struct {
+	BytesAcked      int64
+	Rounds          int
+	LossEvents      int
+	Timeouts        int
+	CongestionDrops int // bottleneck queue overflows
+	IdleWakeups     int
+	StartedAt       simtime.Time
+	LastAckAt       simtime.Time
+	BlockedAtSrc    int // rounds skipped for lack of source bytes
+	BlockedAtDst    int // rounds skipped for lack of sink space
+}
+
+// Conn is one simulated TCP connection. Construct with New, then Start.
+type Conn struct {
+	eng  *netsim.Engine
+	cfg  Config
+	src  Source
+	dst  Sink
+	name string
+
+	wmax     int64
+	wcap     float64 // congestion ceiling: BDP·(1+QueueFactor), ∞ on unlimited paths
+	cwnd     float64
+	ssthresh float64
+
+	started bool
+	running bool // a round is in flight
+	idle    bool // blocked waiting for source bytes or sink space
+	done    bool
+
+	stats Stats
+
+	// OnAck, if set, observes each delivery: the instant and the new
+	// cumulative acknowledged byte count.
+	OnAck func(now simtime.Time, acked int64)
+	// OnDone, if set, fires once when the source is exhausted and every
+	// byte has been delivered.
+	OnDone func(now simtime.Time)
+	// OnCwnd, if set, observes the congestion window (bytes) after each
+	// round's growth or loss response — the data behind classic TCP
+	// sawtooth plots.
+	OnCwnd func(now simtime.Time, cwnd float64)
+}
+
+// New creates a connection moving bytes from src to dst over eng.
+// The name appears in diagnostics only.
+func New(eng *netsim.Engine, name string, cfg Config, src Source, dst Sink) *Conn {
+	cfg = cfg.normalize()
+	wmax := cfg.SndBuf
+	if cfg.RcvBuf < wmax {
+		wmax = cfg.RcvBuf
+	}
+	wcap := math.Inf(1)
+	if cfg.Capacity < math.MaxFloat64 {
+		wcap = cfg.Capacity * cfg.RTT.Seconds() * (1 + cfg.QueueFactor)
+		if min := float64(4 * cfg.MSS); wcap < min {
+			wcap = min
+		}
+	}
+	return &Conn{
+		eng:      eng,
+		cfg:      cfg,
+		src:      src,
+		dst:      dst,
+		name:     name,
+		wmax:     wmax,
+		wcap:     wcap,
+		cwnd:     float64(cfg.InitCwnd),
+		ssthresh: float64(wmax),
+	}
+}
+
+// Config returns the (normalized) configuration.
+func (c *Conn) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the connection counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// Done reports whether the connection has delivered every byte.
+func (c *Conn) Done() bool { return c.done }
+
+// Name returns the diagnostic name.
+func (c *Conn) Name() string { return c.name }
+
+// Start schedules connection establishment at the given instant; the
+// three-way handshake costs one RTT before the first data round.
+func (c *Conn) Start(at simtime.Time) {
+	if c.started {
+		panic(fmt.Sprintf("tcpsim: connection %q started twice", c.name))
+	}
+	c.started = true
+	c.stats.StartedAt = at
+	c.eng.At(at.Add(c.rtt()), func(now simtime.Time) { c.beginRound(now) })
+}
+
+// Wake prods a connection that went idle waiting on its source or sink.
+// Buffers call this when bytes arrive or space frees. Waking a running
+// or finished connection is a no-op.
+func (c *Conn) Wake() {
+	if !c.started || c.running || c.done || !c.idle {
+		return
+	}
+	c.idle = false
+	c.stats.IdleWakeups++
+	c.eng.After(0, func(now simtime.Time) { c.beginRound(now) })
+}
+
+// rtt returns the per-round RTT with jitter applied.
+func (c *Conn) rtt() simtime.Duration {
+	r := c.cfg.RTT
+	if c.cfg.Jitter > 0 {
+		r = simtime.Duration(float64(r) * (1 + c.cfg.Jitter*(c.eng.Rand().Float64()-0.5)))
+	}
+	return r
+}
+
+func (c *Conn) beginRound(now simtime.Time) {
+	if c.done || c.running {
+		return
+	}
+	avail := c.src.Available()
+	if avail <= 0 {
+		if c.src.Exhausted() {
+			c.finish(now)
+			return
+		}
+		c.stats.BlockedAtSrc++
+		c.idle = true
+		return
+	}
+	free := c.dst.Free()
+	if free <= 0 {
+		c.stats.BlockedAtDst++
+		c.idle = true
+		return
+	}
+
+	w := int64(c.cwnd)
+	if w > c.wmax {
+		w = c.wmax
+	}
+	if float64(w) > c.wcap {
+		w = int64(c.wcap)
+	}
+	if w < c.cfg.MSS {
+		w = c.cfg.MSS
+	}
+	n := w
+	if avail < n {
+		n = avail
+	}
+	if free < n {
+		n = free
+	}
+	c.src.Take(n)
+	c.running = true
+	c.stats.Rounds++
+
+	rtt := c.rtt()
+	capacity := c.cfg.Capacity
+	if c.cfg.Shared != nil {
+		if s := c.cfg.Shared.share(); s < capacity {
+			capacity = s
+		}
+		c.cfg.Shared.join()
+	}
+	dur := rtt
+	if serial := simtime.Seconds(float64(n) / capacity); serial > dur {
+		dur = serial
+	}
+
+	lost := false
+	if p := c.cfg.LossRate; p > 0 {
+		packets := float64((n + c.cfg.MSS - 1) / c.cfg.MSS)
+		pRound := 1 - math.Pow(1-p, packets)
+		lost = c.eng.Rand().Float64() < pRound
+	}
+
+	c.eng.After(dur, func(end simtime.Time) { c.endRound(end, n, lost, rtt) })
+}
+
+func (c *Conn) endRound(now simtime.Time, n int64, lost bool, rtt simtime.Duration) {
+	c.running = false
+	if c.cfg.Shared != nil {
+		c.cfg.Shared.leave()
+	}
+	c.dst.Put(n)
+	c.stats.BytesAcked += n
+	c.stats.LastAckAt = now
+	if c.OnAck != nil {
+		c.OnAck(now, c.stats.BytesAcked)
+	}
+
+	var penalty simtime.Duration
+	if lost {
+		mss := float64(c.cfg.MSS)
+		newSS := c.cwnd / 2
+		if newSS < 2*mss {
+			newSS = 2 * mss
+		}
+		if c.cwnd >= 4*mss {
+			// Fast retransmit / fast recovery: halve and pay one RTT.
+			c.stats.LossEvents++
+			c.ssthresh = newSS
+			c.cwnd = newSS
+			penalty = rtt
+		} else {
+			// Window too small for triple duplicate ACKs: timeout.
+			c.stats.Timeouts++
+			c.ssthresh = newSS
+			c.cwnd = mss
+			rto := simtime.Duration(2 * float64(rtt))
+			if rto < c.cfg.RTOMin {
+				rto = c.cfg.RTOMin
+			}
+			penalty = rto
+		}
+	} else {
+		if c.cwnd < c.ssthresh {
+			c.cwnd += float64(n) // slow start: +1 MSS per acked MSS
+			if c.cwnd > c.ssthresh {
+				c.cwnd = c.ssthresh
+			}
+		} else {
+			// Congestion avoidance: +MSS²/cwnd per acked segment.
+			c.cwnd += float64(c.cfg.MSS) * float64(n) / c.cwnd
+		}
+		if c.cwnd > float64(c.wmax) {
+			c.cwnd = float64(c.wmax)
+		}
+		if c.cwnd >= c.wcap {
+			// The window outgrew path BDP plus the bottleneck queue:
+			// the drop-tail router overflows and the flow halves, the
+			// classic Reno sawtooth around the path capacity.
+			c.stats.CongestionDrops++
+			c.ssthresh = c.wcap / 2
+			if min := 2 * float64(c.cfg.MSS); c.ssthresh < min {
+				c.ssthresh = min
+			}
+			c.cwnd = c.ssthresh
+			penalty = rtt
+		}
+	}
+
+	if c.OnCwnd != nil {
+		c.OnCwnd(now, c.cwnd)
+	}
+	if c.src.Available() <= 0 && c.src.Exhausted() {
+		c.finish(now)
+		return
+	}
+	c.eng.After(penalty, func(next simtime.Time) { c.beginRound(next) })
+}
+
+func (c *Conn) finish(now simtime.Time) {
+	if c.done {
+		return
+	}
+	c.done = true
+	if c.OnDone != nil {
+		c.OnDone(now)
+	}
+}

@@ -1,0 +1,188 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/netlogistics/lsl/internal/simtime"
+)
+
+// abilenePOP is one backbone point of presence. Coordinates are in
+// one-way-millisecond units, laid out roughly like the Abilene map, so
+// that coast-to-coast paths come out near the paper's observed RTTs.
+type abilenePOP struct {
+	name string
+	x, y float64
+}
+
+var abilenePOPs = []abilenePOP{
+	{"sttl", 2, 14},  // Seattle
+	{"snva", 0, 8},   // Sunnyvale
+	{"losa", 2, 4},   // Los Angeles
+	{"dnvr", 10, 8},  // Denver
+	{"kscy", 14, 8},  // Kansas City
+	{"hstn", 14, 2},  // Houston
+	{"ipls", 19, 9},  // Indianapolis
+	{"atla", 20, 4},  // Atlanta
+	{"chin", 19, 11}, // Chicago
+	{"nycm", 26, 11}, // New York
+	{"wash", 25, 8},  // Washington DC
+}
+
+// AbileneCoreConfig parameterizes the Figure 11 testbed.
+type AbileneCoreConfig struct {
+	Universities int     // leaf sites with PlanetLab-class hosts (paper: 10)
+	LeafBuf      int64   // leaf host socket buffers (paper: 64 KB)
+	DepotBuf     int64   // depot socket buffers (paper: 8 MB)
+	MeasureNoise float64 // lognormal σ on measurements
+	LoadNoise    float64 // lognormal σ on per-transfer load
+	// CongestedFrac is the fraction of university pairs whose *direct*
+	// route crosses a congested exchange (heavy loss) that the
+	// depot route through the backbone avoids — the source of the
+	// paper's extreme (up to 10x) winners.
+	CongestedFrac float64
+	CongestedLoss float64
+}
+
+// DefaultAbileneCore matches the paper's second experiment.
+func DefaultAbileneCore() AbileneCoreConfig {
+	return AbileneCoreConfig{
+		Universities:  10,
+		LeafBuf:       kb64,
+		DepotBuf:      mb8,
+		MeasureNoise:  0.20,
+		LoadNoise:     0.25,
+		CongestedFrac: 0.15,
+		CongestedLoss: 1e-2,
+	}
+}
+
+// AbileneCore generates the Figure 11 testbed: depot hosts at every
+// backbone POP (the Internet2 Observatory machines) and PlanetLab-class
+// endpoint hosts at university sites hanging off the POPs. University
+// traffic crosses the backbone whether or not it uses depots; what the
+// depots change is that each TCP sublink sees a fraction of the
+// end-to-end RTT — decisive when a 64 KB window is the limit.
+func AbileneCore(cfg AbileneCoreConfig, seed int64) *Topology {
+	if cfg.Universities <= 0 {
+		cfg = DefaultAbileneCore()
+	}
+	if cfg.LeafBuf <= 0 {
+		cfg.LeafBuf = kb64
+	}
+	if cfg.DepotBuf <= 0 {
+		cfg.DepotBuf = mb8
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	nPOP := len(abilenePOPs)
+	hosts := make([]Host, 0, nPOP+cfg.Universities)
+	for _, p := range abilenePOPs {
+		hosts = append(hosts, Host{
+			Name:          "obs." + p.name + ".abilene.net",
+			Site:          p.name + ".abilene.net",
+			SndBuf:        cfg.DepotBuf,
+			RcvBuf:        cfg.DepotBuf,
+			Depot:         true,
+			ForwardRate:   60e6,
+			PipelineBytes: 32 << 20,
+		})
+	}
+	// Universities attach round-robin with jittered access latency.
+	type uni struct {
+		pop       int
+		accessRTT float64 // ms
+	}
+	unis := make([]uni, cfg.Universities)
+	for u := 0; u < cfg.Universities; u++ {
+		unis[u] = uni{
+			pop:       u % nPOP,
+			accessRTT: 4 + 10*rng.Float64(),
+		}
+		hosts = append(hosts, Host{
+			Name:   fmt.Sprintf("pl1.univ%02d.edu", u),
+			Site:   fmt.Sprintf("univ%02d.edu", u),
+			SndBuf: cfg.LeafBuf,
+			RcvBuf: cfg.LeafBuf,
+			// The endpoints are still PlanetLab-class machines: the
+			// virtualization throughput ceiling applies to them even
+			// though the depots now sit on dedicated Observatory hosts.
+			NodeBW: 2.0e6 * math.Exp(0.60*rng.NormFloat64()),
+			// University PlanetLab nodes are not used as depots in this
+			// experiment; the paper placed depots only at the POPs.
+		})
+	}
+
+	t := newTopology("abilene-core", hosts)
+	t.MeasureNoise = cfg.MeasureNoise
+	t.LoadNoise = cfg.LoadNoise
+
+	coreRTT := func(a, b int) float64 { // ms
+		pa, pb := abilenePOPs[a], abilenePOPs[b]
+		if a == b {
+			return 0
+		}
+		return 2 + 2*math.Hypot(pa.x-pb.x, pa.y-pb.y)
+	}
+
+	const (
+		coreCap   = 1250 * mbit // OC-192-era backbone, effectively unloaded
+		accessCap = 100 * mbit
+		coreLoss  = 5e-8 // per ms of core RTT
+		leafLoss  = 2e-6
+	)
+
+	// POP-POP links.
+	for a := 0; a < nPOP; a++ {
+		for b := a + 1; b < nPOP; b++ {
+			rtt := coreRTT(a, b)
+			t.SetLink(a, b, Link{
+				RTT:      simtime.Milliseconds(rtt),
+				Capacity: coreCap,
+				Loss:     coreLoss * rtt,
+			})
+		}
+	}
+	// University links: to every POP and to every other university. The
+	// path always goes through the home POP.
+	for u, info := range unis {
+		ui := nPOP + u
+		for p := 0; p < nPOP; p++ {
+			rtt := info.accessRTT + coreRTT(info.pop, p)
+			t.SetLink(ui, p, Link{
+				RTT:      simtime.Milliseconds(rtt),
+				Capacity: accessCap,
+				Loss:     leafLoss + coreLoss*coreRTT(info.pop, p),
+			})
+		}
+		for v := u + 1; v < len(unis); v++ {
+			vi := nPOP + v
+			rtt := info.accessRTT + coreRTT(info.pop, unis[v].pop) + unis[v].accessRTT
+			loss := 2*leafLoss + coreLoss*coreRTT(info.pop, unis[v].pop)
+			// A minority of direct routes cross a congested exchange
+			// point the scheduled route avoids.
+			if rng.Float64() < cfg.CongestedFrac {
+				loss += cfg.CongestedLoss
+			}
+			t.SetLink(ui, vi, Link{
+				RTT:      simtime.Milliseconds(rtt),
+				Capacity: accessCap,
+				Loss:     loss,
+			})
+		}
+	}
+	return t
+}
+
+// AbileneUniversities returns the indices of the leaf (university)
+// hosts of an AbileneCore topology.
+func AbileneUniversities(t *Topology) []int {
+	var out []int
+	for i, h := range t.Hosts {
+		if !h.Depot {
+			out = append(out, i)
+		}
+	}
+	return out
+}

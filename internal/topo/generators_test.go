@@ -1,0 +1,209 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanetLabShape(t *testing.T) {
+	tp := PlanetLab(DefaultPlanetLab(), 1)
+	if tp.N() != 142 {
+		t.Fatalf("hosts = %d, want 142", tp.N())
+	}
+	// Sites hold 1-3 hosts.
+	bySite := map[string]int{}
+	for _, h := range tp.Hosts {
+		bySite[h.Site]++
+	}
+	for site, n := range bySite {
+		if n < 1 || n > 3 {
+			t.Fatalf("site %s has %d hosts", site, n)
+		}
+	}
+	if len(bySite) < 40 {
+		t.Fatalf("only %d sites for 142 hosts", len(bySite))
+	}
+}
+
+func TestPlanetLabHostProperties(t *testing.T) {
+	tp := PlanetLab(DefaultPlanetLab(), 1)
+	var limited int
+	for _, h := range tp.Hosts {
+		if h.SndBuf != 64<<10 || h.RcvBuf != 64<<10 {
+			t.Fatalf("host %s buffers = %d/%d, want 64KB", h.Name, h.SndBuf, h.RcvBuf)
+		}
+		if !h.Depot {
+			t.Fatalf("host %s should be a depot candidate", h.Name)
+		}
+		if h.NodeBW <= 0 || h.ForwardRate <= 0 {
+			t.Fatalf("host %s missing virtualization caps", h.Name)
+		}
+		if h.ForwardRate >= h.NodeBW {
+			t.Fatalf("host %s forwarding should cost more than endpoint traffic", h.Name)
+		}
+		if h.RateLimit > 0 {
+			limited++
+		}
+	}
+	if limited == 0 || limited > tp.N()/3 {
+		t.Fatalf("rate-limited hosts = %d, want a small minority", limited)
+	}
+}
+
+func TestPlanetLabLinksComplete(t *testing.T) {
+	tp := PlanetLab(DefaultPlanetLab(), 1)
+	for i := 0; i < tp.N(); i++ {
+		for j := 0; j < tp.N(); j++ {
+			if i == j {
+				continue
+			}
+			l := tp.Link(i, j)
+			if !l.Valid() {
+				t.Fatalf("missing link %d-%d", i, j)
+			}
+			if tp.SiteOf(i) == tp.SiteOf(j) {
+				if l.RTT.Seconds() > 0.005 {
+					t.Fatalf("LAN RTT %v too high", l.RTT)
+				}
+			} else {
+				if l.RTT.Seconds() < 0.005 {
+					t.Fatalf("WAN RTT %v too low", l.RTT)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanetLabDeterministic(t *testing.T) {
+	a := PlanetLab(DefaultPlanetLab(), 5)
+	b := PlanetLab(DefaultPlanetLab(), 5)
+	if a.N() != b.N() {
+		t.Fatal("host counts differ")
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.Hosts[i] != b.Hosts[i] {
+			t.Fatalf("host %d differs between same-seed builds", i)
+		}
+		for j := 0; j < a.N(); j++ {
+			if a.Link(i, j) != b.Link(i, j) {
+				t.Fatalf("link %d-%d differs between same-seed builds", i, j)
+			}
+		}
+	}
+	c := PlanetLab(DefaultPlanetLab(), 6)
+	same := true
+	for i := 0; i < a.N() && same; i++ {
+		if a.Hosts[i].NodeBW != c.Hosts[i].NodeBW {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical topologies")
+	}
+}
+
+func TestPlanetLabCustomSize(t *testing.T) {
+	cfg := DefaultPlanetLab()
+	cfg.Hosts = 30
+	tp := PlanetLab(cfg, 1)
+	if tp.N() != 30 {
+		t.Fatalf("hosts = %d", tp.N())
+	}
+}
+
+func TestAbileneCoreShape(t *testing.T) {
+	tp := AbileneCore(DefaultAbileneCore(), 1)
+	var depots, leaves int
+	for _, h := range tp.Hosts {
+		if h.Depot {
+			depots++
+			if h.SndBuf != 8<<20 {
+				t.Fatalf("depot %s buffers = %d, want 8MB", h.Name, h.SndBuf)
+			}
+			if !strings.Contains(h.Name, "abilene.net") {
+				t.Fatalf("depot %s not at a POP", h.Name)
+			}
+		} else {
+			leaves++
+			if h.SndBuf != 64<<10 {
+				t.Fatalf("leaf %s buffers = %d, want 64KB", h.Name, h.SndBuf)
+			}
+			if h.NodeBW <= 0 {
+				t.Fatalf("leaf %s should carry a virtualization cap", h.Name)
+			}
+		}
+	}
+	if depots != 11 {
+		t.Fatalf("depots = %d, want 11 POPs", depots)
+	}
+	if leaves != 10 {
+		t.Fatalf("leaves = %d, want 10 universities", leaves)
+	}
+	if got := AbileneUniversities(tp); len(got) != 10 {
+		t.Fatalf("AbileneUniversities = %d", len(got))
+	}
+}
+
+func TestAbileneTriangleStructure(t *testing.T) {
+	// University-to-university RTT must be at least each one's access
+	// leg, and the path through the home POP must be shorter than or
+	// equal to the direct (same physical route).
+	tp := AbileneCore(DefaultAbileneCore(), 1)
+	unis := AbileneUniversities(tp)
+	pops := tp.DepotCandidates()
+	for _, u := range unis {
+		for _, v := range unis {
+			if u == v {
+				continue
+			}
+			direct := tp.Link(u, v).RTT
+			best := direct
+			for _, p := range pops {
+				leg1 := tp.Link(u, p).RTT
+				leg2 := tp.Link(p, v).RTT
+				if leg1 > best && leg2 > best {
+					continue
+				}
+				// Max sublink RTT through the best POP should not
+				// exceed the direct RTT (it is a subpath of it).
+				max := leg1
+				if leg2 > max {
+					max = leg2
+				}
+				if max < best {
+					best = max
+				}
+			}
+			if best > direct {
+				t.Fatalf("no POP splits the path %d-%d", u, v)
+			}
+		}
+	}
+}
+
+func TestAbileneCoreLinksComplete(t *testing.T) {
+	tp := AbileneCore(DefaultAbileneCore(), 1)
+	for i := 0; i < tp.N(); i++ {
+		for j := 0; j < tp.N(); j++ {
+			if i != j && !tp.Link(i, j).Valid() {
+				t.Fatalf("missing link %s-%s", tp.Hosts[i].Name, tp.Hosts[j].Name)
+			}
+		}
+	}
+}
+
+func TestAbileneCoreFastCore(t *testing.T) {
+	tp := AbileneCore(DefaultAbileneCore(), 1)
+	pops := tp.DepotCandidates()
+	for _, a := range pops {
+		for _, b := range pops {
+			if a == b {
+				continue
+			}
+			if tp.Link(a, b).Capacity < 100e6 {
+				t.Fatalf("core link %s-%s capacity %v too low",
+					tp.Hosts[a].Name, tp.Hosts[b].Name, tp.Link(a, b).Capacity)
+			}
+		}
+	}
+}

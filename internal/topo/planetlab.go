@@ -1,0 +1,213 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/netlogistics/lsl/internal/simtime"
+)
+
+// PlanetLabConfig parameterizes the synthetic PlanetLab-like testbed of
+// the Section 4.2 aggregate experiment.
+type PlanetLabConfig struct {
+	Hosts           int     // total machines (paper: 142)
+	MaxHostsPerSite int     // paper: "each site has only one to three machines"
+	SocketBuf       int64   // paper: 64 KB socket buffers
+	BadSiteFrac     float64 // fraction of sites with elevated loss
+	RateLimitFrac   float64 // fraction of hosts with administrative rate caps
+	MeasureNoise    float64 // lognormal σ on NWS measurements
+	LoadNoise       float64 // lognormal σ on per-transfer load (virtualization)
+	NodeBWMedian    float64 // median virtualized host throughput, bytes/sec
+	NodeBWSigma     float64 // lognormal σ of host throughput
+	RTTScale        float64 // ms of RTT per unit of plane distance
+	ForwardFrac     float64 // depot forwarding rate as a fraction of NodeBW
+}
+
+// DefaultPlanetLab returns the configuration matching the paper's
+// description of the testbed.
+func DefaultPlanetLab() PlanetLabConfig {
+	return PlanetLabConfig{
+		Hosts:           142,
+		MaxHostsPerSite: 3,
+		SocketBuf:       kb64,
+		BadSiteFrac:     0.10,
+		RateLimitFrac:   0.12,
+		MeasureNoise:    0.08,
+		LoadNoise:       0.30,
+		NodeBWMedian:    3.0e6,
+		NodeBWSigma:     0.50,
+		RTTScale:        68,
+		ForwardFrac:     0.8,
+	}
+}
+
+type plSite struct {
+	name    string
+	x, y    float64
+	uplink  float64 // site access capacity, bytes/sec
+	loss    float64 // site access loss contribution
+	hosts   []int
+	limited bool
+}
+
+// PlanetLab generates a synthetic wide-area testbed in the image of the
+// paper's: university sites scattered across a plane (RTT grows with
+// distance), one to three virtualized machines per site, small socket
+// buffers, heterogeneous site uplinks, a minority of lossy sites and of
+// administratively rate-limited hosts. Every host can act as source,
+// sink, or depot, exactly as in the paper's experiment.
+func PlanetLab(cfg PlanetLabConfig, seed int64) *Topology {
+	if cfg.Hosts <= 0 {
+		cfg = DefaultPlanetLab()
+	}
+	if cfg.MaxHostsPerSite < 1 {
+		cfg.MaxHostsPerSite = 3
+	}
+	if cfg.SocketBuf <= 0 {
+		cfg.SocketBuf = kb64
+	}
+	if cfg.NodeBWMedian <= 0 {
+		cfg.NodeBWMedian = 3.0e6
+	}
+	if cfg.NodeBWSigma <= 0 {
+		cfg.NodeBWSigma = 0.50
+	}
+	if cfg.RTTScale <= 0 {
+		cfg.RTTScale = 115
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Site geography is clustered, like the real PlanetLab: a dense
+	// eastern cluster, a western cluster, a sparser central band, and a
+	// scattering of far-flung sites. Intra-cluster paths are short-RTT
+	// (relaying buys nothing there: the virtualized hosts, not the
+	// window, are the limit), while inter-cluster paths are the
+	// long-RTT, window-limited minority the scheduler finds depot
+	// routes for.
+	clusters := []struct {
+		cx, cy, sigma, weight float64
+	}{
+		{0.82, 0.52, 0.06, 0.45},
+		{0.12, 0.48, 0.05, 0.25},
+		{0.50, 0.50, 0.09, 0.15},
+		{0, 0, 0, 0.15}, // uniform scatter
+	}
+	place := func() (float64, float64) {
+		r := rng.Float64()
+		for _, c := range clusters {
+			if r < c.weight {
+				if c.sigma == 0 {
+					return rng.Float64(), rng.Float64()
+				}
+				return c.cx + c.sigma*rng.NormFloat64(), c.cy + c.sigma*rng.NormFloat64()
+			}
+			r -= c.weight
+		}
+		return rng.Float64(), rng.Float64()
+	}
+
+	// Lay out sites until the host budget is filled.
+	var sites []*plSite
+	var hosts []Host
+	for len(hosts) < cfg.Hosts {
+		x, y := place()
+		s := &plSite{
+			name: fmt.Sprintf("site%02d.edu", len(sites)),
+			x:    x,
+			y:    y,
+		}
+		// Site uplinks: a mix of 10 Mbit, 45 Mbit and 100 Mbit access
+		// links, as on the 2004-era PlanetLab, derated by a per-site
+		// sharing factor (the uplink carries the whole site's traffic).
+		// Pairs whose bandwidth is capacity-limited rather than
+		// window-limited gain nothing from relaying — the relay still
+		// crosses the same access links — which is what keeps the
+		// scheduler's relayed fraction well below 100%.
+		switch r := rng.Float64(); {
+		case r < 0.40:
+			s.uplink = 10 * mbit
+		case r < 0.75:
+			s.uplink = 45 * mbit
+		default:
+			s.uplink = 100 * mbit
+		}
+		s.uplink *= 0.35 + 0.65*rng.Float64()
+		if rng.Float64() < cfg.BadSiteFrac {
+			s.loss = 5e-5
+		} else {
+			s.loss = 2e-6
+		}
+		n := 1 + rng.Intn(cfg.MaxHostsPerSite)
+		if remaining := cfg.Hosts - len(hosts); n > remaining {
+			n = remaining
+		}
+		for k := 0; k < n; k++ {
+			idx := len(hosts)
+			// Virtualization caps each host's effective TCP throughput;
+			// forwarding through two sockets costs more CPU still.
+			nodeBW := cfg.NodeBWMedian * math.Exp(cfg.NodeBWSigma*rng.NormFloat64())
+			h := Host{
+				Name:   fmt.Sprintf("node%d.%s", k+1, s.name),
+				Site:   s.name,
+				SndBuf: cfg.SocketBuf,
+				RcvBuf: cfg.SocketBuf,
+				NodeBW: nodeBW,
+				// Every PlanetLab host may serve as a depot, but
+				// virtualization keeps its forwarding rate modest.
+				Depot:         true,
+				ForwardRate:   cfg.ForwardFrac * nodeBW,
+				PipelineBytes: 4 << 20, // small user-space buffers on shared nodes
+			}
+			if rng.Float64() < cfg.RateLimitFrac {
+				h.RateLimit = (0.8 + 0.7*rng.Float64()) * 1e6
+			}
+			hosts = append(hosts, h)
+			s.hosts = append(s.hosts, idx)
+		}
+		sites = append(sites, s)
+	}
+
+	t := newTopology("planetlab", hosts)
+	t.MeasureNoise = cfg.MeasureNoise
+	t.LoadNoise = cfg.LoadNoise
+
+	// Wide-area links between sites: RTT grows with plane distance
+	// (continental scale: up to ~190 ms), loss grows with RTT because a
+	// longer default route crosses more congested exchange points.
+	for a := 0; a < len(sites); a++ {
+		for b := a + 1; b < len(sites); b++ {
+			sa, sb := sites[a], sites[b]
+			dist := math.Hypot(sa.x-sb.x, sa.y-sb.y)
+			rttMS := 12 + cfg.RTTScale*dist*(1+0.1*(rng.Float64()-0.5))
+			capacity := math.Min(sa.uplink, sb.uplink)
+			loss := sa.loss + sb.loss + 2e-7*rttMS
+			link := Link{
+				RTT:      simtime.Milliseconds(rttMS),
+				Capacity: capacity,
+				Loss:     loss,
+			}
+			for _, i := range sa.hosts {
+				for _, j := range sb.hosts {
+					// Per-host-pair jitter so hosts at one site are
+					// similar but not identical, which is what the ε
+					// equivalence exists to absorb.
+					l := link
+					l.RTT = simtime.Duration(float64(link.RTT) * (1 + 0.04*(rng.Float64()-0.5)))
+					t.SetLink(i, j, l)
+				}
+			}
+		}
+		// LAN links within the site.
+		for x := 0; x < len(sites[a].hosts); x++ {
+			for y := x + 1; y < len(sites[a].hosts); y++ {
+				t.SetLink(sites[a].hosts[x], sites[a].hosts[y], Link{
+					RTT:      simtime.Milliseconds(0.6),
+					Capacity: 12.5e6,
+					Loss:     1e-7,
+				})
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,368 @@
+// Package topo models evaluation testbeds as performance topologies:
+// hosts grouped into sites, a fully connected matrix of path properties
+// (RTT, capacity, loss), and per-host properties (socket buffers, depot
+// forwarding capacity, administrative rate limits).
+//
+// Three generators reproduce the paper's environments:
+//
+//   - TwoPath: the Section 3 testbed — UCSB sending to UIUC via a Denver
+//     depot and to UF via a Houston depot, with the paper's measured RTTs.
+//   - PlanetLab: the Section 4.2 aggregate testbed — 142 hosts at
+//     university sites of 1-3 machines, small socket buffers, virtualized
+//     (load-noisy) forwarding, and administratively rate-limited nodes.
+//   - AbileneCore: the Figure 11 testbed — 10 university sites whose
+//     traffic crosses a backbone of core POPs that host well-provisioned
+//     depots.
+//
+// The paper ran on real wide-area paths; here every path is described by
+// the same three parameters a real path presents to TCP, so the
+// simulated transfers exhibit the same RTT- and loss-driven behaviour.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/netlogistics/lsl/internal/pipesim"
+	"github.com/netlogistics/lsl/internal/simtime"
+	"github.com/netlogistics/lsl/internal/tcpmodel"
+	"github.com/netlogistics/lsl/internal/tcpsim"
+)
+
+// Link is the TCP-visible description of one host-pair path.
+type Link struct {
+	RTT      simtime.Duration
+	Capacity float64 // bottleneck rate, bytes/sec
+	Loss     float64 // per-packet loss probability
+}
+
+// Valid reports whether the link is usable.
+func (l Link) Valid() bool {
+	return l.RTT > 0 && l.Capacity > 0 && l.Loss >= 0 && !math.IsNaN(l.Loss)
+}
+
+// Host is one machine in the testbed.
+type Host struct {
+	Name string
+	Site string
+	// SndBuf and RcvBuf are the TCP socket buffer sizes. PlanetLab
+	// hosts carry the paper's crippling 64 KB; depot hosts carry 8 MB.
+	SndBuf int64
+	RcvBuf int64
+	// Depot marks hosts that run a forwarding depot.
+	Depot bool
+	// ForwardRate is the rate at which this host can relay bytes
+	// between connections when used as a depot, bytes/sec.
+	ForwardRate float64
+	// PipelineBytes is the depot buffering through this host (0 selects
+	// pipesim.DefaultDepotPipeline).
+	PipelineBytes int64
+	// RateLimit is an administrative cap (bytes/sec) applied to bulk
+	// transfers involving this host but invisible to small measurement
+	// probes — the paper's "administrative, rather than technical,
+	// limits". Zero means none.
+	RateLimit float64
+	// NodeBW is the host's effective TCP throughput ceiling from CPU
+	// and virtualization ("each user is presented with a somewhat
+	// virtualized machine ... this virtualization decreases the
+	// bandwidth through the nodes"). It caps transfers and is visible
+	// to measurements. Zero means unlimited.
+	NodeBW float64
+}
+
+// Topology is a complete testbed description.
+type Topology struct {
+	Name  string
+	Hosts []Host
+	links []Link // row-major n×n, symmetric, diagonal zero
+
+	index map[string]int
+
+	// MeasureNoise is the lognormal σ applied to NWS-style bandwidth
+	// measurements.
+	MeasureNoise float64
+	// LoadNoise is the lognormal σ applied per transfer to capacities
+	// and depot forwarding rates, modelling fast load fluctuation.
+	LoadNoise float64
+
+	// loadFactors, when non-nil, are slowly drifting per-host load
+	// multipliers (AR(1) walk advanced by AdvanceLoad). They model the
+	// diurnal/secular load changes that make stale schedules rot —
+	// measurements and transfers both see the current factors, so a
+	// planner that replans on fresh data tracks them and a static plan
+	// does not.
+	loadFactors []float64
+	// LoadDrift is the per-step lognormal σ of the load walk.
+	LoadDrift float64
+}
+
+// EnableLoadDrift turns on the slowly-varying per-host load walk with
+// the given per-step σ (e.g. 0.05). Factors start at 1.
+func (t *Topology) EnableLoadDrift(sigma float64) {
+	t.LoadDrift = sigma
+	t.loadFactors = make([]float64, t.N())
+	for i := range t.loadFactors {
+		t.loadFactors[i] = 1
+	}
+}
+
+// AdvanceLoad moves every host's load factor one AR(1) step: a
+// lognormal perturbation plus gentle mean reversion toward 1, clamped
+// to [0.2, 3].
+func (t *Topology) AdvanceLoad(rng *rand.Rand) {
+	if t.loadFactors == nil || t.LoadDrift <= 0 {
+		return
+	}
+	for i := range t.loadFactors {
+		f := t.loadFactors[i] * math.Exp(rng.NormFloat64()*t.LoadDrift)
+		f = math.Pow(f, 0.98) // mean reversion toward 1
+		if f < 0.2 {
+			f = 0.2
+		}
+		if f > 3 {
+			f = 3
+		}
+		t.loadFactors[i] = f
+	}
+}
+
+// loadFactor reports host i's current slow-load multiplier (1 when the
+// walk is disabled).
+func (t *Topology) loadFactor(i int) float64 {
+	if t.loadFactors == nil {
+		return 1
+	}
+	return t.loadFactors[i]
+}
+
+// hostCap returns host i's current effective throughput ceiling, or 0
+// when unlimited.
+func (t *Topology) hostCap(i int) float64 {
+	nb := t.Hosts[i].NodeBW
+	if nb <= 0 {
+		return 0
+	}
+	return nb * t.loadFactor(i)
+}
+
+// New builds a custom topology over the given hosts with no links;
+// install links with SetLink. Host names must be unique.
+func New(name string, hosts []Host) (*Topology, error) {
+	seen := make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		if h.Name == "" {
+			return nil, fmt.Errorf("topo: empty host name in %q", name)
+		}
+		if seen[h.Name] {
+			return nil, fmt.Errorf("topo: duplicate host %q in %q", h.Name, name)
+		}
+		seen[h.Name] = true
+	}
+	return newTopology(name, hosts), nil
+}
+
+// newTopology allocates a topology skeleton for the given hosts.
+func newTopology(name string, hosts []Host) *Topology {
+	t := &Topology{
+		Name:  name,
+		Hosts: hosts,
+		links: make([]Link, len(hosts)*len(hosts)),
+		index: make(map[string]int, len(hosts)),
+	}
+	for i, h := range hosts {
+		t.index[h.Name] = i
+	}
+	return t
+}
+
+// N returns the host count.
+func (t *Topology) N() int { return len(t.Hosts) }
+
+// HostIndex resolves a host name.
+func (t *Topology) HostIndex(name string) (int, bool) {
+	i, ok := t.index[name]
+	return i, ok
+}
+
+// MustHost resolves a host name, panicking if absent (for tests and
+// fixed testbeds).
+func (t *Topology) MustHost(name string) int {
+	i, ok := t.index[name]
+	if !ok {
+		panic(fmt.Sprintf("topo: unknown host %q in %s", name, t.Name))
+	}
+	return i
+}
+
+// SetLink installs a symmetric link between hosts i and j.
+func (t *Topology) SetLink(i, j int, l Link) {
+	if i == j {
+		return
+	}
+	t.links[i*t.N()+j] = l
+	t.links[j*t.N()+i] = l
+}
+
+// Link returns the path description between hosts i and j.
+func (t *Topology) Link(i, j int) Link { return t.links[i*t.N()+j] }
+
+// SiteOf returns the site of host index i.
+func (t *Topology) SiteOf(i int) string { return t.Hosts[i].Site }
+
+// HostNames returns all host names in index order.
+func (t *Topology) HostNames() []string {
+	names := make([]string, len(t.Hosts))
+	for i, h := range t.Hosts {
+		names[i] = h.Name
+	}
+	return names
+}
+
+// DepotCandidates returns the indices of hosts that run depots.
+func (t *Topology) DepotCandidates() []int {
+	var out []int
+	for i, h := range t.Hosts {
+		if h.Depot {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PathConfig builds the TCP parameters for a direct connection from
+// host i to host j, including socket buffers and administrative rate
+// limits (which bind bulk transfers but, being policers on sustained
+// traffic, are not reflected in MeasuredBW).
+func (t *Topology) PathConfig(i, j int) tcpsim.Config {
+	l := t.Link(i, j)
+	capacity := l.Capacity
+	if rl := t.Hosts[i].RateLimit; rl > 0 && rl < capacity {
+		capacity = rl
+	}
+	if rl := t.Hosts[j].RateLimit; rl > 0 && rl < capacity {
+		capacity = rl
+	}
+	if nb := t.hostCap(i); nb > 0 && nb < capacity {
+		capacity = nb
+	}
+	if nb := t.hostCap(j); nb > 0 && nb < capacity {
+		capacity = nb
+	}
+	return tcpsim.Config{
+		RTT:      l.RTT,
+		Capacity: capacity,
+		LossRate: l.Loss,
+		SndBuf:   t.Hosts[i].SndBuf,
+		RcvBuf:   t.Hosts[j].RcvBuf,
+		Jitter:   0.05,
+	}
+}
+
+// noiseFactor samples a lognormal multiplier with σ=sigma, clamped to
+// [1/4, 4] so a single draw cannot produce absurd paths.
+func noiseFactor(rng *rand.Rand, sigma float64) float64 {
+	if sigma <= 0 || rng == nil {
+		return 1
+	}
+	f := math.Exp(rng.NormFloat64() * sigma)
+	if f < 0.25 {
+		f = 0.25
+	}
+	if f > 4 {
+		f = 4
+	}
+	return f
+}
+
+// MeasuredBW returns one NWS-style bandwidth observation for the pair
+// i→j: the steady-state model estimate perturbed by measurement noise.
+// Administrative rate limits are deliberately ignored — probes are too
+// small to trip them — which is one of the paper's sources of
+// scheduling error.
+func (t *Topology) MeasuredBW(i, j int, rng *rand.Rand) float64 {
+	l := t.Link(i, j)
+	capacity := l.Capacity
+	if nb := t.hostCap(i); nb > 0 && nb < capacity {
+		capacity = nb
+	}
+	if nb := t.hostCap(j); nb > 0 && nb < capacity {
+		capacity = nb
+	}
+	cfg := tcpsim.Config{
+		RTT:      l.RTT,
+		Capacity: capacity,
+		LossRate: l.Loss,
+		SndBuf:   t.Hosts[i].SndBuf,
+		RcvBuf:   t.Hosts[j].RcvBuf,
+	}
+	bw := tcpmodel.SteadyBW(cfg.Model())
+	return bw * noiseFactor(rng, t.MeasureNoise)
+}
+
+// DirectChain builds the single-hop transfer i→j of size bytes, with
+// per-transfer load noise applied to the capacity.
+func (t *Topology) DirectChain(i, j int, size int64, rng *rand.Rand, capture bool) pipesim.Chain {
+	cfg := t.PathConfig(i, j)
+	cfg.Capacity *= noiseFactor(rng, t.LoadNoise)
+	return pipesim.Chain{
+		Size:    size,
+		Hops:    []pipesim.Hop{{Name: t.Hosts[i].Name + "->" + t.Hosts[j].Name, TCP: cfg}},
+		Capture: capture,
+	}
+}
+
+// RelayChain builds a multi-hop transfer along path (host indices,
+// endpoints included), with per-transfer load noise on link capacities
+// and depot forwarding rates.
+func (t *Topology) RelayChain(path []int, size int64, rng *rand.Rand, capture bool) (pipesim.Chain, error) {
+	if len(path) < 2 {
+		return pipesim.Chain{}, fmt.Errorf("topo: relay path needs >= 2 hosts, got %d", len(path))
+	}
+	hops := make([]pipesim.Hop, 0, len(path)-1)
+	depots := make([]pipesim.Depot, 0, len(path)-2)
+	for k := 0; k+1 < len(path); k++ {
+		i, j := path[k], path[k+1]
+		cfg := t.PathConfig(i, j)
+		cfg.Capacity *= noiseFactor(rng, t.LoadNoise)
+		hops = append(hops, pipesim.Hop{
+			Name: t.Hosts[i].Name + "->" + t.Hosts[j].Name,
+			TCP:  cfg,
+		})
+	}
+	for k := 1; k+1 < len(path); k++ {
+		h := t.Hosts[path[k]]
+		if !h.Depot {
+			return pipesim.Chain{}, fmt.Errorf("topo: host %s on relay path runs no depot", h.Name)
+		}
+		rate := h.ForwardRate
+		if rate > 0 {
+			rate *= t.loadFactor(path[k]) * noiseFactor(rng, t.LoadNoise)
+		}
+		depots = append(depots, pipesim.Depot{
+			Name:          h.Name,
+			PipelineBytes: h.PipelineBytes,
+			ForwardRate:   rate,
+		})
+	}
+	return pipesim.Chain{Size: size, Hops: hops, Depots: depots, Capture: capture}, nil
+}
+
+// RTTTable renders the host-pair RTTs for the named pairs, reproducing
+// the paper's Section 3 table.
+func (t *Topology) RTTTable(pairs [][2]string) ([]string, error) {
+	out := make([]string, 0, len(pairs))
+	for _, p := range pairs {
+		i, ok := t.HostIndex(p[0])
+		if !ok {
+			return nil, fmt.Errorf("topo: unknown host %q", p[0])
+		}
+		j, ok := t.HostIndex(p[1])
+		if !ok {
+			return nil, fmt.Errorf("topo: unknown host %q", p[1])
+		}
+		out = append(out, fmt.Sprintf("%-18s to %-18s %4.0fms",
+			p[0], p[1], t.Link(i, j).RTT.Seconds()*1e3))
+	}
+	return out, nil
+}

@@ -1,0 +1,309 @@
+package topo
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/netsim"
+	"github.com/netlogistics/lsl/internal/pipesim"
+)
+
+func TestTwoPathRTTsMatchPaper(t *testing.T) {
+	tp := TwoPath()
+	cases := []struct {
+		a, b   string
+		wantMS float64
+	}{
+		{UCSB, UF, 87},
+		{UCSB, Houston, 68},
+		{Houston, UF, 34},
+		{UCSB, UIUC, 70},
+		{UCSB, Denver, 46},
+		{Denver, UIUC, 45},
+	}
+	for _, c := range cases {
+		i, j := tp.MustHost(c.a), tp.MustHost(c.b)
+		gotMS := tp.Link(i, j).RTT.Seconds() * 1e3
+		if diff := gotMS - c.wantMS; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("RTT %s-%s = %vms, want %vms", c.a, c.b, gotMS, c.wantMS)
+		}
+	}
+}
+
+func TestTwoPathSymmetric(t *testing.T) {
+	tp := TwoPath()
+	for i := 0; i < tp.N(); i++ {
+		for j := 0; j < tp.N(); j++ {
+			if tp.Link(i, j) != tp.Link(j, i) {
+				t.Fatalf("asymmetric link %d-%d", i, j)
+			}
+		}
+	}
+}
+
+func TestTwoPathFullyConnected(t *testing.T) {
+	tp := TwoPath()
+	for i := 0; i < tp.N(); i++ {
+		for j := 0; j < tp.N(); j++ {
+			if i == j {
+				continue
+			}
+			if !tp.Link(i, j).Valid() {
+				t.Fatalf("missing link %s-%s", tp.Hosts[i].Name, tp.Hosts[j].Name)
+			}
+		}
+	}
+}
+
+func TestTwoPathDepots(t *testing.T) {
+	tp := TwoPath()
+	depots := tp.DepotCandidates()
+	if len(depots) != 2 {
+		t.Fatalf("depots = %d, want Denver and Houston", len(depots))
+	}
+	for _, d := range depots {
+		h := tp.Hosts[d]
+		if !strings.Contains(h.Name, "pop") {
+			t.Fatalf("unexpected depot host %s", h.Name)
+		}
+		if h.PipelineBytes != 32<<20 {
+			t.Fatalf("depot pipeline = %d, want 32MB", h.PipelineBytes)
+		}
+	}
+}
+
+func TestHostIndexAndMustHost(t *testing.T) {
+	tp := TwoPath()
+	if _, ok := tp.HostIndex("nope"); ok {
+		t.Fatal("bogus host resolved")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustHost should panic on unknown host")
+		}
+	}()
+	tp.MustHost("nope")
+}
+
+func TestPathConfigBuffers(t *testing.T) {
+	tp := TwoPath()
+	cfg := tp.PathConfig(tp.MustHost(UCSB), tp.MustHost(UIUC))
+	if cfg.SndBuf != 8<<20 || cfg.RcvBuf != 8<<20 {
+		t.Fatalf("buffers = %d/%d", cfg.SndBuf, cfg.RcvBuf)
+	}
+	if cfg.RTT.Seconds() != 0.070 {
+		t.Fatalf("rtt = %v", cfg.RTT)
+	}
+}
+
+func TestPathConfigAppliesRateLimitAndNodeBW(t *testing.T) {
+	hosts := []Host{
+		{Name: "a", Site: "a", SndBuf: 1 << 20, RcvBuf: 1 << 20, RateLimit: 1e6},
+		{Name: "b", Site: "b", SndBuf: 1 << 20, RcvBuf: 1 << 20, NodeBW: 2e6},
+	}
+	tt := newTopology("t", hosts)
+	tt.SetLink(0, 1, Link{RTT: 0.01, Capacity: 1e8, Loss: 0})
+	cfg := tt.PathConfig(0, 1)
+	if cfg.Capacity != 1e6 {
+		t.Fatalf("capacity = %v, want rate limit 1e6", cfg.Capacity)
+	}
+}
+
+func TestMeasuredBWIgnoresRateLimit(t *testing.T) {
+	hosts := []Host{
+		{Name: "a", Site: "a", SndBuf: 8 << 20, RcvBuf: 8 << 20, RateLimit: 1e5},
+		{Name: "b", Site: "b", SndBuf: 8 << 20, RcvBuf: 8 << 20},
+	}
+	tt := newTopology("t", hosts)
+	tt.SetLink(0, 1, Link{RTT: 0.01, Capacity: 1e7, Loss: 0})
+	bw := tt.MeasuredBW(0, 1, nil)
+	if bw <= 1e6 {
+		t.Fatalf("measured bw %v should not see the rate limit", bw)
+	}
+}
+
+func TestMeasuredBWSeesNodeBW(t *testing.T) {
+	hosts := []Host{
+		{Name: "a", Site: "a", SndBuf: 8 << 20, RcvBuf: 8 << 20, NodeBW: 5e5},
+		{Name: "b", Site: "b", SndBuf: 8 << 20, RcvBuf: 8 << 20},
+	}
+	tt := newTopology("t", hosts)
+	tt.SetLink(0, 1, Link{RTT: 0.01, Capacity: 1e7, Loss: 0})
+	if bw := tt.MeasuredBW(0, 1, nil); bw > 5e5*1.01 {
+		t.Fatalf("measured bw %v should be capped by NodeBW", bw)
+	}
+}
+
+func TestMeasuredBWNoise(t *testing.T) {
+	tp := TwoPath()
+	rng := rand.New(rand.NewSource(1))
+	i, j := tp.MustHost(UCSB), tp.MustHost(UF)
+	var lo, hi float64
+	for k := 0; k < 50; k++ {
+		bw := tp.MeasuredBW(i, j, rng)
+		if lo == 0 || bw < lo {
+			lo = bw
+		}
+		if bw > hi {
+			hi = bw
+		}
+	}
+	if hi/lo < 1.05 {
+		t.Fatalf("noise too small: lo=%v hi=%v", lo, hi)
+	}
+	if hi/lo > 20 {
+		t.Fatalf("noise clamp failed: lo=%v hi=%v", lo, hi)
+	}
+}
+
+func TestDirectChainRuns(t *testing.T) {
+	tp := TwoPath()
+	eng := netsim.New(1)
+	rng := rand.New(rand.NewSource(2))
+	chain := tp.DirectChain(tp.MustHost(UCSB), tp.MustHost(UIUC), 1<<20, rng, false)
+	res, err := pipesim.Run(eng, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bandwidth <= 0 {
+		t.Fatalf("bandwidth = %v", res.Bandwidth)
+	}
+}
+
+func TestRelayChainValidation(t *testing.T) {
+	tp := TwoPath()
+	rng := rand.New(rand.NewSource(2))
+	if _, err := tp.RelayChain([]int{0}, 1<<20, rng, false); err == nil {
+		t.Fatal("single-host path accepted")
+	}
+	// Relay through a non-depot host must fail.
+	path := []int{tp.MustHost(UCSB), tp.MustHost(UIUC), tp.MustHost(UF)}
+	if _, err := tp.RelayChain(path, 1<<20, rng, false); err == nil {
+		t.Fatal("relay through non-depot accepted")
+	}
+}
+
+func TestRelayChainProperties(t *testing.T) {
+	tp := TwoPath()
+	rng := rand.New(rand.NewSource(2))
+	path := []int{tp.MustHost(UCSB), tp.MustHost(Denver), tp.MustHost(UIUC)}
+	chain, err := tp.RelayChain(path, 4<<20, rng, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain.Hops) != 2 || len(chain.Depots) != 1 {
+		t.Fatalf("chain shape: %d hops, %d depots", len(chain.Hops), len(chain.Depots))
+	}
+	if chain.Depots[0].PipelineBytes != 32<<20 {
+		t.Fatalf("depot pipeline = %d", chain.Depots[0].PipelineBytes)
+	}
+	eng := netsim.New(1)
+	res, err := pipesim.Run(eng, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traces == nil {
+		t.Fatal("capture requested but no traces")
+	}
+}
+
+func TestRTTTable(t *testing.T) {
+	tp := TwoPath()
+	rows, err := tp.RTTTable(PaperRTTPairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !strings.Contains(rows[0], "87ms") {
+		t.Fatalf("first row = %q", rows[0])
+	}
+	if _, err := tp.RTTTable([][2]string{{"nope", UCSB}}); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}
+
+func TestHostNames(t *testing.T) {
+	tp := TwoPath()
+	names := tp.HostNames()
+	if len(names) != tp.N() {
+		t.Fatalf("names = %d", len(names))
+	}
+	if names[0] != tp.Hosts[0].Name {
+		t.Fatal("order mismatch")
+	}
+}
+
+func TestLoadDriftWalk(t *testing.T) {
+	tp := TwoPath()
+	// Disabled by default: factors are identity.
+	if tp.loadFactor(0) != 1 {
+		t.Fatal("load factor should default to 1")
+	}
+	rng := rand.New(rand.NewSource(1))
+	tp.AdvanceLoad(rng) // no-op when disabled
+	if tp.loadFactor(0) != 1 {
+		t.Fatal("AdvanceLoad should be a no-op when drift is disabled")
+	}
+
+	tp.EnableLoadDrift(0.2)
+	for i := 0; i < 100; i++ {
+		tp.AdvanceLoad(rng)
+	}
+	moved := false
+	for i := 0; i < tp.N(); i++ {
+		f := tp.loadFactor(i)
+		if f < 0.2 || f > 3 {
+			t.Fatalf("load factor %v escaped clamp", f)
+		}
+		if f != 1 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("drift never moved any factor")
+	}
+}
+
+func TestLoadDriftAffectsPathsAndMeasurements(t *testing.T) {
+	hosts := []Host{
+		{Name: "a", Site: "a", SndBuf: 8 << 20, RcvBuf: 8 << 20, NodeBW: 1e6},
+		{Name: "b", Site: "b", SndBuf: 8 << 20, RcvBuf: 8 << 20},
+	}
+	tt := newTopology("drift", hosts)
+	tt.SetLink(0, 1, Link{RTT: 0.01, Capacity: 1e8, Loss: 0})
+	tt.EnableLoadDrift(0.3)
+	// Force a's factor low by walking with a seed until it departs 1.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		tt.AdvanceLoad(rng)
+	}
+	f := tt.loadFactor(0)
+	if f == 1 {
+		t.Skip("walk landed exactly on 1")
+	}
+	cfg := tt.PathConfig(0, 1)
+	want := 1e6 * f
+	if diff := cfg.Capacity - want; diff > 1 || diff < -1 {
+		t.Fatalf("path capacity %v, want NodeBW·factor %v", cfg.Capacity, want)
+	}
+	bw := tt.MeasuredBW(0, 1, nil)
+	if bw > want*1.01 {
+		t.Fatalf("measured %v should be capped by drifted NodeBW %v", bw, want)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", []Host{{Name: "a", Site: "s"}, {Name: "a", Site: "s"}}); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+	if _, err := New("x", []Host{{Name: "", Site: "s"}}); err == nil {
+		t.Fatal("empty host name accepted")
+	}
+	tp, err := New("x", []Host{{Name: "a", Site: "s"}, {Name: "b", Site: "s"}})
+	if err != nil || tp.N() != 2 {
+		t.Fatalf("valid build failed: %v", err)
+	}
+}

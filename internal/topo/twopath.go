@@ -1,0 +1,92 @@
+package topo
+
+import "github.com/netlogistics/lsl/internal/simtime"
+
+// Canonical host names of the Section 3 testbed.
+const (
+	UCSB    = "ash.ucsb.edu"
+	Denver  = "depot.denver.pop"
+	Houston = "depot.houston.pop"
+	UIUC    = "bell.uiuc.edu"
+	UF      = "gator.ufl.edu"
+)
+
+const (
+	mbit = 1e6 / 8 // bytes/sec per Mbit/s
+	kb64 = int64(64 << 10)
+	mb8  = int64(8 << 20)
+)
+
+// TwoPath builds the paper's Section 3 testbed: UCSB transferring to
+// UIUC through a depot in Denver and to UF through a depot in Houston,
+// with the RTTs the paper measured from TCP acknowledgments:
+//
+//	UCSB to UF       87 ms
+//	UCSB to Houston  68 ms
+//	Houston to UF    34 ms
+//	UCSB to UIUC     70 ms
+//	UCSB to Denver   46 ms
+//	Denver to UIUC   45 ms
+//
+// Losses and capacities are calibrated so the direct and relayed
+// steady-state bandwidths land in the paper's observed ranges (Figures
+// 2 and 3): tens of Mbit/s direct, roughly 2-2.5× that through the
+// depots. The direct paths' loss rates are set independently of the
+// segment losses because the default Internet route between the end
+// sites is not the route through the depot.
+func TwoPath() *Topology {
+	hosts := []Host{
+		{Name: UCSB, Site: "ucsb.edu", SndBuf: mb8, RcvBuf: mb8},
+		{Name: Denver, Site: "denver.pop", SndBuf: mb8, RcvBuf: mb8,
+			Depot: true, ForwardRate: 60e6, PipelineBytes: 32 << 20},
+		{Name: Houston, Site: "houston.pop", SndBuf: mb8, RcvBuf: mb8,
+			Depot: true, ForwardRate: 60e6, PipelineBytes: 32 << 20},
+		{Name: UIUC, Site: "uiuc.edu", SndBuf: mb8, RcvBuf: mb8},
+		{Name: UF, Site: "ufl.edu", SndBuf: mb8, RcvBuf: mb8},
+	}
+	t := newTopology("twopath", hosts)
+	t.MeasureNoise = 0.10
+	t.LoadNoise = 0.05
+
+	ucsb := t.MustHost(UCSB)
+	den := t.MustHost(Denver)
+	hou := t.MustHost(Houston)
+	uiuc := t.MustHost(UIUC)
+	uf := t.MustHost(UF)
+
+	ms := simtime.Milliseconds
+
+	// The UIUC path. The Denver→UIUC segment is the chain bottleneck
+	// (64 Mbit/s capacity), so sublink 1 races one depot pipeline ahead
+	// — the Figure 5 knee.
+	t.SetLink(ucsb, den, Link{RTT: ms(46), Capacity: 100 * mbit, Loss: 4e-6})
+	t.SetLink(den, uiuc, Link{RTT: ms(45), Capacity: 64 * mbit, Loss: 9e-6})
+	t.SetLink(ucsb, uiuc, Link{RTT: ms(70), Capacity: 64 * mbit, Loss: 7.0e-5})
+
+	// The UF path. Here the first segment (UCSB→Houston) is the
+	// bottleneck, so the two sublink traces track closely — Figure 4.
+	t.SetLink(ucsb, hou, Link{RTT: ms(68), Capacity: 128 * mbit, Loss: 4e-6})
+	t.SetLink(hou, uf, Link{RTT: ms(34), Capacity: 128 * mbit, Loss: 4e-6})
+	t.SetLink(ucsb, uf, Link{RTT: ms(87), Capacity: 128 * mbit, Loss: 4.0e-5})
+
+	// Remaining pairs, not exercised by the Section 3 experiments but
+	// present because the scheduling graphs are fully connected.
+	t.SetLink(den, hou, Link{RTT: ms(28), Capacity: 256 * mbit, Loss: 2e-6})
+	t.SetLink(den, uf, Link{RTT: ms(60), Capacity: 100 * mbit, Loss: 1.0e-5})
+	t.SetLink(hou, uiuc, Link{RTT: ms(30), Capacity: 100 * mbit, Loss: 8e-6})
+	t.SetLink(uiuc, uf, Link{RTT: ms(45), Capacity: 64 * mbit, Loss: 1.6e-5})
+
+	return t
+}
+
+// PaperRTTPairs lists the Section 3 RTT table rows in paper order.
+func PaperRTTPairs() [][2]string {
+	return [][2]string{
+		{UCSB, UF},
+		{UCSB, Houston},
+		{Houston, UF},
+		{UCSB, UIUC},
+		{UCSB, Denver},
+		{Denver, UIUC},
+	}
+}

@@ -1,0 +1,166 @@
+// Package trace captures acknowledged-sequence-number time series from
+// simulated connections, the moral equivalent of the paper's tcpdump
+// analysis in Figures 4 and 5.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/netlogistics/lsl/internal/simtime"
+)
+
+// Point is one (time, cumulative acknowledged bytes) sample.
+type Point struct {
+	At    simtime.Time
+	Acked int64
+}
+
+// Series is the acknowledged-sequence trace of one connection. Samples
+// are appended in time order by the simulator.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// NewSeries returns an empty series with the given display name.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Observe appends a sample. It is shaped to plug directly into
+// tcpsim.Conn's OnAck hook.
+func (s *Series) Observe(at simtime.Time, acked int64) {
+	s.Points = append(s.Points, Point{At: at, Acked: acked})
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Final returns the last sample, or a zero Point for an empty series.
+func (s *Series) Final() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// AckedAt returns the cumulative acknowledged bytes at instant t by
+// step interpolation (the value of the most recent sample at or before
+// t), 0 before the first sample.
+func (s *Series) AckedAt(t simtime.Time) int64 {
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].At > t })
+	if i == 0 {
+		return 0
+	}
+	return s.Points[i-1].Acked
+}
+
+// Slope returns the average growth rate in bytes/sec between instants
+// t0 and t1 (0 when t1 <= t0).
+func (s *Series) Slope(t0, t1 simtime.Time) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	return float64(s.AckedAt(t1)-s.AckedAt(t0)) / t1.Sub(t0).Seconds()
+}
+
+// Lead returns the byte lead of s over other at instant t: how far the
+// upstream sublink's acknowledged sequence runs ahead of the downstream
+// sublink's. In a buffer-limited chain the lead saturates at the depot
+// pipeline capacity (the Figure 5 knee).
+func (s *Series) Lead(other *Series, t simtime.Time) int64 {
+	return s.AckedAt(t) - other.AckedAt(t)
+}
+
+// MaxLead returns the maximum lead of s over other across the union of
+// both series' sample instants.
+func (s *Series) MaxLead(other *Series) int64 {
+	var max int64
+	for _, p := range s.Points {
+		if l := s.Lead(other, p.At); l > max {
+			max = l
+		}
+	}
+	for _, p := range other.Points {
+		if l := s.Lead(other, p.At); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Resample returns the series sampled at n+1 evenly spaced instants
+// across [t0, t1], suitable for plotting or averaging across runs.
+func (s *Series) Resample(t0, t1 simtime.Time, n int) []Point {
+	if n < 1 || t1 <= t0 {
+		return nil
+	}
+	out := make([]Point, 0, n+1)
+	step := t1.Sub(t0).Seconds() / float64(n)
+	for i := 0; i <= n; i++ {
+		t := t0.Add(simtime.Seconds(step * float64(i)))
+		out = append(out, Point{At: t, Acked: s.AckedAt(t)})
+	}
+	return out
+}
+
+// AverageSeries resamples each input series onto a common grid of n
+// intervals from time zero to the latest final sample, and returns the
+// pointwise mean, reproducing the paper's "averaged over 10 tests"
+// sequence plots.
+func AverageSeries(name string, runs []*Series, n int) *Series {
+	if len(runs) == 0 || n < 1 {
+		return NewSeries(name)
+	}
+	var tEnd simtime.Time
+	for _, r := range runs {
+		if f := r.Final().At; f > tEnd {
+			tEnd = f
+		}
+	}
+	if tEnd == 0 {
+		return NewSeries(name)
+	}
+	avg := NewSeries(name)
+	step := tEnd.Seconds() / float64(n)
+	for i := 0; i <= n; i++ {
+		t := simtime.Time(step * float64(i))
+		var sum float64
+		for _, r := range runs {
+			sum += float64(r.AckedAt(t))
+		}
+		avg.Points = append(avg.Points, Point{At: t, Acked: int64(sum / float64(len(runs)))})
+	}
+	return avg
+}
+
+// Table renders one aligned text table of the given series on a common
+// n-interval grid, with time in seconds and sequence numbers in MB —
+// the textual form of Figures 4 and 5.
+func Table(series []*Series, n int) string {
+	var tEnd simtime.Time
+	for _, s := range series {
+		if f := s.Final().At; f > tEnd {
+			tEnd = f
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s", "time(s)")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %16s", s.Name)
+	}
+	b.WriteByte('\n')
+	if n < 1 || tEnd == 0 {
+		return b.String()
+	}
+	step := tEnd.Seconds() / float64(n)
+	for i := 0; i <= n; i++ {
+		t := simtime.Time(step * float64(i))
+		fmt.Fprintf(&b, "%10.2f", t.Seconds())
+		for _, s := range series {
+			fmt.Fprintf(&b, " %16.2f", float64(s.AckedAt(t))/(1<<20))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

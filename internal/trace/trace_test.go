@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/simtime"
+)
+
+func mkSeries(name string, pts ...Point) *Series {
+	s := NewSeries(name)
+	s.Points = pts
+	return s
+}
+
+func TestObserveAndFinal(t *testing.T) {
+	s := NewSeries("x")
+	if s.Len() != 0 || s.Final() != (Point{}) {
+		t.Fatal("fresh series should be empty")
+	}
+	s.Observe(1, 100)
+	s.Observe(2, 250)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if f := s.Final(); f.At != 2 || f.Acked != 250 {
+		t.Fatalf("final = %+v", f)
+	}
+}
+
+func TestAckedAtStepInterpolation(t *testing.T) {
+	s := mkSeries("x", Point{1, 10}, Point{2, 30}, Point{4, 50})
+	cases := []struct {
+		at   simtime.Time
+		want int64
+	}{
+		{0.5, 0},
+		{1, 10},
+		{1.5, 10},
+		{2, 30},
+		{3.9, 30},
+		{4, 50},
+		{100, 50},
+	}
+	for _, c := range cases {
+		if got := s.AckedAt(c.at); got != c.want {
+			t.Errorf("AckedAt(%v) = %d, want %d", c.at, got, c.want)
+		}
+	}
+}
+
+func TestSlope(t *testing.T) {
+	s := mkSeries("x", Point{0, 0}, Point{1, 1000}, Point{2, 2000})
+	if got := s.Slope(0, 2); got != 1000 {
+		t.Fatalf("slope = %v", got)
+	}
+	if got := s.Slope(2, 2); got != 0 {
+		t.Fatalf("degenerate slope = %v", got)
+	}
+}
+
+func TestLeadAndMaxLead(t *testing.T) {
+	fast := mkSeries("fast", Point{1, 100}, Point{2, 300}, Point{3, 300})
+	slow := mkSeries("slow", Point{1, 50}, Point{2, 100}, Point{3, 300})
+	if got := fast.Lead(slow, 2); got != 200 {
+		t.Fatalf("lead at 2 = %d", got)
+	}
+	if got := fast.MaxLead(slow); got != 200 {
+		t.Fatalf("max lead = %d", got)
+	}
+	if got := slow.MaxLead(fast); got != 0 {
+		t.Fatalf("reverse max lead = %d, want 0", got)
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := mkSeries("x", Point{0, 0}, Point{10, 1000})
+	pts := s.Resample(0, 10, 5)
+	if len(pts) != 6 {
+		t.Fatalf("resampled %d points", len(pts))
+	}
+	if pts[0].Acked != 0 || pts[5].Acked != 1000 {
+		t.Fatalf("endpoints wrong: %+v", pts)
+	}
+	if s.Resample(0, 10, 0) != nil {
+		t.Fatal("n=0 should give nil")
+	}
+	if s.Resample(5, 5, 3) != nil {
+		t.Fatal("empty interval should give nil")
+	}
+}
+
+func TestAverageSeries(t *testing.T) {
+	a := mkSeries("a", Point{0, 0}, Point{10, 1000})
+	b := mkSeries("b", Point{0, 0}, Point{10, 3000})
+	avg := AverageSeries("avg", []*Series{a, b}, 10)
+	if avg.Name != "avg" {
+		t.Fatalf("name = %q", avg.Name)
+	}
+	if got := avg.Final().Acked; got != 2000 {
+		t.Fatalf("final avg = %d, want 2000", got)
+	}
+	if empty := AverageSeries("e", nil, 10); empty.Len() != 0 {
+		t.Fatal("empty input should give empty series")
+	}
+}
+
+func TestAverageSeriesMonotone(t *testing.T) {
+	a := mkSeries("a", Point{0, 0}, Point{1, 500}, Point{2, 900})
+	b := mkSeries("b", Point{0, 0}, Point{1.5, 700}, Point{3, 1500})
+	avg := AverageSeries("avg", []*Series{a, b}, 30)
+	prev := int64(-1)
+	for _, p := range avg.Points {
+		if p.Acked < prev {
+			t.Fatalf("average series not monotone at %v", p.At)
+		}
+		prev = p.Acked
+	}
+}
+
+func TestTable(t *testing.T) {
+	a := mkSeries("alpha", Point{0, 0}, Point{2, 2 << 20})
+	b := mkSeries("beta", Point{0, 0}, Point{2, 1 << 20})
+	out := Table([]*Series{a, b}, 4)
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatalf("headers missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header + 5 grid rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[5], "2.00") || !strings.Contains(lines[5], "1.00") {
+		t.Fatalf("final row should show MB values:\n%s", out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	out := Table([]*Series{NewSeries("x")}, 4)
+	if !strings.Contains(out, "x") {
+		t.Fatal("header missing for empty series")
+	}
+}

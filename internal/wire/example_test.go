@@ -1,0 +1,40 @@
+package wire_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+// ExampleHeader shows an LSL session header round-tripping through its
+// wire encoding with a loose source route.
+func ExampleHeader() {
+	h := &wire.Header{
+		Version: wire.Version1,
+		Type:    wire.TypeData,
+		Session: wire.SessionID{0xAB},
+		Src:     wire.MustEndpoint("10.0.0.1:7411"),
+		Dst:     wire.MustEndpoint("10.0.0.9:7411"),
+	}
+	h.AddOption(wire.SourceRouteOption([]wire.Endpoint{
+		wire.MustEndpoint("10.0.0.5:7411"), // the depot to traverse
+		wire.MustEndpoint("10.0.0.9:7411"), // then the sink
+	}))
+
+	var buf bytes.Buffer
+	if err := wire.WriteHeader(&buf, h); err != nil {
+		panic(err)
+	}
+	got, err := wire.ReadHeader(&buf)
+	if err != nil {
+		panic(err)
+	}
+	opt, _ := got.Option(wire.OptSourceRoute)
+	hops, _ := wire.ParseSourceRoute(opt)
+	fmt.Println("dst:", got.Dst)
+	fmt.Println("next hop:", hops[0])
+	// Output:
+	// dst: 10.0.0.9:7411
+	// next hop: 10.0.0.5:7411
+}

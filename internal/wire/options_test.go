@@ -1,0 +1,201 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceRouteRoundTrip(t *testing.T) {
+	hops := []Endpoint{
+		MustEndpoint("10.0.0.1:1"),
+		MustEndpoint("10.0.0.2:2"),
+		MustEndpoint("10.0.0.3:3"),
+	}
+	got, err := ParseSourceRoute(SourceRouteOption(hops))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("hops = %v", got)
+	}
+	for i := range hops {
+		if got[i] != hops[i] {
+			t.Fatalf("hop %d = %v, want %v", i, got[i], hops[i])
+		}
+	}
+}
+
+func TestSourceRouteEmpty(t *testing.T) {
+	got, err := ParseSourceRoute(SourceRouteOption(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty route: %v, %v", got, err)
+	}
+}
+
+func TestSourceRouteErrors(t *testing.T) {
+	if _, err := ParseSourceRoute(Option{Kind: OptBufferAdvert}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	if _, err := ParseSourceRoute(Option{Kind: OptSourceRoute, Data: []byte{1, 2, 3}}); err == nil {
+		t.Fatal("odd length accepted")
+	}
+}
+
+func TestSourceRouteProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		n := len(raw) / 6
+		hops := make([]Endpoint, n)
+		for i := range hops {
+			copy(hops[i].IP[:], raw[i*6:])
+			hops[i].Port = uint16(raw[i*6+4])<<8 | uint16(raw[i*6+5])
+		}
+		got, err := ParseSourceRoute(SourceRouteOption(hops))
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range hops {
+			if got[i] != hops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferAdvert(t *testing.T) {
+	got, err := ParseBufferAdvert(BufferAdvertOption(12345))
+	if err != nil || got != 12345 {
+		t.Fatalf("advert = %v, %v", got, err)
+	}
+	if _, err := ParseBufferAdvert(Option{Kind: OptBufferAdvert, Data: []byte{1}}); err == nil {
+		t.Fatal("short advert accepted")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	got, err := ParseGenerate(GenerateOption(1 << 40))
+	if err != nil || got != 1<<40 {
+		t.Fatalf("generate = %v, %v", got, err)
+	}
+	if _, err := ParseGenerate(Option{Kind: OptGenerate, Data: []byte{1, 2}}); err == nil {
+		t.Fatal("short generate accepted")
+	}
+}
+
+func sampleTree() *TreeNode {
+	return &TreeNode{
+		Addr: MustEndpoint("10.0.0.1:1"),
+		Children: []*TreeNode{
+			{
+				Addr: MustEndpoint("10.0.0.2:2"),
+				Children: []*TreeNode{
+					{Addr: MustEndpoint("10.0.0.3:3")},
+					{Addr: MustEndpoint("10.0.0.4:4")},
+				},
+			},
+			{Addr: MustEndpoint("10.0.0.5:5")},
+		},
+	}
+}
+
+func TestMulticastTreeRoundTrip(t *testing.T) {
+	tree := sampleTree()
+	opt, err := MulticastTreeOption(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMulticastTree(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 5 {
+		t.Fatalf("size = %d", got.Size())
+	}
+	if got.Addr != tree.Addr {
+		t.Fatal("root mismatch")
+	}
+	if len(got.Children) != 2 || len(got.Children[0].Children) != 2 {
+		t.Fatalf("shape mismatch: %+v", got)
+	}
+	leaves := got.Leaves()
+	if len(leaves) != 3 {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	want := []Endpoint{
+		MustEndpoint("10.0.0.3:3"),
+		MustEndpoint("10.0.0.4:4"),
+		MustEndpoint("10.0.0.5:5"),
+	}
+	for i := range want {
+		if leaves[i] != want[i] {
+			t.Fatalf("leaf %d = %v, want %v", i, leaves[i], want[i])
+		}
+	}
+}
+
+func TestMulticastTreeSingleNode(t *testing.T) {
+	root := &TreeNode{Addr: MustEndpoint("1.1.1.1:1")}
+	opt, err := MulticastTreeOption(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMulticastTree(opt)
+	if err != nil || got.Size() != 1 {
+		t.Fatalf("single-node tree: %v, %v", got, err)
+	}
+	if ls := got.Leaves(); len(ls) != 1 || ls[0] != root.Addr {
+		t.Fatalf("leaves = %v", ls)
+	}
+}
+
+func TestMulticastTreeErrors(t *testing.T) {
+	if _, err := MulticastTreeOption(nil); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+	if _, err := ParseMulticastTree(Option{Kind: OptSourceRoute}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	if _, err := ParseMulticastTree(Option{Kind: OptMulticastTree, Data: []byte{1, 2}}); err == nil {
+		t.Fatal("bad length accepted")
+	}
+	// Root must start at depth 0.
+	bad := Option{Kind: OptMulticastTree, Data: []byte{1, 10, 0, 0, 1, 0, 1}}
+	if _, err := ParseMulticastTree(bad); err == nil {
+		t.Fatal("root at depth 1 accepted")
+	}
+	// Depth jump of 2.
+	opt, _ := MulticastTreeOption(sampleTree())
+	data := append([]byte(nil), opt.Data...)
+	data[7] = 3 // second entry jumps from depth 0 to 3
+	if _, err := ParseMulticastTree(Option{Kind: OptMulticastTree, Data: data}); err == nil {
+		t.Fatal("depth jump accepted")
+	}
+}
+
+func TestMulticastDeepChain(t *testing.T) {
+	// A 50-deep chain round-trips.
+	root := &TreeNode{Addr: MustEndpoint("10.0.0.1:1")}
+	cur := root
+	for i := 2; i <= 50; i++ {
+		child := &TreeNode{Addr: Endpoint{IP: [4]byte{10, 0, byte(i), 1}, Port: 1}}
+		cur.Children = []*TreeNode{child}
+		cur = child
+	}
+	opt, err := MulticastTreeOption(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMulticastTree(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 50 {
+		t.Fatalf("size = %d", got.Size())
+	}
+	if len(got.Leaves()) != 1 {
+		t.Fatalf("leaves = %d", len(got.Leaves()))
+	}
+}

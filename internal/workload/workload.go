@@ -1,0 +1,244 @@
+// Package workload implements the paper's Section 4.2 evaluation
+// driver: a pseudo-random test generator that picks (source,
+// destination, 2^n MB) cases, measures each case both directly and over
+// the scheduled LSL route, and aggregates per-case speedups. Only pairs
+// for which the scheduler chose a depot route are measured, exactly as
+// in the paper ("Only routes where the scheduler chose to use depots
+// were measured").
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/netlogistics/lsl/internal/netsim"
+	"github.com/netlogistics/lsl/internal/pipesim"
+	"github.com/netlogistics/lsl/internal/schedule"
+	"github.com/netlogistics/lsl/internal/stats"
+	"github.com/netlogistics/lsl/internal/topo"
+)
+
+// Test is one generated measurement request.
+type Test struct {
+	Src, Dst  int
+	Size      int64
+	Scheduled bool // measure the LSL route (true) or the direct path
+}
+
+// Generator produces the paper's pseudo-random tests.
+type Generator struct {
+	rng  *rand.Rand
+	n    int
+	pool [][2]int
+	// MaxExp bounds the size distribution: size = 2^k MB with
+	// 0 <= k < MaxExp (paper: 7, i.e. 1..64 MB).
+	MaxExp int
+}
+
+// NewGenerator returns a generator drawing uniformly random ordered
+// pairs over n hosts.
+func NewGenerator(n int, rng *rand.Rand) *Generator {
+	return &Generator{rng: rng, n: n, MaxExp: 7}
+}
+
+// NewPoolGenerator returns a generator drawing pairs from a fixed pool,
+// used to concentrate a bounded measurement budget so each (pair, size)
+// case accumulates several direct and scheduled observations.
+func NewPoolGenerator(pool [][2]int, rng *rand.Rand) *Generator {
+	return &Generator{rng: rng, pool: pool, MaxExp: 7}
+}
+
+// Next draws one test: a host pair (uniform over the pool, or over all
+// ordered pairs when no pool is set), size 2^k MB, and a fair coin for
+// direct vs scheduled.
+func (g *Generator) Next() Test {
+	var src, dst int
+	if len(g.pool) > 0 {
+		p := g.pool[g.rng.Intn(len(g.pool))]
+		src, dst = p[0], p[1]
+	} else {
+		src = g.rng.Intn(g.n)
+		dst = g.rng.Intn(g.n - 1)
+		if dst >= src {
+			dst++
+		}
+	}
+	k := g.rng.Intn(g.MaxExp)
+	return Test{
+		Src:       src,
+		Dst:       dst,
+		Size:      int64(1) << (20 + k),
+		Scheduled: g.rng.Intn(2) == 0,
+	}
+}
+
+// Runner executes generated tests against a topology via the planner.
+type Runner struct {
+	Topo    *topo.Topology
+	Planner *schedule.Planner
+	Eng     *netsim.Engine
+	Rng     *rand.Rand
+	Agg     *stats.SpeedupAggregator
+
+	// ReplanEvery rebuilds the plan after this many executed
+	// measurements, standing in for the paper's 5-minute re-scheduling
+	// interval. Zero keeps the initial plan for the whole run.
+	ReplanEvery int
+	// FeedObservations feeds each measured bandwidth back into the NWS
+	// monitor so replans see fresh data.
+	FeedObservations bool
+	// ReprimeOnReplan re-feeds one fresh NWS probe per ordered host
+	// pair before every replan, modelling the background sensors that
+	// run continuously between scheduling rounds. Without it a replan
+	// only sees whatever direct-transfer observations happened to
+	// arrive.
+	ReprimeOnReplan bool
+
+	executed int
+	skipped  int
+}
+
+// NewRunner wires a runner over t with an already-primed-and-planned
+// planner.
+func NewRunner(t *topo.Topology, p *schedule.Planner, eng *netsim.Engine, rng *rand.Rand) *Runner {
+	return &Runner{
+		Topo:    t,
+		Planner: p,
+		Eng:     eng,
+		Rng:     rng,
+		Agg:     stats.NewSpeedupAggregator(),
+	}
+}
+
+// Executed reports how many measurements have run.
+func (r *Runner) Executed() int { return r.executed }
+
+// Skipped reports how many generated tests were discarded because the
+// scheduler chose the direct route for the pair.
+func (r *Runner) Skipped() int { return r.skipped }
+
+// RunOne executes one test if its pair has a scheduled depot route,
+// recording the result in the aggregator. It reports whether the test
+// was executed.
+func (r *Runner) RunOne(t Test) (bool, error) {
+	path, err := r.Planner.Path(t.Src, t.Dst)
+	if err != nil {
+		return false, err
+	}
+	if len(path) <= 2 {
+		r.skipped++
+		return false, nil
+	}
+
+	var chain pipesim.Chain
+	if t.Scheduled {
+		chain, err = r.Topo.RelayChain(path, t.Size, r.Rng, false)
+		if err != nil {
+			return false, err
+		}
+	} else {
+		chain = r.Topo.DirectChain(t.Src, t.Dst, t.Size, r.Rng, false)
+	}
+	res, err := pipesim.Run(r.Eng, chain)
+	if err != nil {
+		return false, fmt.Errorf("workload: %s", err)
+	}
+
+	key := stats.CaseKey{
+		Source: r.Topo.Hosts[t.Src].Name,
+		Dest:   r.Topo.Hosts[t.Dst].Name,
+		Size:   t.Size,
+	}
+	if t.Scheduled {
+		r.Agg.AddScheduled(key, res.Bandwidth)
+	} else {
+		r.Agg.AddDirect(key, res.Bandwidth)
+		if r.FeedObservations {
+			// Direct transfers double as end-to-end measurements.
+			if err := r.Planner.Observe(key.Source, key.Dest, res.Bandwidth); err != nil {
+				return false, err
+			}
+		}
+	}
+
+	r.executed++
+	// One measurement is one tick of wall-clock on the testbed: the
+	// slow per-host load walk (when the topology enables it) advances.
+	r.Topo.AdvanceLoad(r.Rng)
+	if r.ReplanEvery > 0 && r.executed%r.ReplanEvery == 0 {
+		if r.ReprimeOnReplan {
+			if err := r.Planner.Prime(r.Rng, 1); err != nil {
+				return false, err
+			}
+		}
+		if err := r.Planner.Replan(); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Run draws tests from gen until measurements tests have executed.
+// To guarantee termination on topologies where depot routes are rare,
+// it gives up after 1000×measurements draws.
+func (r *Runner) Run(gen *Generator, measurements int) error {
+	budget := 1000 * measurements
+	for r.executed < measurements && budget > 0 {
+		budget--
+		if _, err := r.RunOne(gen.Next()); err != nil {
+			return err
+		}
+	}
+	if r.executed < measurements {
+		return fmt.Errorf("workload: only %d/%d measurements executed (scheduler rarely picks depots here)",
+			r.executed, measurements)
+	}
+	return nil
+}
+
+// MeasurePair runs reps direct and reps scheduled transfers for one
+// pair at one size, regardless of whether the planner chose a relay
+// (used by the Figure 11 experiment, where all pairs are measured both
+// ways). It records results in the aggregator and returns the planned
+// path.
+func (r *Runner) MeasurePair(src, dst int, size int64, reps int) ([]int, error) {
+	path, err := r.Planner.Path(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	if path == nil {
+		return nil, fmt.Errorf("workload: no route %s→%s",
+			r.Topo.Hosts[src].Name, r.Topo.Hosts[dst].Name)
+	}
+	key := stats.CaseKey{
+		Source: r.Topo.Hosts[src].Name,
+		Dest:   r.Topo.Hosts[dst].Name,
+		Size:   size,
+	}
+	for i := 0; i < reps; i++ {
+		direct := r.Topo.DirectChain(src, dst, size, r.Rng, false)
+		res, err := pipesim.Run(r.Eng, direct)
+		if err != nil {
+			return nil, err
+		}
+		r.Agg.AddDirect(key, res.Bandwidth)
+		r.executed++
+
+		var chain pipesim.Chain
+		if len(path) > 2 {
+			chain, err = r.Topo.RelayChain(path, size, r.Rng, false)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			chain = r.Topo.DirectChain(src, dst, size, r.Rng, false)
+		}
+		res, err = pipesim.Run(r.Eng, chain)
+		if err != nil {
+			return nil, err
+		}
+		r.Agg.AddScheduled(key, res.Bandwidth)
+		r.executed++
+	}
+	return path, nil
+}

@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/netsim"
+	"github.com/netlogistics/lsl/internal/schedule"
+	"github.com/netlogistics/lsl/internal/topo"
+)
+
+func TestGeneratorDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGenerator(10, rng)
+	sizes := map[int64]bool{}
+	var scheduled, direct int
+	for i := 0; i < 2000; i++ {
+		tt := g.Next()
+		if tt.Src == tt.Dst {
+			t.Fatal("generated self-pair")
+		}
+		if tt.Src < 0 || tt.Src >= 10 || tt.Dst < 0 || tt.Dst >= 10 {
+			t.Fatalf("pair out of range: %+v", tt)
+		}
+		sizes[tt.Size] = true
+		if tt.Scheduled {
+			scheduled++
+		} else {
+			direct++
+		}
+	}
+	if len(sizes) != 7 {
+		t.Fatalf("distinct sizes = %d, want 7 (1..64 MB)", len(sizes))
+	}
+	for s := range sizes {
+		if s < 1<<20 || s > 64<<20 {
+			t.Fatalf("size %d outside 1..64MB", s)
+		}
+	}
+	// Fair coin: neither kind should dominate badly.
+	if scheduled < 800 || direct < 800 {
+		t.Fatalf("unbalanced kinds: %d scheduled, %d direct", scheduled, direct)
+	}
+}
+
+func TestPoolGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pool := [][2]int{{1, 2}, {3, 4}}
+	g := NewPoolGenerator(pool, rng)
+	for i := 0; i < 100; i++ {
+		tt := g.Next()
+		if !(tt.Src == 1 && tt.Dst == 2) && !(tt.Src == 3 && tt.Dst == 4) {
+			t.Fatalf("pair %d,%d outside pool", tt.Src, tt.Dst)
+		}
+	}
+}
+
+func TestGeneratorCustomMaxExp(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewGenerator(5, rng)
+	g.MaxExp = 2
+	for i := 0; i < 100; i++ {
+		if s := g.Next().Size; s != 1<<20 && s != 2<<20 {
+			t.Fatalf("size %d with MaxExp=2", s)
+		}
+	}
+}
+
+func planned(t *testing.T, tp *topo.Topology) *schedule.Planner {
+	t.Helper()
+	p, err := schedule.NewPlanner(tp, schedule.DefaultEpsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	if err := p.Prime(rng, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunOneSkipsDirectPairs(t *testing.T) {
+	tp := topo.TwoPath()
+	p := planned(t, tp)
+	r := NewRunner(tp, p, netsim.New(1), rand.New(rand.NewSource(5)))
+
+	// Find a pair the scheduler routes directly.
+	var src, dst int = -1, -1
+	for s := 0; s < tp.N() && src < 0; s++ {
+		for d := 0; d < tp.N(); d++ {
+			if s == d {
+				continue
+			}
+			rel, err := p.Relayed(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rel {
+				src, dst = s, d
+				break
+			}
+		}
+	}
+	if src < 0 {
+		t.Skip("every pair relayed in this topology")
+	}
+	ran, err := r.RunOne(Test{Src: src, Dst: dst, Size: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("direct pair should be skipped")
+	}
+	if r.Skipped() != 1 || r.Executed() != 0 {
+		t.Fatalf("counters: skipped=%d executed=%d", r.Skipped(), r.Executed())
+	}
+}
+
+func TestRunOneExecutesRelayedPair(t *testing.T) {
+	tp := topo.TwoPath()
+	p := planned(t, tp)
+	r := NewRunner(tp, p, netsim.New(1), rand.New(rand.NewSource(5)))
+	ucsb, uiuc := tp.MustHost(topo.UCSB), tp.MustHost(topo.UIUC)
+	rel, err := p.Relayed(ucsb, uiuc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel {
+		t.Skip("UCSB→UIUC not relayed under this seed")
+	}
+	for _, scheduled := range []bool{true, false} {
+		ran, err := r.RunOne(Test{Src: ucsb, Dst: uiuc, Size: 2 << 20, Scheduled: scheduled})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ran {
+			t.Fatal("relayed pair should run")
+		}
+	}
+	if r.Executed() != 2 {
+		t.Fatalf("executed = %d", r.Executed())
+	}
+	rows := r.Agg.BySize()
+	if len(rows) != 1 || rows[0].Cases != 1 {
+		t.Fatalf("aggregation rows = %+v", rows)
+	}
+}
+
+func TestRunReachesTarget(t *testing.T) {
+	tp := topo.PlanetLab(topo.DefaultPlanetLab(), 1)
+	p := planned(t, tp)
+	r := NewRunner(tp, p, netsim.New(2), rand.New(rand.NewSource(6)))
+	gen := NewGenerator(tp.N(), rand.New(rand.NewSource(7)))
+	gen.MaxExp = 3 // keep sizes small for test speed
+	if err := r.Run(gen, 60); err != nil {
+		t.Fatal(err)
+	}
+	if r.Executed() != 60 {
+		t.Fatalf("executed = %d", r.Executed())
+	}
+	if r.Agg.Measurements() != 60 {
+		t.Fatalf("aggregator measurements = %d", r.Agg.Measurements())
+	}
+}
+
+func TestRunnerReplanCadence(t *testing.T) {
+	tp := topo.PlanetLab(topo.DefaultPlanetLab(), 1)
+	p := planned(t, tp)
+	before := p.Replans()
+	r := NewRunner(tp, p, netsim.New(2), rand.New(rand.NewSource(6)))
+	r.ReplanEvery = 10
+	r.FeedObservations = true
+	gen := NewGenerator(tp.N(), rand.New(rand.NewSource(7)))
+	gen.MaxExp = 2
+	if err := r.Run(gen, 30); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Replans() - before; got != 3 {
+		t.Fatalf("replans during run = %d, want 3", got)
+	}
+}
+
+func TestMeasurePair(t *testing.T) {
+	tp := topo.TwoPath()
+	p := planned(t, tp)
+	r := NewRunner(tp, p, netsim.New(3), rand.New(rand.NewSource(8)))
+	ucsb, uiuc := tp.MustHost(topo.UCSB), tp.MustHost(topo.UIUC)
+	path, err := r.MeasurePair(ucsb, uiuc, 2<<20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != ucsb || path[len(path)-1] != uiuc {
+		t.Fatalf("path = %v", path)
+	}
+	if r.Executed() != 6 { // 3 direct + 3 scheduled
+		t.Fatalf("executed = %d", r.Executed())
+	}
+	rows := r.Agg.BySize()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Box.N != 1 {
+		t.Fatalf("cases = %d", rows[0].Box.N)
+	}
+}
