@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The data path is lock-free by design; prove it under the race
+# detector where the concurrency lives.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/depot/... ./internal/lsl/... ./internal/core/...
+
+# The full pre-commit gate.
+verify: build vet test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

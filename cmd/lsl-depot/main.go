@@ -5,11 +5,19 @@
 // Usage:
 //
 //	lsl-depot -listen 0.0.0.0:7411 -self 198.51.100.7:7411 \
-//	          [-routes routes.txt] [-pipeline 32] [-max-sessions 64]
+//	          [-routes routes.txt] [-pipeline 32] [-max-sessions 64] \
+//	          [-debug-addr 127.0.0.1:7412]
 //
 // The optional routes file has one entry per line:
 //
 //	<destination-ip:port> <next-hop-ip:port>
+//
+// With -debug-addr the depot serves a live telemetry endpoint:
+// GET /metrics returns every counter, gauge, and histogram in a flat
+// text format (append ?format=json for a JSON snapshot), and
+// GET /sessions lists the in-flight sessions with their hop index,
+// byte progress, and pipeline occupancy. On SIGINT/SIGTERM the depot
+// shuts down cleanly and logs a final stats line.
 package main
 
 import (
@@ -18,12 +26,16 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/netlogistics/lsl/internal/depot"
 	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/obs"
 	"github.com/netlogistics/lsl/internal/wire"
 )
 
@@ -34,6 +46,7 @@ var (
 	pipelineMB  = flag.Int("pipeline", 32, "per-session pipeline buffering in MB")
 	maxSessions = flag.Int("max-sessions", 0, "refuse sessions beyond this concurrency (0 = unlimited)")
 	dialTimeout = flag.Duration("dial-timeout", 10*time.Second, "onward connection timeout")
+	debugAddr   = flag.String("debug-addr", "", "serve /metrics and /sessions on this ip:port (empty = off)")
 	verbose     = flag.Bool("v", false, "log per-session diagnostics")
 )
 
@@ -67,6 +80,10 @@ func run() error {
 		}
 	}
 
+	reg := obs.NewRegistry()
+	sessions := obs.NewSessionTable()
+	lsl.SetMetrics(reg)
+
 	cfg := depot.Config{
 		Self: self,
 		Dial: lsl.DialerFunc(func(addr string) (net.Conn, error) {
@@ -75,6 +92,8 @@ func run() error {
 		Routes:        routes,
 		PipelineBytes: *pipelineMB << 20,
 		MaxSessions:   *maxSessions,
+		Metrics:       reg,
+		Sessions:      sessions,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -90,16 +109,49 @@ func run() error {
 	}
 	log.Printf("depot %s listening on %s (pipeline %d MB)", self, *listenAddr, *pipelineMB)
 
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		log.Printf("debug endpoint on http://%s (/metrics, /sessions)", dln.Addr())
+		go func() {
+			if herr := http.Serve(dln, obs.Handler(reg, sessions)); herr != nil {
+				log.Printf("debug endpoint: %v", herr)
+			}
+		}()
+	}
+
+	// A clean shutdown logs the final tallies so short runs still leave
+	// a record of what moved.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("received %s, shutting down", sig)
+		log.Printf("final %s", statsLine(srv.Stats()))
+		srv.Close()
+		ln.Close()
+	}()
+
 	// Periodic stats line, so operators can watch forwarding volume.
 	go func() {
 		for range time.Tick(30 * time.Second) {
-			st := srv.Stats()
-			log.Printf("stats: accepted=%d forwarded=%d delivered=%d generated=%d refused=%d errors=%d bytes=%d",
-				st.Accepted, st.Forwarded, st.Delivered, st.Generated, st.Refused, st.Errors,
-				st.BytesForwarded+st.BytesDelivered)
+			log.Print(statsLine(srv.Stats()))
 		}
 	}()
-	return srv.Serve(ln)
+	err = srv.Serve(ln)
+	if err != nil && strings.Contains(err.Error(), "use of closed network connection") {
+		return nil
+	}
+	return err
+}
+
+// statsLine renders one depot stats snapshot as a log line.
+func statsLine(st depot.Stats) string {
+	return fmt.Sprintf("stats: accepted=%d forwarded=%d delivered=%d generated=%d refused=%d errors=%d bytes=%d",
+		st.Accepted, st.Forwarded, st.Delivered, st.Generated, st.Refused, st.Errors,
+		st.BytesForwarded+st.BytesDelivered)
 }
 
 func loadRoutes(path string) (map[wire.Endpoint]wire.Endpoint, error) {

@@ -16,6 +16,14 @@
 // per-session throughput:
 //
 //	lsl-xfer -sink -listen 0.0.0.0:7411 -self 198.51.100.9:7411
+//
+// Telemetry: -trace-out FILE appends the session's lifecycle events as
+// JSON lines (the sender emits hop 0; a sink emits its own hop), and
+// -sample INTERVAL samples the cumulative bytes this side has pushed
+// into (or pulled from) its socket, printing a sequence table after the
+// transfer — the Figure 5-style curve whose knee marks downstream
+// back-pressure. With both flags the samples are appended to the trace
+// file as "sample" events.
 package main
 
 import (
@@ -32,20 +40,24 @@ import (
 
 	"github.com/netlogistics/lsl/internal/depot"
 	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/obs"
+	"github.com/netlogistics/lsl/internal/trace"
 	"github.com/netlogistics/lsl/internal/wire"
 )
 
 var (
-	to       = flag.String("to", "", "destination ip:port")
-	via      = flag.String("via", "", "comma-separated depot ip:port hops")
-	src      = flag.String("src", "0.0.0.0:0", "source endpoint label carried in the header")
-	sizeSpec = flag.String("size", "16M", "bytes to move (suffixes K, M, G)")
-	generate = flag.Bool("generate", false, "ask the first hop to generate the data")
-	store    = flag.Bool("store", false, "store at the destination depot instead of delivering (async mode); prints the session id")
-	fetchID  = flag.String("fetch", "", "fetch the stored session with this hex id from -to")
-	sink     = flag.Bool("sink", false, "run as a verifying sink instead of a sender")
-	listen   = flag.String("listen", "0.0.0.0:7411", "sink: TCP listen address")
-	selfAddr = flag.String("self", "", "sink: public ip:port (required with -sink)")
+	to        = flag.String("to", "", "destination ip:port")
+	via       = flag.String("via", "", "comma-separated depot ip:port hops")
+	src       = flag.String("src", "0.0.0.0:0", "source endpoint label carried in the header")
+	sizeSpec  = flag.String("size", "16M", "bytes to move (suffixes K, M, G)")
+	generate  = flag.Bool("generate", false, "ask the first hop to generate the data")
+	store     = flag.Bool("store", false, "store at the destination depot instead of delivering (async mode); prints the session id")
+	fetchID   = flag.String("fetch", "", "fetch the stored session with this hex id from -to")
+	sink      = flag.Bool("sink", false, "run as a verifying sink instead of a sender")
+	listen    = flag.String("listen", "0.0.0.0:7411", "sink: TCP listen address")
+	selfAddr  = flag.String("self", "", "sink: public ip:port (required with -sink)")
+	traceOut  = flag.String("trace-out", "", "append session trace events to this file as JSON lines")
+	sampleIvl = flag.Duration("sample", 0, "sample sent/received bytes at this interval and print a sequence table (0 = off)")
 )
 
 func main() {
@@ -62,6 +74,50 @@ func main() {
 	if err != nil {
 		log.Fatalf("lsl-xfer: %v", err)
 	}
+}
+
+// openTrace opens the -trace-out sink, or returns a nil Sink (no-op)
+// when the flag is unset. close is always safe to call.
+func openTrace() (obs.Sink, func(), error) {
+	if *traceOut == "" {
+		return nil, func() {}, nil
+	}
+	f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, func() {}, fmt.Errorf("trace-out: %w", err)
+	}
+	return obs.NewJSONSink(f), func() { f.Close() }, nil
+}
+
+// newSampler starts the -sample byte sampler, or returns nil when off.
+func newSampler(name string) *obs.ByteSampler {
+	if *sampleIvl <= 0 {
+		return nil
+	}
+	return obs.NewByteSampler(name, *sampleIvl)
+}
+
+// finishSampler prints the sampled sequence table and, when a trace
+// sink is present, appends the samples as events.
+func finishSampler(s *obs.ByteSampler, tr obs.Sink, base time.Time, session string, node string) {
+	if s == nil {
+		return
+	}
+	series := s.Stop()
+	fmt.Print(trace.Table([]*trace.Series{series}, 12))
+	if tr != nil {
+		for _, e := range obs.SeriesEvents(series, base, session, 0, node) {
+			tr.Emit(e)
+		}
+	}
+}
+
+// emit0 reports a hop-0 (initiator-side) trace event.
+func emit0(tr obs.Sink, session wire.SessionID, kind string, e obs.Event) {
+	e.Kind = kind
+	e.Session = session.String()
+	e.Node = *src
+	obs.Emit(tr, e)
 }
 
 // runFetch retrieves an asynchronously stored session and verifies its
@@ -84,6 +140,11 @@ func runFetch() error {
 	if err != nil {
 		return err
 	}
+	tr, closeTrace, err := openTrace()
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 	dial := lsl.DialerFunc(func(addr string) (net.Conn, error) {
 		return net.DialTimeout("tcp", addr, 10*time.Second)
 	})
@@ -93,11 +154,20 @@ func runFetch() error {
 		return err
 	}
 	defer sess.Close()
+	emit0(tr, id, obs.KindConnect, obs.Event{Peer: depotEP.String()})
+	sampler := newSampler("fetch " + id.String())
+	var in io.Reader = sess
+	if sampler != nil {
+		in = sampler.Reader(sess)
+	}
 	var total int64
 	buf := make([]byte, 64<<10)
 	for {
-		n, rerr := sess.Read(buf)
+		n, rerr := in.Read(buf)
 		if n > 0 {
+			if total == 0 {
+				emit0(tr, id, obs.KindFirstByte, obs.Event{})
+			}
 			if verr := depot.VerifyPattern(buf[:n], id, total); verr != nil {
 				return verr
 			}
@@ -110,6 +180,8 @@ func runFetch() error {
 			return rerr
 		}
 	}
+	emit0(tr, id, obs.KindLastByte, obs.Event{Bytes: total})
+	finishSampler(sampler, tr, start, id.String(), *src)
 	elapsed := time.Since(start)
 	fmt.Printf("fetched session %s: %d bytes in %v = %.2f Mbit/s [OK]\n",
 		id, total, elapsed.Round(time.Millisecond),
@@ -133,6 +205,25 @@ func parseSize(s string) (int64, error) {
 		return 0, fmt.Errorf("bad size %q", s)
 	}
 	return n * mult, nil
+}
+
+// sendPattern streams the session's deterministic pattern through w.
+func sendPattern(w io.Writer, id wire.SessionID, size int64) (int64, error) {
+	buf := make([]byte, 64<<10)
+	var written int64
+	for written < size {
+		n := int64(len(buf))
+		if remaining := size - written; remaining < n {
+			n = remaining
+		}
+		depot.FillPattern(buf[:n], id, written)
+		m, werr := w.Write(buf[:n])
+		written += int64(m)
+		if werr != nil {
+			return written, werr
+		}
+	}
+	return written, nil
 }
 
 func runSend() error {
@@ -163,9 +254,18 @@ func runSend() error {
 			route = append(route, ep)
 		}
 	}
+	tr, closeTrace, err := openTrace()
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 	dial := lsl.DialerFunc(func(addr string) (net.Conn, error) {
 		return net.DialTimeout("tcp", addr, 10*time.Second)
 	})
+	firstHop := dst
+	if len(route) > 0 {
+		firstHop = route[0]
+	}
 
 	start := time.Now()
 	var sess *lsl.Session
@@ -174,21 +274,20 @@ func runSend() error {
 		if err != nil {
 			return err
 		}
-		buf := make([]byte, 64<<10)
-		var written int64
-		for written < size {
-			n := int64(len(buf))
-			if remaining := size - written; remaining < n {
-				n = remaining
-			}
-			depot.FillPattern(buf[:n], sess.ID(), written)
-			m, werr := sess.Write(buf[:n])
-			written += int64(m)
-			if werr != nil {
-				return fmt.Errorf("store after %d bytes: %w", written, werr)
-			}
+		emit0(tr, sess.ID(), obs.KindConnect, obs.Event{Peer: firstHop.String()})
+		sampler := newSampler("store " + sess.ID().String())
+		var w io.Writer = sess
+		if sampler != nil {
+			w = sampler.Writer(sess)
+		}
+		emit0(tr, sess.ID(), obs.KindFirstByte, obs.Event{})
+		written, werr := sendPattern(w, sess.ID(), size)
+		if werr != nil {
+			return fmt.Errorf("store after %d bytes: %w", written, werr)
 		}
 		sess.Close()
+		emit0(tr, sess.ID(), obs.KindLastByte, obs.Event{Bytes: written})
+		finishSampler(sampler, tr, start, sess.ID().String(), *src)
 		fmt.Printf("stored session %s at %s: %d bytes in %v (fetch with: lsl-xfer -to %s -fetch %s)\n",
 			sess.ID(), dst, size, time.Since(start).Round(time.Millisecond), dst, sess.ID())
 		return nil
@@ -200,29 +299,30 @@ func runSend() error {
 		if err != nil {
 			return err
 		}
+		emit0(tr, sess.ID(), obs.KindConnect, obs.Event{Peer: firstHop.String()})
 		// The depot closes the control connection when generation ends.
 		io.Copy(io.Discard, sess) //nolint:errcheck // EOF is the signal
 		sess.Close()
+		emit0(tr, sess.ID(), obs.KindLastByte, obs.Event{Bytes: size})
 	} else {
 		sess, err = lsl.Open(dial, srcEP, dst, route)
 		if err != nil {
 			return err
 		}
-		buf := make([]byte, 64<<10)
-		var written int64
-		for written < size {
-			n := int64(len(buf))
-			if remaining := size - written; remaining < n {
-				n = remaining
-			}
-			depot.FillPattern(buf[:n], sess.ID(), written)
-			m, werr := sess.Write(buf[:n])
-			written += int64(m)
-			if werr != nil {
-				return fmt.Errorf("send after %d bytes: %w", written, werr)
-			}
+		emit0(tr, sess.ID(), obs.KindConnect, obs.Event{Peer: firstHop.String()})
+		sampler := newSampler("send " + sess.ID().String())
+		var w io.Writer = sess
+		if sampler != nil {
+			w = sampler.Writer(sess)
+		}
+		emit0(tr, sess.ID(), obs.KindFirstByte, obs.Event{})
+		written, werr := sendPattern(w, sess.ID(), size)
+		if werr != nil {
+			return fmt.Errorf("send after %d bytes: %w", written, werr)
 		}
 		sess.Close()
+		emit0(tr, sess.ID(), obs.KindLastByte, obs.Event{Bytes: written})
+		finishSampler(sampler, tr, start, sess.ID().String(), *src)
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("session %s: %d bytes in %v = %.2f Mbit/s (send-side)\n",
@@ -241,11 +341,17 @@ func runSink() error {
 	if err != nil {
 		return err
 	}
+	tr, closeTrace, err := openTrace()
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 	srv, err := depot.New(depot.Config{
 		Self: self,
 		Dial: lsl.DialerFunc(func(addr string) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, 10*time.Second)
 		}),
+		Trace: tr,
 		Local: func(s *lsl.Session) error {
 			start := time.Now()
 			buf := make([]byte, 64<<10)

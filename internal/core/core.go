@@ -22,6 +22,7 @@ import (
 	"github.com/netlogistics/lsl/internal/depot"
 	"github.com/netlogistics/lsl/internal/emu"
 	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/obs"
 	"github.com/netlogistics/lsl/internal/schedule"
 	"github.com/netlogistics/lsl/internal/topo"
 	"github.com/netlogistics/lsl/internal/wire"
@@ -48,6 +49,18 @@ type Config struct {
 	// calls schedule from live data instead of only the priming
 	// measurements — the paper's continuous-measurement operating mode.
 	FeedObservations bool
+	// Metrics, when non-nil, is shared by every depot in the system and
+	// by the transfer façade: depot counters and back-pressure gauges
+	// aggregate across hosts, and core_transfer_* metrics record each
+	// completed transfer.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives hop-indexed session lifecycle
+	// events from every depot plus the initiator's hop-0 events — an
+	// ordered per-hop trace of each transfer.
+	Trace obs.Sink
+	// Sessions, when non-nil, tracks in-flight sessions across every
+	// depot for live inspection.
+	Sessions *obs.SessionTable
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +166,9 @@ func NewSystem(t *topo.Topology, cfg Config) (*System, error) {
 			Routes:        s.routeLookup(i),
 			Local:         s.localHandler(),
 			PipelineBytes: int(pipelineOf(t.Hosts[i])),
+			Metrics:       cfg.Metrics,
+			Trace:         cfg.Trace,
+			Sessions:      cfg.Sessions,
 		})
 		if err != nil {
 			s.Close()

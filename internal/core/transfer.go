@@ -8,8 +8,44 @@ import (
 	"github.com/netlogistics/lsl/internal/depot"
 	"github.com/netlogistics/lsl/internal/graph"
 	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/obs"
 	"github.com/netlogistics/lsl/internal/wire"
 )
+
+// Metric names reported by the transfer façade into Config.Metrics.
+const (
+	MetricTransfers       = "core_transfers_total"
+	MetricTransferErrors  = "core_transfer_errors_total"
+	MetricTransferBytes   = "core_transfer_bytes_total"
+	MetricTransferSeconds = "core_transfer_seconds"
+	MetricTransferMbps    = "core_transfer_mbps"
+)
+
+// observeTransfer records a completed (or failed) transfer in the
+// system's registry. Durations and rates are in emulated time, like
+// TransferResult itself.
+func (s *System) observeTransfer(res TransferResult, err error) {
+	r := s.cfg.Metrics
+	if err != nil {
+		r.Counter(MetricTransferErrors).Inc()
+		return
+	}
+	r.Counter(MetricTransfers).Inc()
+	r.Counter(MetricTransferBytes).Add(res.Bytes)
+	// 1 ms .. ~1000 s emulated transfer durations.
+	r.Histogram(MetricTransferSeconds, obs.ExpBuckets(1e-3, 2, 20)).Observe(res.Elapsed.Seconds())
+	// 1 .. ~16k Mbit/s end-to-end rates.
+	r.Histogram(MetricTransferMbps, obs.ExpBuckets(1, 2, 15)).Observe(res.Bandwidth * 8 / 1e6)
+}
+
+// emitHop0 reports an initiator-side (hop 0) trace event.
+func (s *System) emitHop0(id wire.SessionID, src int, kind string, e obs.Event) {
+	e.Kind = kind
+	e.Session = id.String()
+	e.Hop = 0
+	e.Node = s.endpoints[src].String()
+	obs.Emit(s.cfg.Trace, e)
+}
 
 func graphNode(i int) graph.NodeID { return graph.NodeID(i) }
 
@@ -119,34 +155,49 @@ func (s *System) transferAlong(path []int, size int64) (TransferResult, error) {
 	start := time.Now()
 	sess, err := lsl.Open(s.dialerFor(src), s.endpoints[src], s.endpoints[dst], route)
 	if err != nil {
+		s.observeTransfer(TransferResult{}, err)
 		return TransferResult{}, err
 	}
+	first := dst
+	if len(path) > 2 {
+		first = path[1]
+	}
+	s.emitHop0(sess.ID(), src, obs.KindConnect, obs.Event{Peer: s.endpoints[first].String()})
 	ch := s.registerWaiter(sess.ID())
 	defer s.dropWaiter(sess.ID())
 
+	s.emitHop0(sess.ID(), src, obs.KindFirstByte, obs.Event{})
 	werr := writeSessionPattern(sess, size)
 	sess.Close()
 	if werr != nil {
+		s.observeTransfer(TransferResult{}, werr)
 		return TransferResult{}, fmt.Errorf("core: send: %w", werr)
 	}
+	s.emitHop0(sess.ID(), src, obs.KindLastByte, obs.Event{Bytes: size})
 
 	select {
 	case res := <-ch:
 		elapsed := time.Since(start)
 		if res.err != nil {
+			s.observeTransfer(TransferResult{}, res.err)
 			return TransferResult{}, fmt.Errorf("core: sink: %w", res.err)
 		}
 		if res.bytes != size {
-			return TransferResult{}, fmt.Errorf("core: sink received %d of %d bytes", res.bytes, size)
+			err := fmt.Errorf("core: sink received %d of %d bytes", res.bytes, size)
+			s.observeTransfer(TransferResult{}, err)
+			return TransferResult{}, err
 		}
 		out := s.result(size, elapsed, path)
+		s.observeTransfer(out, nil)
 		if s.cfg.FeedObservations && len(path) == 2 {
 			// A direct transfer doubles as an end-to-end measurement.
 			_ = s.Planner.Observe(s.Topo.Hosts[src].Name, s.Topo.Hosts[dst].Name, out.Bandwidth)
 		}
 		return out, nil
 	case <-time.After(transferTimeout):
-		return TransferResult{}, fmt.Errorf("core: transfer timed out after %v", transferTimeout)
+		err := fmt.Errorf("core: transfer timed out after %v", transferTimeout)
+		s.observeTransfer(TransferResult{}, err)
+		return TransferResult{}, err
 	}
 }
 
@@ -194,29 +245,41 @@ func (s *System) TransferHopByHop(srcHost, dstHost string, size int64) (Transfer
 	}
 	sess, err := lsl.Wrap(conn, s.endpoints[si], s.endpoints[di])
 	if err != nil {
+		s.observeTransfer(TransferResult{}, err)
 		return TransferResult{}, err
 	}
+	s.emitHop0(sess.ID(), si, obs.KindConnect, obs.Event{Peer: s.endpoints[first].String()})
 	ch := s.registerWaiter(sess.ID())
 	defer s.dropWaiter(sess.ID())
 
+	s.emitHop0(sess.ID(), si, obs.KindFirstByte, obs.Event{})
 	if err := writeSessionPattern(sess, size); err != nil {
 		sess.Close()
+		s.observeTransfer(TransferResult{}, err)
 		return TransferResult{}, fmt.Errorf("core: hop-by-hop send: %w", err)
 	}
 	sess.Close()
+	s.emitHop0(sess.ID(), si, obs.KindLastByte, obs.Event{Bytes: size})
 
 	select {
 	case res := <-ch:
 		elapsed := time.Since(start)
 		if res.err != nil {
+			s.observeTransfer(TransferResult{}, res.err)
 			return TransferResult{}, fmt.Errorf("core: sink: %w", res.err)
 		}
 		if res.bytes != size {
-			return TransferResult{}, fmt.Errorf("core: sink received %d of %d bytes", res.bytes, size)
+			err := fmt.Errorf("core: sink received %d of %d bytes", res.bytes, size)
+			s.observeTransfer(TransferResult{}, err)
+			return TransferResult{}, err
 		}
-		return s.result(size, elapsed, path), nil
+		out := s.result(size, elapsed, path)
+		s.observeTransfer(out, nil)
+		return out, nil
 	case <-time.After(transferTimeout):
-		return TransferResult{}, fmt.Errorf("core: hop-by-hop transfer timed out after %v", transferTimeout)
+		err := fmt.Errorf("core: hop-by-hop transfer timed out after %v", transferTimeout)
+		s.observeTransfer(TransferResult{}, err)
+		return TransferResult{}, err
 	}
 }
 
@@ -308,16 +371,21 @@ func (s *System) Multicast(srcHost string, dstHosts []string, size int64) (Multi
 	start := time.Now()
 	sess, err := lsl.OpenMulticast(s.dialerFor(si), s.endpoints[si], s.endpoints[si], root)
 	if err != nil {
+		s.observeTransfer(TransferResult{}, err)
 		return MulticastResult{}, err
 	}
+	s.emitHop0(sess.ID(), si, obs.KindConnect, obs.Event{Peer: root.Addr.String()})
 	ch := s.registerWaiter(sess.ID())
 	defer s.dropWaiter(sess.ID())
 
+	s.emitHop0(sess.ID(), si, obs.KindFirstByte, obs.Event{})
 	if err := writeSessionPattern(sess, size); err != nil {
 		sess.Close()
+		s.observeTransfer(TransferResult{}, err)
 		return MulticastResult{}, fmt.Errorf("core: multicast send: %w", err)
 	}
 	sess.Close()
+	s.emitHop0(sess.ID(), si, obs.KindLastByte, obs.Event{Bytes: size})
 
 	leaves := root.Leaves()
 	var delivered int64
@@ -325,11 +393,14 @@ func (s *System) Multicast(srcHost string, dstHosts []string, size int64) (Multi
 		select {
 		case res := <-ch:
 			if res.err != nil {
+				s.observeTransfer(TransferResult{}, res.err)
 				return MulticastResult{}, fmt.Errorf("core: multicast sink: %w", res.err)
 			}
 			delivered += res.bytes
 		case <-time.After(transferTimeout):
-			return MulticastResult{}, fmt.Errorf("core: multicast timed out after %v", transferTimeout)
+			err := fmt.Errorf("core: multicast timed out after %v", transferTimeout)
+			s.observeTransfer(TransferResult{}, err)
+			return MulticastResult{}, err
 		}
 	}
 	elapsed := time.Duration(float64(time.Since(start)) / s.cfg.TimeScale)
@@ -337,6 +408,7 @@ func (s *System) Multicast(srcHost string, dstHosts []string, size int64) (Multi
 	if elapsed > 0 {
 		bw = float64(delivered) / elapsed.Seconds()
 	}
+	s.observeTransfer(TransferResult{Bytes: delivered, Elapsed: elapsed, Bandwidth: bw}, nil)
 	leafNames := make([]string, len(leaves))
 	for k, l := range leaves {
 		leafNames[k] = s.Topo.Hosts[s.byAddr[l]].Name

@@ -8,7 +8,10 @@
 // a depot absorbs up to its pipeline's worth of bytes from a fast
 // upstream sublink while the downstream sublink drains at its own pace;
 // when the pipeline fills, back-pressure propagates upstream exactly as
-// in Figure 5 of the paper.
+// in Figure 5 of the paper. The depot reports that mechanism live
+// through the obs layer: pipeline occupancy as a gauge, per-hop bytes
+// and stall time from the pump, and per-session hop-indexed trace
+// events.
 package depot
 
 import (
@@ -21,6 +24,7 @@ import (
 	"time"
 
 	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/obs"
 	"github.com/netlogistics/lsl/internal/wire"
 )
 
@@ -66,6 +70,20 @@ type Config struct {
 	MaxSessions int
 	// Logf, when non-nil, receives diagnostic messages.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the depot's counters, the
+	// pipeline-occupancy back-pressure gauge, and the sublink
+	// throughput / chunk-latency / session-duration histograms. A
+	// registry may be shared by several depots; its figures are then
+	// aggregates, while Stats() stays per-server.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives hop-indexed session lifecycle
+	// events (accept/connect/first-byte/last-byte/deliver/refused/
+	// error) — the structured replacement for reading Logf output.
+	Trace obs.Sink
+	// Sessions, when non-nil, tracks in-flight sessions with live
+	// per-hop byte and pipeline-occupancy progress, for the /sessions
+	// debug endpoint.
+	Sessions *obs.SessionTable
 }
 
 // Stats are the depot's cumulative counters.
@@ -85,6 +103,74 @@ type Stats struct {
 	Errors         int64
 }
 
+// stat holds the Stats fields as atomics, so hot-path accounting never
+// serializes concurrent sessions.
+type stat struct {
+	accepted       atomic.Int64
+	refused        atomic.Int64
+	forwarded      atomic.Int64
+	delivered      atomic.Int64
+	generated      atomic.Int64
+	stored         atomic.Int64
+	fetched        atomic.Int64
+	fetchMisses    atomic.Int64
+	bytesForwarded atomic.Int64
+	bytesDelivered atomic.Int64
+	bytesStored    atomic.Int64
+	bytesFetched   atomic.Int64
+	errors         atomic.Int64
+}
+
+// metrics are the depot's shared-registry instruments, resolved once at
+// construction. All fields are nil (no-op) when Config.Metrics is nil.
+type metrics struct {
+	accepted   *obs.Counter
+	refused    *obs.Counter
+	errors     *obs.Counter
+	bytesFwd   *obs.Counter
+	bytesDlv   *obs.Counter
+	stallNanos *obs.Counter
+	occupancy  *obs.Gauge
+	active     *obs.Gauge
+	chunkWrite *obs.Histogram
+	throughput *obs.Histogram
+	sessionDur *obs.Histogram
+}
+
+// Metric and gauge names published to Config.Metrics.
+const (
+	MetricSessionsAccepted  = "depot_sessions_accepted_total"
+	MetricSessionsRefused   = "depot_sessions_refused_total"
+	MetricSessionErrors     = "depot_session_errors_total"
+	MetricBytesForwarded    = "depot_bytes_forwarded_total"
+	MetricBytesDelivered    = "depot_bytes_delivered_total"
+	MetricPumpStallNanos    = "depot_pump_stall_nanos_total"
+	MetricPipelineOccupancy = "depot_pipeline_occupancy_bytes"
+	MetricActiveSessions    = "depot_active_sessions"
+	MetricChunkWriteSeconds = "depot_chunk_write_seconds"
+	MetricSublinkMbps       = "depot_sublink_throughput_mbps"
+	MetricSessionSeconds    = "depot_session_seconds"
+)
+
+func newMetrics(r *obs.Registry) metrics {
+	return metrics{
+		accepted:   r.Counter(MetricSessionsAccepted),
+		refused:    r.Counter(MetricSessionsRefused),
+		errors:     r.Counter(MetricSessionErrors),
+		bytesFwd:   r.Counter(MetricBytesForwarded),
+		bytesDlv:   r.Counter(MetricBytesDelivered),
+		stallNanos: r.Counter(MetricPumpStallNanos),
+		occupancy:  r.Gauge(MetricPipelineOccupancy),
+		active:     r.Gauge(MetricActiveSessions),
+		// 100 µs .. ~1.6 s write latencies.
+		chunkWrite: r.Histogram(MetricChunkWriteSeconds, obs.ExpBuckets(1e-4, 2, 15)),
+		// 1 .. ~16k Mbit/s sublink throughput.
+		throughput: r.Histogram(MetricSublinkMbps, obs.ExpBuckets(1, 2, 15)),
+		// 1 ms .. ~1000 s session durations.
+		sessionDur: r.Histogram(MetricSessionSeconds, obs.ExpBuckets(1e-3, 2, 20)),
+	}
+}
+
 // Server is a running depot.
 type Server struct {
 	cfg    Config
@@ -92,8 +178,8 @@ type Server struct {
 	store  *sessionStore
 	wg     sync.WaitGroup
 
-	mu    sync.Mutex
-	stats Stats
+	st  stat
+	met metrics
 
 	closed atomic.Bool
 }
@@ -109,14 +195,31 @@ func New(cfg Config) (*Server, error) {
 	if cfg.PipelineBytes <= 0 {
 		cfg.PipelineBytes = DefaultPipelineBytes
 	}
-	return &Server{cfg: cfg, store: newSessionStore(cfg.StoreBytes)}, nil
+	return &Server{
+		cfg:   cfg,
+		store: newSessionStore(cfg.StoreBytes),
+		met:   newMetrics(cfg.Metrics),
+	}, nil
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Each field is read
+// atomically; fields may be mutually skewed by in-flight sessions.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Accepted:       s.st.accepted.Load(),
+		Refused:        s.st.refused.Load(),
+		Forwarded:      s.st.forwarded.Load(),
+		Delivered:      s.st.delivered.Load(),
+		Generated:      s.st.generated.Load(),
+		Stored:         s.st.stored.Load(),
+		Fetched:        s.st.fetched.Load(),
+		FetchMisses:    s.st.fetchMisses.Load(),
+		BytesForwarded: s.st.bytesForwarded.Load(),
+		BytesDelivered: s.st.bytesDelivered.Load(),
+		BytesStored:    s.st.bytesStored.Load(),
+		BytesFetched:   s.st.bytesFetched.Load(),
+		Errors:         s.st.errors.Load(),
+	}
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -125,10 +228,49 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-func (s *Server) count(f func(*Stats)) {
-	s.mu.Lock()
-	f(&s.stats)
-	s.mu.Unlock()
+// flow is the per-session observability context threaded through the
+// data path: who the session is, which hop this depot is, and where to
+// report progress. A nil *flow is valid everywhere (bare pumps in
+// tests, internal copies).
+type flow struct {
+	srv   *Server
+	id    string
+	hop   int
+	entry *obs.SessionEntry // may be nil
+	first atomic.Bool       // first payload chunk seen
+}
+
+func (f *flow) emit(kind string, e obs.Event) {
+	if f == nil || f.srv == nil {
+		return
+	}
+	e.Kind = kind
+	e.Session = f.id
+	e.Hop = f.hop
+	e.Node = f.srv.cfg.Self.String()
+	obs.Emit(f.srv.cfg.Trace, e)
+}
+
+// track registers the session in the table; the returned cleanup
+// removes it.
+func (s *Server) track(f *flow, h *wire.Header, typ string, next wire.Endpoint) func() {
+	if s.cfg.Sessions == nil {
+		return func() {}
+	}
+	entry := &obs.SessionEntry{
+		ID:      h.Session.String(),
+		Type:    typ,
+		Src:     h.Src.String(),
+		Dst:     h.Dst.String(),
+		Hop:     f.hop,
+		Started: time.Now(),
+	}
+	if !next.IsZero() {
+		entry.Next = next.String()
+	}
+	s.cfg.Sessions.Register(entry)
+	f.entry = entry
+	return func() { s.cfg.Sessions.Remove(entry) }
 }
 
 // Serve accepts sessions from l until the listener fails or Close is
@@ -181,36 +323,48 @@ func (s *Server) Shutdown(timeout time.Duration) bool {
 // Exported so tests and in-process wiring can drive a depot without a
 // listener.
 func (s *Server) Handle(conn net.Conn) {
+	start := time.Now()
 	if d := s.cfg.IdleTimeout; d > 0 {
 		conn = &idleConn{Conn: conn, timeout: d}
 	}
 	h, err := wire.ReadHeader(conn)
 	if err != nil {
 		conn.Close()
-		s.count(func(st *Stats) { st.Errors++ })
+		s.st.errors.Add(1)
+		s.met.errors.Inc()
 		s.logf("depot %s: bad header: %v", s.cfg.Self, err)
 		return
 	}
+	f := &flow{srv: s, id: h.Session.String(), hop: h.HopIndex() + 1}
 	if s.cfg.MaxSessions > 0 && s.active.Load() >= int64(s.cfg.MaxSessions) {
-		s.count(func(st *Stats) { st.Refused++ })
+		s.st.refused.Add(1)
+		s.met.refused.Inc()
+		f.emit(obs.KindRefused, obs.Event{Peer: h.Src.String(), Detail: "load"})
 		s.logf("depot %s: refusing session %s (load)", s.cfg.Self, h.Session)
 		_ = lsl.Refuse(conn, h)
 		return
 	}
 	s.active.Add(1)
-	defer s.active.Add(-1)
-	s.count(func(st *Stats) { st.Accepted++ })
+	s.met.active.Add(1)
+	defer func() {
+		s.active.Add(-1)
+		s.met.active.Add(-1)
+		s.met.sessionDur.Observe(time.Since(start).Seconds())
+	}()
+	s.st.accepted.Add(1)
+	s.met.accepted.Inc()
+	f.emit(obs.KindAccept, obs.Event{Peer: h.Src.String()})
 
 	sess := &lsl.Session{Conn: conn, Header: h}
 	switch h.Type {
 	case wire.TypeData:
-		err = s.handleData(sess)
+		err = s.handleData(sess, f)
 	case wire.TypeGenerate:
-		err = s.handleGenerate(sess)
+		err = s.handleGenerate(sess, f)
 	case wire.TypeMulticast:
-		err = s.handleMulticast(sess)
+		err = s.handleMulticast(sess, f)
 	case wire.TypeStore:
-		err = s.handleStore(sess)
+		err = s.handleStore(sess, f)
 	case wire.TypeFetch:
 		err = s.handleFetch(sess)
 	default:
@@ -218,7 +372,9 @@ func (s *Server) Handle(conn net.Conn) {
 		conn.Close()
 	}
 	if err != nil {
-		s.count(func(st *Stats) { st.Errors++ })
+		s.st.errors.Add(1)
+		s.met.errors.Inc()
+		f.emit(obs.KindError, obs.Event{Detail: err.Error()})
 		s.logf("depot %s: session %s: %v", s.cfg.Self, h.Session, err)
 	}
 }
@@ -251,8 +407,9 @@ func (s *Server) nextHop(h *wire.Header) (next wire.Endpoint, rest []wire.Endpoi
 }
 
 // forwardHeader rebuilds the header for the next hop, replacing the
-// source-route option with the remaining hops.
-func forwardHeader(h *wire.Header, rest []wire.Endpoint) *wire.Header {
+// source-route option with the remaining hops and stamping this node's
+// hop index so the next depot knows its position in the chain.
+func forwardHeader(h *wire.Header, rest []wire.Endpoint, hop int) *wire.Header {
 	out := &wire.Header{
 		Version: h.Version,
 		Type:    h.Type,
@@ -261,7 +418,7 @@ func forwardHeader(h *wire.Header, rest []wire.Endpoint) *wire.Header {
 		Dst:     h.Dst,
 	}
 	for _, o := range h.Options {
-		if o.Kind == wire.OptSourceRoute {
+		if o.Kind == wire.OptSourceRoute || o.Kind == wire.OptHopIndex {
 			continue
 		}
 		out.AddOption(o)
@@ -269,51 +426,80 @@ func forwardHeader(h *wire.Header, rest []wire.Endpoint) *wire.Header {
 	if len(rest) > 0 {
 		out.AddOption(wire.SourceRouteOption(rest))
 	}
+	out.AddOption(wire.HopIndexOption(uint16(hop)))
 	return out
 }
 
-func (s *Server) handleData(sess *lsl.Session) error {
+func (s *Server) handleData(sess *lsl.Session, f *flow) error {
 	defer sess.Close()
 	next, rest, local, err := s.nextHop(sess.Header)
 	if err != nil {
 		return err
 	}
 	if local {
-		return s.deliver(sess)
+		defer s.track(f, sess.Header, "data", wire.Endpoint{})()
+		return s.deliver(sess, f)
 	}
+	defer s.track(f, sess.Header, "data", next)()
 	out, err := s.cfg.Dial.Dial(next.String())
 	if err != nil {
 		return fmt.Errorf("forward dial %s: %w", next, err)
 	}
 	defer out.Close()
-	fh := forwardHeader(sess.Header, rest)
+	f.emit(obs.KindConnect, obs.Event{Peer: next.String()})
+	fh := forwardHeader(sess.Header, rest, f.hop)
 	fh.Type = wire.TypeData
 	if err := wire.WriteHeader(out, fh); err != nil {
 		return err
 	}
-	n, err := s.pump(out, sess)
-	s.count(func(st *Stats) { st.Forwarded++; st.BytesForwarded += n })
+	_, err = s.pump(out, sess, f)
+	s.st.forwarded.Add(1)
 	return err
 }
 
-func (s *Server) deliver(sess *lsl.Session) error {
+// deliver consumes a session addressed to this depot, counting the
+// payload as it flows so partial deliveries and live progress are
+// visible.
+func (s *Server) deliver(sess *lsl.Session, f *flow) error {
+	cc := &countedConn{Conn: sess.Conn, srv: s, f: f}
+	inner := &lsl.Session{Conn: cc, Header: sess.Header}
+	var err error
 	if s.cfg.Local != nil {
-		err := s.cfg.Local(sess)
-		s.count(func(st *Stats) { st.Delivered++ })
-		return err
+		err = s.cfg.Local(inner)
+	} else {
+		_, err = io.Copy(io.Discard, inner)
+		if err != nil && errors.Is(err, io.EOF) {
+			err = nil
+		}
 	}
-	n, err := io.Copy(io.Discard, sess)
-	s.count(func(st *Stats) { st.Delivered++; st.BytesDelivered += n })
-	if err != nil && !errors.Is(err, io.EOF) {
-		return err
+	s.st.delivered.Add(1)
+	f.emit(obs.KindDeliver, obs.Event{Bytes: cc.n.Load()})
+	return err
+}
+
+// countedConn counts payload bytes as the local handler reads them.
+type countedConn struct {
+	net.Conn
+	srv *Server
+	f   *flow
+	n   atomic.Int64
+}
+
+func (c *countedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.n.Add(int64(n))
+		c.srv.st.bytesDelivered.Add(int64(n))
+		c.srv.met.bytesDlv.Add(int64(n))
+		c.f.entry.AddBytes(int64(n))
 	}
-	return nil
+	return n, err
 }
 
 // handleGenerate synthesizes the requested bytes and pushes them toward
 // the destination as a TypeData session, serving as the evaluation
 // harness's traffic source.
-func (s *Server) handleGenerate(sess *lsl.Session) error {
+func (s *Server) handleGenerate(sess *lsl.Session, f *flow) error {
 	defer sess.Close()
 	opt, found := sess.Header.Option(wire.OptGenerate)
 	if !found {
@@ -330,24 +516,27 @@ func (s *Server) handleGenerate(sess *lsl.Session) error {
 
 	var dst io.WriteCloser
 	if local {
+		defer s.track(f, sess.Header, "generate", wire.Endpoint{})()
 		// Generating to ourselves: deliver into the local handler via
 		// an in-process pipe.
 		pr, pw := io.Pipe()
 		dst = pw
 		inner := &lsl.Session{Conn: pipeConn{PipeReader: pr}, Header: sess.Header}
 		done := make(chan error, 1)
-		go func() { done <- s.deliver(inner) }()
+		go func() { done <- s.deliver(inner, f) }()
 		defer func() {
 			pw.Close()
 			<-done
 		}()
 	} else {
+		defer s.track(f, sess.Header, "generate", next)()
 		out, err := s.cfg.Dial.Dial(next.String())
 		if err != nil {
 			return fmt.Errorf("generate dial %s: %w", next, err)
 		}
 		defer out.Close()
-		fh := forwardHeader(sess.Header, rest)
+		f.emit(obs.KindConnect, obs.Event{Peer: next.String()})
+		fh := forwardHeader(sess.Header, rest, f.hop)
 		fh.Type = wire.TypeData
 		// Strip the generate option: downstream sees a plain stream.
 		kept := fh.Options[:0]
@@ -364,7 +553,9 @@ func (s *Server) handleGenerate(sess *lsl.Session) error {
 	}
 
 	n, err := writePattern(dst, int64(size), sess.Header.Session)
-	s.count(func(st *Stats) { st.Generated++; st.BytesForwarded += n })
+	s.st.generated.Add(1)
+	s.st.bytesForwarded.Add(n)
+	s.met.bytesFwd.Add(n)
 	if err != nil {
 		return fmt.Errorf("generate: %w", err)
 	}

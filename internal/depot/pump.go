@@ -4,10 +4,32 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/obs"
 	"github.com/netlogistics/lsl/internal/wire"
 )
+
+// addBytes records payload progress in the live session entry.
+func (f *flow) addBytes(n int64) {
+	if f != nil {
+		f.entry.AddBytes(n)
+	}
+}
+
+// addQueued moves the session's pipeline-occupancy figure.
+func (f *flow) addQueued(n int64) {
+	if f != nil {
+		f.entry.AddQueued(n)
+	}
+}
+
+// firstByte reports whether this is the first payload chunk of the
+// flow (false for a nil flow, so no event fires).
+func (f *flow) firstByte() bool {
+	return f != nil && f.first.CompareAndSwap(false, true)
+}
 
 // pump moves the session payload from src to dst through a bounded
 // pipeline of PipelineBytes: a reader goroutine fills chunks into a
@@ -15,7 +37,16 @@ import (
 // drains it. When the downstream sublink is slower, the channel fills
 // and the reader — and therefore the upstream TCP connection — blocks:
 // the depot back-pressure of Figure 5.
-func (s *Server) pump(dst io.Writer, src io.Reader) (int64, error) {
+//
+// The pump is also where the logistical effect is observed: every chunk
+// moved is recorded as it moves (so partial transfers never lose bytes
+// on an error path), pipeline occupancy is kept as a live gauge that
+// rises exactly when the downstream sublink back-pressures, and the
+// time the reader spends blocked on a full pipeline is accounted as
+// stall time. f may be nil (bare pumps in tests): accounting still
+// lands in the server's counters, only per-session reporting is
+// skipped.
+func (s *Server) pump(dst io.Writer, src io.Reader, f *flow) (int64, error) {
 	depth := s.cfg.PipelineBytes / chunkSize
 	if depth < 1 {
 		depth = 1
@@ -25,44 +56,83 @@ func (s *Server) pump(dst io.Writer, src io.Reader) (int64, error) {
 		err  error
 	}
 	ch := make(chan item, depth)
+	enqueue := func(it item) {
+		n := int64(len(it.data))
+		s.met.occupancy.Add(n)
+		f.addQueued(n)
+		select {
+		case ch <- it:
+		default:
+			// Pipeline full: the upstream sublink is now blocked on
+			// this depot — Figure 5 back-pressure, measured.
+			t0 := time.Now()
+			ch <- it
+			s.met.stallNanos.Add(time.Since(t0).Nanoseconds())
+		}
+	}
+	dequeued := func(n int64) {
+		s.met.occupancy.Add(-n)
+		f.addQueued(-n)
+	}
 	go func() {
 		for {
 			buf := make([]byte, chunkSize)
 			n, err := src.Read(buf)
 			if n > 0 {
-				ch <- item{data: buf[:n]}
+				enqueue(item{data: buf[:n]})
 			}
 			if err != nil {
 				if errors.Is(err, io.EOF) {
 					err = nil
 				}
-				ch <- item{err: err}
+				enqueue(item{err: err})
 				close(ch)
 				return
 			}
 		}
 	}()
 
+	start := time.Now()
 	var written int64
+	finish := func(err error) (int64, error) {
+		f.emit(obs.KindLastByte, obs.Event{Bytes: written})
+		if elapsed := time.Since(start).Seconds(); elapsed > 0 && written > 0 {
+			s.met.throughput.Observe(float64(written) * 8 / 1e6 / elapsed)
+		}
+		return written, err
+	}
 	for it := range ch {
 		if it.data == nil {
 			if it.err != nil {
-				return written, fmt.Errorf("pump read: %w", it.err)
+				return finish(fmt.Errorf("pump read: %w", it.err))
 			}
 			break
 		}
+		if f.firstByte() {
+			f.emit(obs.KindFirstByte, obs.Event{})
+		}
+		t0 := time.Now()
 		n, err := dst.Write(it.data)
+		s.met.chunkWrite.Observe(time.Since(t0).Seconds())
+		dequeued(int64(len(it.data)))
+		// Record bytes as they move, not when the pump completes:
+		// partial transfers keep their accounting on every error path.
 		written += int64(n)
+		s.st.bytesForwarded.Add(int64(n))
+		s.met.bytesFwd.Add(int64(n))
+		f.addBytes(int64(n))
 		if err != nil {
-			// Drain the reader goroutine so it can exit.
+			// Drain the reader goroutine so it can exit, releasing the
+			// occupancy the queued chunks still hold.
 			go func() {
-				for range ch {
+				for it := range ch {
+					dequeued(int64(len(it.data)))
 				}
 			}()
-			return written, fmt.Errorf("pump write: %w", err)
+			return finish(fmt.Errorf("pump write: %w", err))
 		}
 	}
-	return written, nil
+	return finish(nil)
 }
 
 // handleMulticast implements the synchronous application-layer
@@ -70,7 +140,7 @@ func (s *Server) pump(dst io.Writer, src io.Reader) (int64, error) {
 // tree, opens a session to each child, and duplicates the payload to
 // all of them (and to local delivery when it is a leaf or the tree
 // marks it as a consumer).
-func (s *Server) handleMulticast(sess *lsl.Session) error {
+func (s *Server) handleMulticast(sess *lsl.Session, f *flow) error {
 	defer sess.Close()
 	opt, found := sess.Header.Option(wire.OptMulticastTree)
 	if !found {
@@ -84,6 +154,7 @@ func (s *Server) handleMulticast(sess *lsl.Session) error {
 	if node == nil {
 		return fmt.Errorf("multicast session %s: depot %s not in tree", sess.Header.Session, s.cfg.Self)
 	}
+	defer s.track(f, sess.Header, "multicast", wire.Endpoint{})()
 
 	// Open one onward session per child, carrying that child's subtree.
 	var writers []io.Writer
@@ -103,13 +174,14 @@ func (s *Server) handleMulticast(sess *lsl.Session) error {
 			return fmt.Errorf("multicast dial %s: %w", child.Addr, err)
 		}
 		closers = append(closers, out)
+		f.emit(obs.KindConnect, obs.Event{Peer: child.Addr.String()})
 		fh := &wire.Header{
 			Version: sess.Header.Version,
 			Type:    wire.TypeMulticast,
 			Session: sess.Header.Session,
 			Src:     sess.Header.Src,
 			Dst:     child.Addr,
-			Options: []wire.Option{childOpt},
+			Options: []wire.Option{childOpt, wire.HopIndexOption(uint16(f.hopIndex()))},
 		}
 		if err := wire.WriteHeader(out, fh); err != nil {
 			return err
@@ -125,7 +197,10 @@ func (s *Server) handleMulticast(sess *lsl.Session) error {
 		localW = pw
 		localDone = make(chan error, 1)
 		inner := &lsl.Session{Conn: pipeConn{PipeReader: pr}, Header: sess.Header}
-		go func() { localDone <- s.deliver(inner) }()
+		// The pump already records this flow's progress; give delivery
+		// an entry-less clone so session-table bytes aren't doubled.
+		fd := &flow{srv: s, id: f.id, hop: f.hopIndex()}
+		go func() { localDone <- s.deliver(inner, fd) }()
 		writers = append(writers, pw)
 	}
 
@@ -138,8 +213,8 @@ func (s *Server) handleMulticast(sess *lsl.Session) error {
 	default:
 		dst = io.MultiWriter(writers...)
 	}
-	n, err := s.pump(dst, sess)
-	s.count(func(st *Stats) { st.Forwarded++; st.BytesForwarded += n })
+	_, err = s.pump(dst, sess, f)
+	s.st.forwarded.Add(1)
 	if localW != nil {
 		localW.Close()
 		if derr := <-localDone; derr != nil && err == nil {
@@ -147,6 +222,14 @@ func (s *Server) handleMulticast(sess *lsl.Session) error {
 		}
 	}
 	return err
+}
+
+// hopIndex returns the flow's hop position (0 for a nil flow).
+func (f *flow) hopIndex() int {
+	if f == nil {
+		return 0
+	}
+	return f.hop
 }
 
 // findNode locates the tree node whose address matches self.

@@ -117,7 +117,7 @@ func TestPumpMovesEverything(t *testing.T) {
 	srv := &Server{cfg: Config{PipelineBytes: 64 << 10}}
 	src := bytes.NewReader(bytes.Repeat([]byte{42}, 500<<10))
 	var dst bytes.Buffer
-	n, err := srv.pump(&dst, src)
+	n, err := srv.pump(&dst, src, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestPumpMovesEverything(t *testing.T) {
 func TestPumpPropagatesWriteError(t *testing.T) {
 	srv := &Server{cfg: Config{PipelineBytes: 64 << 10}}
 	src := bytes.NewReader(make([]byte, 1<<20))
-	n, err := srv.pump(failWriter{}, src)
+	n, err := srv.pump(failWriter{}, src, nil)
 	if err == nil {
 		t.Fatal("write error swallowed")
 	}
@@ -145,7 +145,7 @@ func (failWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
 func TestPumpPropagatesReadError(t *testing.T) {
 	srv := &Server{cfg: Config{PipelineBytes: 64 << 10}}
 	var dst bytes.Buffer
-	_, err := srv.pump(&dst, failReader{})
+	_, err := srv.pump(&dst, failReader{}, nil)
 	if err == nil {
 		t.Fatal("read error swallowed")
 	}
@@ -159,7 +159,7 @@ func TestPumpTinyPipeline(t *testing.T) {
 	srv := &Server{cfg: Config{PipelineBytes: 1}} // depth clamps to 1
 	src := bytes.NewReader(make([]byte, 100<<10))
 	var dst bytes.Buffer
-	n, err := srv.pump(&dst, src)
+	n, err := srv.pump(&dst, src, nil)
 	if err != nil || n != 100<<10 {
 		t.Fatalf("n=%d err=%v", n, err)
 	}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/obs"
 	"github.com/netlogistics/lsl/internal/wire"
 )
 
@@ -92,37 +93,42 @@ func (s *sessionStore) usage() (int64, int, int64) {
 // handleStore implements the storing half of asynchronous sessions: a
 // TypeStore session addressed to this depot is absorbed into the store;
 // one addressed elsewhere is forwarded like data with its type intact.
-func (s *Server) handleStore(sess *lsl.Session) error {
+func (s *Server) handleStore(sess *lsl.Session, f *flow) error {
 	defer sess.Close()
 	next, rest, local, err := s.nextHop(sess.Header)
 	if err != nil {
 		return err
 	}
 	if !local {
+		defer s.track(f, sess.Header, "store", next)()
 		out, err := s.cfg.Dial.Dial(next.String())
 		if err != nil {
 			return fmt.Errorf("store forward dial %s: %w", next, err)
 		}
 		defer out.Close()
-		fh := forwardHeader(sess.Header, rest)
+		f.emit(obs.KindConnect, obs.Event{Peer: next.String()})
+		fh := forwardHeader(sess.Header, rest, f.hopIndex())
 		if err := wire.WriteHeader(out, fh); err != nil {
 			return err
 		}
-		n, err := s.pump(out, sess)
-		s.count(func(st *Stats) { st.Forwarded++; st.BytesForwarded += n })
+		_, err = s.pump(out, sess, f)
+		s.st.forwarded.Add(1)
 		return err
 	}
 
+	defer s.track(f, sess.Header, "store", wire.Endpoint{})()
 	var buf bytes.Buffer
 	limited := io.LimitReader(sess, s.store.capacity+1)
 	n, err := io.Copy(&buf, limited)
+	f.addBytes(n)
 	if err != nil && !errors.Is(err, io.EOF) {
 		return fmt.Errorf("store read: %w", err)
 	}
 	if err := s.store.put(sess.ID(), buf.Bytes()); err != nil {
 		return err
 	}
-	s.count(func(st *Stats) { st.Stored++; st.BytesStored += n })
+	s.st.stored.Add(1)
+	s.st.bytesStored.Add(n)
 	return nil
 }
 
@@ -143,7 +149,7 @@ func (s *Server) handleFetch(sess *lsl.Session) error {
 	if !ok {
 		// Unknown id: answer with a refusal so the receiver can
 		// distinguish "not here" from a transport failure.
-		s.count(func(st *Stats) { st.FetchMisses++ })
+		s.st.fetchMisses.Add(1)
 		return lsl.Refuse(sess.Conn, sess.Header)
 	}
 	resp := &wire.Header{
@@ -156,10 +162,14 @@ func (s *Server) handleFetch(sess *lsl.Session) error {
 	if err := wire.WriteHeader(sess.Conn, resp); err != nil {
 		return err
 	}
-	if _, err := sess.Conn.Write(data); err != nil {
-		return fmt.Errorf("fetch write: %w", err)
+	n, werr := sess.Conn.Write(data)
+	// Bytes that made it onto the wire are counted even when the write
+	// fails partway — partial transfers must not vanish from the stats.
+	s.st.bytesFetched.Add(int64(n))
+	if werr != nil {
+		return fmt.Errorf("fetch write: %w", werr)
 	}
-	s.count(func(st *Stats) { st.Fetched++; st.BytesFetched += int64(len(data)) })
+	s.st.fetched.Add(1)
 	return nil
 }
 

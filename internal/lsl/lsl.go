@@ -15,10 +15,39 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
+	"github.com/netlogistics/lsl/internal/obs"
 	"github.com/netlogistics/lsl/internal/wire"
 )
+
+// Metric names reported by session setup when a registry is installed
+// with SetMetrics.
+const (
+	MetricSessionsOpened   = "lsl_sessions_opened_total"
+	MetricSessionsAccepted = "lsl_sessions_accepted_total"
+	MetricRefusalsIssued   = "lsl_refusals_issued_total"
+	MetricRefusalsSeen     = "lsl_refusals_seen_total"
+	MetricDialErrors       = "lsl_dial_errors_total"
+	MetricSetupSeconds     = "lsl_session_setup_seconds"
+)
+
+// metricsReg is the process-wide registry session setup reports into.
+// It is package-level (rather than threaded through every Open call)
+// because session establishment has no configuration object; a nil
+// registry makes every report a no-op.
+var metricsReg atomic.Pointer[obs.Registry]
+
+// SetMetrics installs the registry that session setup (Open, Accept,
+// Refuse, Fetch and friends) reports into. Passing nil disables
+// reporting. Safe for concurrent use.
+func SetMetrics(r *obs.Registry) { metricsReg.Store(r) }
+
+func metrics() *obs.Registry { return metricsReg.Load() }
+
+// setupBuckets spans 100 µs to ~3 s of dial+header latency.
+var setupBuckets = obs.ExpBuckets(1e-4, 2, 15)
 
 // Dialer abstracts transport connection establishment so sessions run
 // identically over the emulated network, real TCP, or test doubles.
@@ -83,6 +112,7 @@ func OpenChecked(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, grace 
 	_ = sess.SetReadDeadline(time.Time{})
 	if rerr == nil && resp.Type == wire.TypeRefuse {
 		sess.Close()
+		metrics().Counter(MetricRefusalsSeen).Inc()
 		return nil, ErrRefused
 	}
 	// Timeout (or any read failure) means nobody refused us.
@@ -102,7 +132,8 @@ func OpenStore(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint) (*Sessio
 // reads to EOF and closes. ErrRefused means the depot holds no such
 // session.
 func Fetch(d Dialer, self, depotAddr wire.Endpoint, id wire.SessionID) (*Session, error) {
-	conn, err := d.Dial(depotAddr.String())
+	t0 := time.Now()
+	conn, err := dialHop(d, depotAddr.String())
 	if err != nil {
 		return nil, fmt.Errorf("lsl: dial %s: %w", depotAddr, err)
 	}
@@ -110,6 +141,7 @@ func Fetch(d Dialer, self, depotAddr wire.Endpoint, id wire.SessionID) (*Session
 	if err != nil {
 		return nil, err
 	}
+	observeSetup(t0)
 	resp, err := wire.ReadHeader(req)
 	if err != nil {
 		req.Close()
@@ -117,6 +149,7 @@ func Fetch(d Dialer, self, depotAddr wire.Endpoint, id wire.SessionID) (*Session
 	}
 	if resp.Type == wire.TypeRefuse {
 		req.Close()
+		metrics().Counter(MetricRefusalsSeen).Inc()
 		return nil, ErrRefused
 	}
 	if resp.Type != wire.TypeData || resp.Session != id {
@@ -135,28 +168,54 @@ func OpenMulticast(d Dialer, src, dst wire.Endpoint, tree *wire.TreeNode) (*Sess
 	if err != nil {
 		return nil, fmt.Errorf("lsl: %w", err)
 	}
-	conn, err := d.Dial(tree.Addr.String())
+	t0 := time.Now()
+	conn, err := dialHop(d, tree.Addr.String())
 	if err != nil {
 		return nil, fmt.Errorf("lsl: dial %s: %w", tree.Addr, err)
 	}
-	return start(conn, src, dst, wire.TypeMulticast, []wire.Option{opt})
+	sess, err := start(conn, src, dst, wire.TypeMulticast, []wire.Option{opt})
+	if err == nil {
+		observeSetup(t0)
+	}
+	return sess, err
+}
+
+// dialHop dials through d, counting failures.
+func dialHop(d Dialer, addr string) (net.Conn, error) {
+	conn, err := d.Dial(addr)
+	if err != nil {
+		metrics().Counter(MetricDialErrors).Inc()
+	}
+	return conn, err
+}
+
+// observeSetup records one successful session establishment.
+func observeSetup(t0 time.Time) {
+	r := metrics()
+	r.Counter(MetricSessionsOpened).Inc()
+	r.Histogram(MetricSetupSeconds, setupBuckets).Observe(time.Since(t0).Seconds())
 }
 
 func open(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, typ uint16, opts []wire.Option) (*Session, error) {
 	if dst.IsZero() {
 		return nil, errors.New("lsl: zero destination endpoint")
 	}
+	t0 := time.Now()
 	hops := append(append([]wire.Endpoint(nil), route...), dst)
 	first := hops[0]
 	rest := hops[1:]
-	conn, err := d.Dial(first.String())
+	conn, err := dialHop(d, first.String())
 	if err != nil {
 		return nil, fmt.Errorf("lsl: dial %s: %w", first, err)
 	}
 	if len(rest) > 0 {
 		opts = append(opts, wire.SourceRouteOption(rest))
 	}
-	return start(conn, src, dst, typ, opts)
+	sess, err := start(conn, src, dst, typ, opts)
+	if err == nil {
+		observeSetup(t0)
+	}
+	return sess, err
 }
 
 // Wrap opens a plain data session on an already-dialed transport
@@ -203,8 +262,10 @@ func Accept(conn net.Conn) (*Session, error) {
 	}
 	if h.Type == wire.TypeRefuse {
 		conn.Close()
+		metrics().Counter(MetricRefusalsSeen).Inc()
 		return nil, ErrRefused
 	}
+	metrics().Counter(MetricSessionsAccepted).Inc()
 	return &Session{Conn: conn, Header: h}, nil
 }
 
@@ -216,6 +277,7 @@ var ErrRefused = errors.New("lsl: session refused by depot")
 // to refuse a new connection based on host load" the paper proposes.
 func Refuse(conn net.Conn, req *wire.Header) error {
 	defer conn.Close()
+	metrics().Counter(MetricRefusalsIssued).Inc()
 	h := &wire.Header{
 		Version: wire.Version1,
 		Type:    wire.TypeRefuse,

@@ -1,0 +1,88 @@
+package lsl
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/obs"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+func TestSetupMetricsCounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+
+	src := wire.MustEndpoint("10.9.0.1:7411")
+	dst := wire.MustEndpoint("10.9.0.2:7411")
+
+	// A successful open over an in-memory pipe.
+	server, client := net.Pipe()
+	go io.Copy(io.Discard, server) //nolint:errcheck // header drain
+	sess, err := Open(DialerFunc(func(string) (net.Conn, error) { return client, nil }), src, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	server.Close()
+
+	// A failed dial.
+	_, err = Open(DialerFunc(func(string) (net.Conn, error) {
+		return nil, errors.New("network down")
+	}), src, dst, nil)
+	if err == nil {
+		t.Fatal("open through a dead dialer succeeded")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricSessionsOpened]; got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricSessionsOpened, got)
+	}
+	if got := snap.Counters[MetricDialErrors]; got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricDialErrors, got)
+	}
+	if hs := snap.Histograms[MetricSetupSeconds]; hs.Count != 1 {
+		t.Fatalf("%s count = %d, want 1", MetricSetupSeconds, hs.Count)
+	}
+}
+
+func TestAcceptAndRefuseCounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+
+	src := wire.MustEndpoint("10.9.0.1:7411")
+	dst := wire.MustEndpoint("10.9.0.2:7411")
+
+	// Accept counts the session it admits.
+	client, server := net.Pipe()
+	go func() {
+		h := &wire.Header{Version: wire.Version1, Type: wire.TypeData, Src: src, Dst: dst}
+		wire.WriteHeader(client, h) //nolint:errcheck // test writer
+	}()
+	sess, err := Accept(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	client.Close()
+
+	// Refuse counts the refusal it issues.
+	c2, s2 := net.Pipe()
+	go io.Copy(io.Discard, c2) //nolint:errcheck // refusal drain
+	req := &wire.Header{Version: wire.Version1, Type: wire.TypeData, Src: src, Dst: dst}
+	if err := Refuse(s2, req); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricSessionsAccepted]; got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricSessionsAccepted, got)
+	}
+	if got := snap.Counters[MetricRefusalsIssued]; got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricRefusalsIssued, got)
+	}
+}

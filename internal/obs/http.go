@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Handler serves the debug endpoints over the given registry and
+// session table (either may be nil):
+//
+//	GET /metrics               flat text, one metric per line
+//	GET /metrics?format=json   full Snapshot as JSON
+//	GET /sessions              in-flight session table as JSON
+//	GET /                      plain-text index
+//
+// It is intended for a loopback or operations network; it exposes no
+// mutating routes.
+func Handler(reg *Registry, sessions *SessionTable) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if wantsJSON(r) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = snap.WriteText(w)
+	})
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		infos := sessions.Snapshot()
+		if infos == nil {
+			infos = []SessionInfo{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(infos)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("lsl debug endpoints:\n  /metrics\n  /metrics?format=json\n  /sessions\n"))
+	})
+	return mux
+}
+
+func wantsJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}

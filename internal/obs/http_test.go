@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHandlerMetricsTextAndJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("depot_sessions_accepted_total").Add(5)
+	reg.Gauge("depot_pipeline_occupancy_bytes").Set(2048)
+	srv := httptest.NewServer(Handler(reg, NewSessionTable()))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "depot_sessions_accepted_total 5") {
+		t.Fatalf("text metrics:\n%s", body)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Counters["depot_sessions_accepted_total"] != 5 || snap.Gauges["depot_pipeline_occupancy_bytes"] != 2048 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestHandlerSessions(t *testing.T) {
+	tab := NewSessionTable()
+	e := &SessionEntry{ID: "cafe", Type: "data", Src: "10.0.0.1:7411",
+		Dst: "10.0.0.4:7411", Next: "10.0.0.3:7411", Hop: 1, Started: time.Now()}
+	e.AddBytes(999)
+	e.AddQueued(32 << 10)
+	tab.Register(e)
+	srv := httptest.NewServer(Handler(nil, tab))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0].ID != "cafe" || infos[0].Bytes != 999 || infos[0].QueuedBytes != 32<<10 {
+		t.Fatalf("sessions = %+v", infos)
+	}
+
+	tab.Remove(e)
+	if tab.Len() != 0 {
+		t.Fatal("entry not removed")
+	}
+	resp, err = srv.Client().Get(srv.URL + "/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(body)) != "[]" {
+		t.Fatalf("empty table served %q", body)
+	}
+}
+
+func TestHandlerIndex(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "/metrics") {
+		t.Fatalf("index = %q", body)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown path status = %d", resp.StatusCode)
+	}
+}

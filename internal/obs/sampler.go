@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/simtime"
+	"github.com/netlogistics/lsl/internal/trace"
+)
+
+// ByteSampler samples a cumulative byte count on a wall-clock interval
+// into a trace.Series, so Figure 4/5-style sequence plots (and their
+// slope-knee analysis) work on real TCP transfers, not only on tcpsim
+// runs. The sampled quantity is bytes the instrumented side has pushed
+// into (or pulled out of) its transport — the closest user-level proxy
+// for tcpdump's acknowledged-sequence curve: a sender blocked by
+// downstream back-pressure flattens exactly where the paper's Figure 5
+// knees do, once the kernel socket buffer fills.
+//
+// Writers call Add (or wrap their stream with Writer/Reader) from any
+// goroutine; a single background goroutine owns the series, so there is
+// no contention on the data path beyond one atomic add.
+type ByteSampler struct {
+	start    time.Time
+	total    atomic.Int64
+	series   *trace.Series
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewByteSampler starts a sampler that records a point every interval
+// (minimum 1 ms) into a series with the given name. Call Stop to
+// finish and collect the series.
+func NewByteSampler(name string, interval time.Duration) *ByteSampler {
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	s := &ByteSampler{
+		start:  time.Now(),
+		series: trace.NewSeries(name),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go s.run(interval)
+	return s
+}
+
+func (s *ByteSampler) run(interval time.Duration) {
+	defer close(s.done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	s.series.Observe(0, 0)
+	for {
+		select {
+		case <-tick.C:
+			s.observeNow()
+		case <-s.stop:
+			s.observeNow()
+			return
+		}
+	}
+}
+
+func (s *ByteSampler) observeNow() {
+	at := simtime.Time(time.Since(s.start).Seconds())
+	s.series.Observe(at, s.total.Load())
+}
+
+// Add advances the cumulative byte count.
+func (s *ByteSampler) Add(n int64) { s.total.Add(n) }
+
+// Total returns the bytes recorded so far.
+func (s *ByteSampler) Total() int64 { return s.total.Load() }
+
+// Stop records a final point and returns the finished series. It is
+// idempotent; the series must not be read before Stop returns.
+func (s *ByteSampler) Stop() *trace.Series {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+	return s.series
+}
+
+// Writer returns a wrapper that counts every byte written through it.
+func (s *ByteSampler) Writer(w io.Writer) io.Writer { return &countingWriter{w: w, s: s} }
+
+// Reader returns a wrapper that counts every byte read through it.
+func (s *ByteSampler) Reader(r io.Reader) io.Reader { return &countingReader{r: r, s: s} }
+
+type countingWriter struct {
+	w io.Writer
+	s *ByteSampler
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.s.Add(int64(n))
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	s *ByteSampler
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.s.Add(int64(n))
+	return n, err
+}
+
+// SeriesEvents converts a sampled series into KindSample trace events
+// for a session, so a per-hop trace file carries the sequence curve
+// alongside the lifecycle events. The wall-clock base anchors the
+// series' relative instants.
+func SeriesEvents(s *trace.Series, base time.Time, session string, hop int, node string) []Event {
+	out := make([]Event, 0, s.Len())
+	for _, p := range s.Points {
+		out = append(out, Event{
+			Time:    base.Add(time.Duration(p.At.Seconds() * float64(time.Second))),
+			Session: session,
+			Hop:     hop,
+			Kind:    KindSample,
+			Node:    node,
+			Bytes:   p.Acked,
+		})
+	}
+	return out
+}

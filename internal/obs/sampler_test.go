@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestByteSamplerMonotoneSeries(t *testing.T) {
+	s := NewByteSampler("uplink", 2*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		s.Add(1000)
+		time.Sleep(3 * time.Millisecond)
+	}
+	series := s.Stop()
+	if s.Total() != 10000 {
+		t.Fatalf("total = %d", s.Total())
+	}
+	if series.Len() < 3 {
+		t.Fatalf("only %d samples", series.Len())
+	}
+	prev := int64(-1)
+	for _, p := range series.Points {
+		if p.Acked < prev {
+			t.Fatalf("series not monotone: %+v", series.Points)
+		}
+		prev = p.Acked
+	}
+	if f := series.Final(); f.Acked != 10000 {
+		t.Fatalf("final sample = %+v", f)
+	}
+	// Stop is idempotent.
+	if again := s.Stop(); again.Final().Acked != 10000 {
+		t.Fatal("second Stop changed the series")
+	}
+}
+
+func TestSamplerWriterReaderWrappers(t *testing.T) {
+	s := NewByteSampler("wrap", time.Millisecond)
+	var buf bytes.Buffer
+	w := s.Writer(&buf)
+	if _, err := w.Write(make([]byte, 123)); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Reader(bytes.NewReader(make([]byte, 77)))
+	tmp := make([]byte, 128)
+	n, _ := r.Read(tmp)
+	s.Stop()
+	if got := s.Total(); got != 123+int64(n) {
+		t.Fatalf("total = %d, want %d", got, 123+n)
+	}
+}
+
+func TestSeriesEvents(t *testing.T) {
+	s := NewByteSampler("ev", time.Millisecond)
+	s.Add(512)
+	series := s.Stop()
+	base := time.Now()
+	events := SeriesEvents(series, base, "deadbeef", 0, "10.0.0.1:7411")
+	if len(events) != series.Len() {
+		t.Fatalf("%d events for %d points", len(events), series.Len())
+	}
+	last := events[len(events)-1]
+	if last.Kind != KindSample || last.Bytes != 512 || last.Session != "deadbeef" {
+		t.Fatalf("last event = %+v", last)
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SessionEntry is the live record of one in-flight session at one node.
+// The identifying fields are written once at registration; the byte and
+// queue counters are updated atomically from the data path.
+type SessionEntry struct {
+	ID      string    // hex session id
+	Type    string    // "data", "generate", "multicast", "store", "fetch"
+	Src     string    // header source endpoint
+	Dst     string    // header destination endpoint
+	Next    string    // next-hop endpoint ("" when delivering locally)
+	Hop     int       // this node's position in the chain
+	Started time.Time
+
+	bytes  atomic.Int64 // payload bytes moved so far
+	queued atomic.Int64 // bytes sitting in the pipeline buffer
+}
+
+// AddBytes records payload progress.
+func (e *SessionEntry) AddBytes(n int64) {
+	if e != nil {
+		e.bytes.Add(n)
+	}
+}
+
+// AddQueued moves the pipeline-occupancy figure (positive on enqueue,
+// negative on dequeue).
+func (e *SessionEntry) AddQueued(n int64) {
+	if e != nil {
+		e.queued.Add(n)
+	}
+}
+
+// Bytes returns the payload bytes moved so far.
+func (e *SessionEntry) Bytes() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.bytes.Load()
+}
+
+// SessionInfo is the exported snapshot of a SessionEntry.
+type SessionInfo struct {
+	ID          string        `json:"session"`
+	Type        string        `json:"type"`
+	Src         string        `json:"src"`
+	Dst         string        `json:"dst"`
+	Next        string        `json:"next,omitempty"`
+	Hop         int           `json:"hop"`
+	Started     time.Time     `json:"started"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	Bytes       int64         `json:"bytes"`
+	QueuedBytes int64         `json:"queued_bytes"`
+}
+
+// SessionTable tracks the sessions currently in flight at a node, for
+// the /sessions debug endpoint. Registration and snapshot take a
+// mutex; per-byte updates go through the entry's atomics and never
+// touch the table. A nil table is a no-op.
+type SessionTable struct {
+	mu sync.Mutex
+	m  map[*SessionEntry]struct{}
+}
+
+// NewSessionTable returns an empty table.
+func NewSessionTable() *SessionTable {
+	return &SessionTable{m: make(map[*SessionEntry]struct{})}
+}
+
+// Register adds a live session entry; the caller must Remove it when
+// the session ends.
+func (t *SessionTable) Register(e *SessionEntry) {
+	if t == nil || e == nil {
+		return
+	}
+	t.mu.Lock()
+	t.m[e] = struct{}{}
+	t.mu.Unlock()
+}
+
+// Remove drops a finished session.
+func (t *SessionTable) Remove(e *SessionEntry) {
+	if t == nil || e == nil {
+		return
+	}
+	t.mu.Lock()
+	delete(t.m, e)
+	t.mu.Unlock()
+}
+
+// Len reports the number of in-flight sessions.
+func (t *SessionTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// Snapshot returns the in-flight sessions ordered by start time.
+func (t *SessionTable) Snapshot() []SessionInfo {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	entries := make([]*SessionEntry, 0, len(t.m))
+	for e := range t.m {
+		entries = append(entries, e)
+	}
+	t.mu.Unlock()
+	now := time.Now()
+	out := make([]SessionInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, SessionInfo{
+			ID:          e.ID,
+			Type:        e.Type,
+			Src:         e.Src,
+			Dst:         e.Dst,
+			Next:        e.Next,
+			Hop:         e.Hop,
+			Started:     e.Started,
+			Elapsed:     now.Sub(e.Started),
+			Bytes:       e.bytes.Load(),
+			QueuedBytes: e.queued.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Started.Equal(out[j].Started) {
+			return out[i].Started.Before(out[j].Started)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

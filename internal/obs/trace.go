@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event kinds emitted along the data path. Per hop, a forwarding depot
+// emits Accept (header parsed) → Connect (onward transport dialed) →
+// FirstByte (first payload chunk moved) → LastByte (payload finished,
+// Bytes carries the hop total). The delivering depot emits Accept →
+// Deliver. The initiator reports as hop 0.
+const (
+	KindAccept    = "accept"
+	KindConnect   = "connect"
+	KindFirstByte = "first-byte"
+	KindLastByte  = "last-byte"
+	KindDeliver   = "deliver"
+	KindRefused   = "refused"
+	KindError     = "error"
+	KindSample    = "sample" // periodic cumulative byte progress
+)
+
+// Event is one structured, per-session trace record — the JSON-lines
+// replacement for ad-hoc log calls, and the real-transfer analogue of
+// one tcpdump observation in the paper's Figures 4–5 methodology.
+type Event struct {
+	// Time is the wall-clock instant of the event.
+	Time time.Time `json:"t"`
+	// Session is the hex session identifier.
+	Session string `json:"session"`
+	// Hop is the position in the depot chain: 0 is the initiator, 1 the
+	// first depot, and so on.
+	Hop int `json:"hop"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Node is the endpoint of the reporting process.
+	Node string `json:"node,omitempty"`
+	// Peer is the remote endpoint of the sublink the event concerns
+	// (the next hop for Connect, the source for Accept).
+	Peer string `json:"peer,omitempty"`
+	// Bytes carries cumulative payload bytes where meaningful
+	// (LastByte, Deliver, Sample).
+	Bytes int64 `json:"bytes,omitempty"`
+	// Retries counts connection attempts before success, when the
+	// emitter retries.
+	Retries int `json:"retries,omitempty"`
+	// Detail carries an error message or free-form annotation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Sink consumes trace events. Implementations must be safe for
+// concurrent Emit calls.
+type Sink interface {
+	Emit(Event)
+}
+
+// Emit sends e to sink if it is non-nil, stamping Time when unset.
+// Instrumented code calls this instead of branching on configuration.
+func Emit(sink Sink, e Event) {
+	if sink == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	sink.Emit(e)
+}
+
+// JSONSink writes events as JSON lines to an io.Writer, serialized
+// under a mutex so concurrent sessions interleave whole lines.
+type JSONSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONSink returns a sink writing one JSON object per line to w.
+func NewJSONSink(w io.Writer) *JSONSink {
+	return &JSONSink{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink.
+func (s *JSONSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(e) // a broken trace file must not break the transfer
+}
+
+// MemorySink accumulates events in order of arrival, for tests and
+// in-process analysis.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (s *MemorySink) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of everything emitted so far.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Session returns the events of one session, preserving order.
+func (s *MemorySink) Session(id string) []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Event
+	for _, e := range s.events {
+		if e.Session == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MultiSink fans each event out to every member sink.
+type MultiSink []Sink
+
+// Emit implements Sink.
+func (m MultiSink) Emit(e Event) {
+	for _, s := range m {
+		if s != nil {
+			s.Emit(e)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJSONSinkWritesValidLines(t *testing.T) {
+	var buf strings.Builder
+	sink := NewJSONSink(&buf)
+	base := time.Date(2004, 11, 6, 0, 0, 0, 0, time.UTC)
+	Emit(sink, Event{Time: base, Session: "ab12", Hop: 1, Kind: KindConnect, Peer: "10.0.0.3:7411"})
+	Emit(sink, Event{Time: base.Add(time.Second), Session: "ab12", Hop: 1, Kind: KindLastByte, Bytes: 4096})
+
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	var events []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 2 {
+		t.Fatalf("decoded %d events", len(events))
+	}
+	if events[0].Kind != KindConnect || events[1].Bytes != 4096 {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestEmitStampsTimeAndToleratesNilSink(t *testing.T) {
+	Emit(nil, Event{Kind: KindError}) // must not panic
+	var mem MemorySink
+	Emit(&mem, Event{Session: "x", Kind: KindAccept})
+	got := mem.Events()
+	if len(got) != 1 || got[0].Time.IsZero() {
+		t.Fatalf("events = %+v", got)
+	}
+}
+
+func TestMemorySinkConcurrentAndSessionFilter(t *testing.T) {
+	var mem MemorySink
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := "a"
+			if i%2 == 1 {
+				id = "b"
+			}
+			for j := 0; j < 100; j++ {
+				mem.Emit(Event{Session: id, Kind: KindSample})
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(mem.Events()); n != 800 {
+		t.Fatalf("total events = %d", n)
+	}
+	if n := len(mem.Session("a")); n != 400 {
+		t.Fatalf("session a events = %d", n)
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	var a, b MemorySink
+	sink := MultiSink{&a, nil, &b}
+	Emit(sink, Event{Session: "s", Kind: KindDeliver})
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Fatal("multi sink did not fan out")
+	}
+}

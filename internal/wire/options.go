@@ -88,6 +88,34 @@ func ParseFetchID(o Option) (SessionID, error) {
 	return id, nil
 }
 
+// HopIndexOption records how many depots the session has traversed.
+func HopIndexOption(hop uint16) Option {
+	var data [2]byte
+	binary.BigEndian.PutUint16(data[:], hop)
+	return Option{Kind: OptHopIndex, Data: data[:]}
+}
+
+// ParseHopIndex decodes a hop-index option.
+func ParseHopIndex(o Option) (uint16, error) {
+	if o.Kind != OptHopIndex || len(o.Data) != 2 {
+		return 0, fmt.Errorf("%w: bad hop index", ErrBadOption)
+	}
+	return binary.BigEndian.Uint16(o.Data), nil
+}
+
+// HopIndex returns the number of depots this session's header records
+// as already traversed: 0 for a header fresh from the initiator, and
+// therefore hop n for the n-th depot on the chain after it stamps the
+// forwarded header with HopIndexOption(n).
+func (h *Header) HopIndex() int {
+	if opt, ok := h.Option(OptHopIndex); ok {
+		if hop, err := ParseHopIndex(opt); err == nil {
+			return int(hop)
+		}
+	}
+	return 0
+}
+
 // TreeNode is one node of a multicast staging tree (the synchronous
 // application-layer multicast header option of Section 2).
 type TreeNode struct {

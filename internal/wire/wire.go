@@ -77,6 +77,11 @@ const (
 	OptMulticastTree uint16 = 4
 	// OptFetchID names the stored session a TypeFetch request wants.
 	OptFetchID uint16 = 5
+	// OptHopIndex counts the depots a session has traversed so far.
+	// The initiator omits it (hop 0); each depot stamps its own
+	// position into the forwarded header, so every node knows where it
+	// sits in the chain — the key per-hop trace events are indexed by.
+	OptHopIndex uint16 = 6
 )
 
 // HeaderFixedLen is the size of the fixed portion of the header.
