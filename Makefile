@@ -1,6 +1,7 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build test vet race verify bench clean
+.PHONY: build test vet fmt fmt-check race verify bench clean
 
 build:
 	$(GO) build ./...
@@ -11,13 +12,24 @@ test:
 vet:
 	$(GO) vet ./...
 
+fmt:
+	$(GOFMT) -w .
+
+# Fails (and prints the offenders) when any file needs gofmt — the CI
+# formatting gate.
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
 # The data path is lock-free by design; prove it under the race
 # detector where the concurrency lives.
 race:
 	$(GO) test -race ./internal/obs/... ./internal/depot/... ./internal/lsl/... ./internal/core/...
 
 # The full pre-commit gate.
-verify: build vet test race
+verify: fmt-check build vet test race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

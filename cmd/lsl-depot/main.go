@@ -6,7 +6,14 @@
 //
 //	lsl-depot -listen 0.0.0.0:7411 -self 198.51.100.7:7411 \
 //	          [-routes routes.txt] [-pipeline 32] [-max-sessions 64] \
+//	          [-retries 3] [-retry-backoff 100ms] [-failover] \
 //	          [-debug-addr 127.0.0.1:7412]
+//
+// With -retries the depot re-dials a failed onward connection with
+// exponential backoff before giving up on a session; -failover makes it
+// try the session's final destination directly when the next hop stays
+// unreachable. Both recoveries are counted in /metrics
+// (depot_forward_retries_total, depot_failovers_total).
 //
 // The optional routes file has one entry per line:
 //
@@ -36,6 +43,7 @@ import (
 	"github.com/netlogistics/lsl/internal/depot"
 	"github.com/netlogistics/lsl/internal/lsl"
 	"github.com/netlogistics/lsl/internal/obs"
+	"github.com/netlogistics/lsl/internal/retry"
 	"github.com/netlogistics/lsl/internal/wire"
 )
 
@@ -46,6 +54,9 @@ var (
 	pipelineMB  = flag.Int("pipeline", 32, "per-session pipeline buffering in MB")
 	maxSessions = flag.Int("max-sessions", 0, "refuse sessions beyond this concurrency (0 = unlimited)")
 	dialTimeout = flag.Duration("dial-timeout", 10*time.Second, "onward connection timeout")
+	retries     = flag.Int("retries", 0, "retry a failed onward dial this many times with backoff (0 = dial once)")
+	backoff     = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before the first onward-dial retry (doubles each retry)")
+	failover    = flag.Bool("failover", false, "dial a session's final destination directly when its next hop stays unreachable after retries")
 	debugAddr   = flag.String("debug-addr", "", "serve /metrics and /sessions on this ip:port (empty = off)")
 	verbose     = flag.Bool("v", false, "log per-session diagnostics")
 )
@@ -89,11 +100,15 @@ func run() error {
 		Dial: lsl.DialerFunc(func(addr string) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, *dialTimeout)
 		}),
-		Routes:        routes,
-		PipelineBytes: *pipelineMB << 20,
-		MaxSessions:   *maxSessions,
-		Metrics:       reg,
-		Sessions:      sessions,
+		Routes:         routes,
+		PipelineBytes:  *pipelineMB << 20,
+		MaxSessions:    *maxSessions,
+		FailoverDirect: *failover,
+		Metrics:        reg,
+		Sessions:       sessions,
+	}
+	if *retries > 0 {
+		cfg.ForwardRetry = retry.Policy{MaxAttempts: *retries + 1, BaseDelay: *backoff}
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

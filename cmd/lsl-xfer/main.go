@@ -12,6 +12,13 @@
 //
 //	lsl-xfer -to sink:7411 -via depot:7411 -size 16M -generate
 //
+// Recovery: -retries N re-runs a failed plain send up to N times with
+// exponential backoff (-retry-backoff sets the base delay); -failover
+// additionally abandons the -via depot route on the first retry and
+// dials -to directly. Each attempt restarts from byte zero under a
+// fresh session id — real TCP gives the sender no ack channel to
+// resume from, unlike the in-process library transfers.
+//
 // Sink mode accepts sessions, verifies the payload pattern, and prints
 // per-session throughput:
 //
@@ -27,6 +34,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -41,6 +49,7 @@ import (
 	"github.com/netlogistics/lsl/internal/depot"
 	"github.com/netlogistics/lsl/internal/lsl"
 	"github.com/netlogistics/lsl/internal/obs"
+	"github.com/netlogistics/lsl/internal/retry"
 	"github.com/netlogistics/lsl/internal/trace"
 	"github.com/netlogistics/lsl/internal/wire"
 )
@@ -58,6 +67,9 @@ var (
 	selfAddr  = flag.String("self", "", "sink: public ip:port (required with -sink)")
 	traceOut  = flag.String("trace-out", "", "append session trace events to this file as JSON lines")
 	sampleIvl = flag.Duration("sample", 0, "sample sent/received bytes at this interval and print a sequence table (0 = off)")
+	retries   = flag.Int("retries", 0, "retry a failed send this many times with backoff (plain send mode only)")
+	backoff   = flag.Duration("retry-backoff", 500*time.Millisecond, "base delay before the first retry (doubles each retry)")
+	failover  = flag.Bool("failover", false, "on retry, abandon the -via depot route and dial -to directly")
 )
 
 func main() {
@@ -305,24 +317,49 @@ func runSend() error {
 		sess.Close()
 		emit0(tr, sess.ID(), obs.KindLastByte, obs.Event{Bytes: size})
 	} else {
-		sess, err = lsl.Open(dial, srcEP, dst, route)
+		// Each retry restarts from byte zero: over real TCP the sender
+		// has no ack channel back from the sink, so it cannot know which
+		// prefix landed (the in-process core library resumes at the
+		// acked offset instead). A new attempt is a new session id.
+		attemptRoute := route
+		pol := retry.Policy{MaxAttempts: *retries + 1, BaseDelay: *backoff}
+		err = pol.Do(context.Background(), func(attempt int) error {
+			if attempt > 0 {
+				if *failover && len(attemptRoute) > 0 {
+					log.Printf("failover: abandoning depot route, dialing %s directly", dst)
+					attemptRoute = nil
+				}
+				log.Printf("retry %d of %d", attempt, *retries)
+			}
+			hop := dst
+			if len(attemptRoute) > 0 {
+				hop = attemptRoute[0]
+			}
+			s2, oerr := lsl.Open(dial, srcEP, dst, attemptRoute)
+			if oerr != nil {
+				return oerr
+			}
+			sess = s2
+			emit0(tr, sess.ID(), obs.KindConnect, obs.Event{Peer: hop.String(), Retries: attempt})
+			sampler := newSampler("send " + sess.ID().String())
+			var w io.Writer = sess
+			if sampler != nil {
+				w = sampler.Writer(sess)
+			}
+			emit0(tr, sess.ID(), obs.KindFirstByte, obs.Event{})
+			written, werr := sendPattern(w, sess.ID(), size)
+			if werr != nil {
+				sess.Close()
+				return fmt.Errorf("send after %d bytes: %w", written, werr)
+			}
+			sess.Close()
+			emit0(tr, sess.ID(), obs.KindLastByte, obs.Event{Bytes: written})
+			finishSampler(sampler, tr, start, sess.ID().String(), *src)
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		emit0(tr, sess.ID(), obs.KindConnect, obs.Event{Peer: firstHop.String()})
-		sampler := newSampler("send " + sess.ID().String())
-		var w io.Writer = sess
-		if sampler != nil {
-			w = sampler.Writer(sess)
-		}
-		emit0(tr, sess.ID(), obs.KindFirstByte, obs.Event{})
-		written, werr := sendPattern(w, sess.ID(), size)
-		if werr != nil {
-			return fmt.Errorf("send after %d bytes: %w", written, werr)
-		}
-		sess.Close()
-		emit0(tr, sess.ID(), obs.KindLastByte, obs.Event{Bytes: written})
-		finishSampler(sampler, tr, start, sess.ID().String(), *src)
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("session %s: %d bytes in %v = %.2f Mbit/s (send-side)\n",
@@ -355,13 +392,16 @@ func runSink() error {
 		Local: func(s *lsl.Session) error {
 			start := time.Now()
 			buf := make([]byte, 64<<10)
+			// A resumed session's pattern continues at its carried
+			// offset rather than restarting at zero.
+			base := s.Header.ResumeOffset()
 			var total int64
 			var verr error
 			for {
 				n, rerr := s.Read(buf)
 				if n > 0 {
 					if verr == nil {
-						verr = depot.VerifyPattern(buf[:n], s.ID(), total)
+						verr = depot.VerifyPattern(buf[:n], s.ID(), base+total)
 					}
 					total += int64(n)
 				}

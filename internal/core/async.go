@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -22,8 +23,17 @@ type StoreResult struct {
 // asynchronously: the payload travels the planner's route and is held
 // at the depot under the returned session id until a receiver fetches
 // it — the paper's asynchronous session mode, where sender and receiver
-// need not exist at the same time.
+// need not exist at the same time. It is StoreAtContext bounded by the
+// package transfer timeout.
 func (s *System) StoreAt(srcHost, depotHost string, size int64) (StoreResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), transferTimeout)
+	defer cancel()
+	return s.StoreAtContext(ctx, srcHost, depotHost, size)
+}
+
+// StoreAtContext is StoreAt under the caller's context: cancellation or
+// deadline expiry aborts the wait for the depot's store confirmation.
+func (s *System) StoreAtContext(ctx context.Context, srcHost, depotHost string, size int64) (StoreResult, error) {
 	if size <= 0 {
 		return StoreResult{}, fmt.Errorf("core: store size %d must be positive", size)
 	}
@@ -62,15 +72,19 @@ func (s *System) StoreAt(srcHost, depotHost string, size int64) (StoreResult, er
 	sess.Close()
 
 	// The store is confirmed when the depot holds the whole session.
-	deadline := time.Now().Add(transferTimeout)
+	// The depot exposes no completion signal, so poll on a ticker — but
+	// under the context, not a hand-rolled wall-clock deadline.
+	tick := time.NewTicker(200 * time.Microsecond)
+	defer tick.Stop()
 	for {
 		if n, ok := s.depots[di].StoredSession(sess.ID()); ok && n >= size {
 			break
 		}
-		if time.Now().After(deadline) {
-			return StoreResult{}, fmt.Errorf("core: store at %s timed out", depotHost)
+		select {
+		case <-ctx.Done():
+			return StoreResult{}, fmt.Errorf("core: store at %s: %w", depotHost, ctx.Err())
+		case <-tick.C:
 		}
-		time.Sleep(100 * time.Microsecond)
 	}
 	elapsed := time.Duration(float64(time.Since(start)) / s.cfg.TimeScale)
 	return StoreResult{

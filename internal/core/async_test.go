@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/netlogistics/lsl/internal/topo"
 	"github.com/netlogistics/lsl/internal/wire"
@@ -68,5 +71,29 @@ func TestAsyncStoreValidation(t *testing.T) {
 	}
 	if _, err := sys.FetchFrom("nope", topo.Denver, wire.SessionID{}); err == nil {
 		t.Fatal("unknown dest accepted")
+	}
+}
+
+func TestAsyncStoreHonorsContext(t *testing.T) {
+	sys := smallSystem(t)
+
+	// A canceled context must abort the store-confirmation wait with
+	// the context's error instead of spinning to the package timeout.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sys.StoreAtContext(ctx, topo.UCSB, topo.Denver, 64<<10)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// A generous deadline leaves the normal path untouched.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	stored, err := sys.StoreAtContext(ctx2, topo.UCSB, topo.Denver, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.Bytes != 64<<10 {
+		t.Fatalf("stored %d bytes", stored.Bytes)
 	}
 }

@@ -89,6 +89,7 @@ type System struct {
 	endpoints []wire.Endpoint // host index → endpoint
 	byAddr    map[wire.Endpoint]int
 	depots    []*depot.Server
+	faults    []*depot.FaultInjector
 	listeners []net.Listener
 	rng       *rand.Rand
 
@@ -119,6 +120,7 @@ func NewSystem(t *topo.Topology, cfg Config) (*System, error) {
 		endpoints: make([]wire.Endpoint, t.N()),
 		byAddr:    make(map[wire.Endpoint]int, t.N()),
 		depots:    make([]*depot.Server, t.N()),
+		faults:    make([]*depot.FaultInjector, t.N()),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		waiters:   make(map[wire.SessionID]chan deliverResult),
 	}
@@ -158,6 +160,7 @@ func NewSystem(t *topo.Topology, cfg Config) (*System, error) {
 	// them.
 	for i := 0; i < t.N(); i++ {
 		i := i
+		s.faults[i] = depot.NewFaultInjector()
 		d, err := depot.New(depot.Config{
 			Self: s.endpoints[i],
 			Dial: lsl.DialerFunc(func(address string) (net.Conn, error) {
@@ -169,6 +172,7 @@ func NewSystem(t *topo.Topology, cfg Config) (*System, error) {
 			Metrics:       cfg.Metrics,
 			Trace:         cfg.Trace,
 			Sessions:      cfg.Sessions,
+			Faults:        s.faults[i],
 		})
 		if err != nil {
 			s.Close()
@@ -212,6 +216,33 @@ func (s *System) hostAddr(i int) string {
 // Endpoint returns host i's LSL endpoint.
 func (s *System) Endpoint(i int) wire.Endpoint { return s.endpoints[i] }
 
+// Fault returns the named host's depot fault injector, the handle
+// chaos tests use to break the data path deterministically.
+func (s *System) Fault(host string) (*depot.FaultInjector, error) {
+	i, err := s.resolve(host)
+	if err != nil {
+		return nil, err
+	}
+	return s.faults[i], nil
+}
+
+// KillDepot abruptly stops the named host's depot — server and
+// listener — so in-flight sessions through it die and new connections
+// are refused, exactly as a crashed depot machine behaves. There is no
+// resurrection; the planner's forecasts still advertise the host until
+// recovery reroutes around it.
+func (s *System) KillDepot(host string) error {
+	i, err := s.resolve(host)
+	if err != nil {
+		return err
+	}
+	s.depots[i].Close()
+	if i < len(s.listeners) && s.listeners[i] != nil {
+		s.listeners[i].Close()
+	}
+	return nil
+}
+
 // routeLookup builds a depot's route-table function from the planner's
 // tree rooted at that host, resolved lazily so replans take effect.
 func (s *System) routeLookup(host int) func(wire.Endpoint) (wire.Endpoint, bool) {
@@ -233,19 +264,22 @@ func (s *System) routeLookup(host int) func(wire.Endpoint) (wire.Endpoint, bool)
 }
 
 // localHandler verifies delivered payloads against the session pattern
-// and completes any registered waiter.
+// and completes any registered waiter. A resumed session's pattern is
+// verified from its carried offset, so a continuation appends to the
+// interrupted transfer instead of restarting it.
 func (s *System) localHandler() depot.Handler {
 	return func(sess *lsl.Session) error {
 		var (
 			total int64
 			verr  error
 		)
+		base := sess.Header.ResumeOffset()
 		buf := make([]byte, 32<<10)
 		for {
 			n, err := sess.Read(buf)
 			if n > 0 {
 				if verr == nil {
-					verr = depot.VerifyPattern(buf[:n], sess.ID(), total)
+					verr = depot.VerifyPattern(buf[:n], sess.ID(), base+total)
 				}
 				total += int64(n)
 			}

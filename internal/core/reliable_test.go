@@ -1,0 +1,330 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/obs"
+	"github.com/netlogistics/lsl/internal/retry"
+	"github.com/netlogistics/lsl/internal/simtime"
+	"github.com/netlogistics/lsl/internal/topo"
+)
+
+// chainTopology is a recovery testbed: the minimax route src→dst runs
+// through TWO depots (relay-a then relay-b, 100 Mbit/s per segment), a
+// spare depot offers the best surviving route when one of them dies
+// (50 Mbit/s per segment), and the direct path is a 2 Mbit/s trickle.
+// Every other pair is 4 Mbit/s so no alternative relay placement can
+// compete.
+func chainTopology(t *testing.T) *topo.Topology {
+	t.Helper()
+	const (
+		mbit = 1e6 / 8
+		buf  = int64(8 << 20)
+	)
+	hosts := []topo.Host{
+		{Name: "src", Site: "src", SndBuf: buf, RcvBuf: buf},
+		{Name: "relay-a", Site: "a", SndBuf: buf, RcvBuf: buf,
+			Depot: true, ForwardRate: 60e6, PipelineBytes: 256 << 10},
+		{Name: "relay-b", Site: "b", SndBuf: buf, RcvBuf: buf,
+			Depot: true, ForwardRate: 60e6, PipelineBytes: 256 << 10},
+		{Name: "spare", Site: "c", SndBuf: buf, RcvBuf: buf,
+			Depot: true, ForwardRate: 60e6, PipelineBytes: 256 << 10},
+		{Name: "dst", Site: "dst", SndBuf: buf, RcvBuf: buf},
+	}
+	tp, err := topo.New("chain", hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := simtime.Milliseconds
+	set := func(a, b string, capMbit float64) {
+		tp.SetLink(tp.MustHost(a), tp.MustHost(b), topo.Link{RTT: ms(10), Capacity: capMbit * mbit})
+	}
+	set("src", "relay-a", 100)
+	set("relay-a", "relay-b", 100)
+	set("relay-b", "dst", 100)
+	set("src", "spare", 50)
+	set("spare", "dst", 50)
+	set("src", "dst", 2)
+	set("src", "relay-b", 4)
+	set("relay-a", "dst", 4)
+	set("relay-a", "spare", 4)
+	set("relay-b", "spare", 4)
+	return tp
+}
+
+type sinkFunc func(obs.Event)
+
+func (f sinkFunc) Emit(e obs.Event) { f(e) }
+
+func chainSystem(t *testing.T, reg *obs.Registry, extra obs.Sink) (*System, *obs.MemorySink) {
+	t.Helper()
+	mem := &obs.MemorySink{}
+	sinks := obs.MultiSink{mem}
+	if extra != nil {
+		sinks = append(sinks, extra)
+	}
+	sys, err := NewSystem(chainTopology(t), Config{
+		TimeScale: 0.0005,
+		Seed:      1,
+		Metrics:   reg,
+		Trace:     sinks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	return sys, mem
+}
+
+func fastPolicy(attempts int) retry.Policy {
+	return retry.Policy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Multiplier: 2}
+}
+
+func assertPath(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("path = %v, want %v", got, want)
+	}
+}
+
+// TestReliableSurvivesDepotKillMidStream is the acceptance scenario: a
+// transfer over a two-depot chain has a depot drop it mid-stream and
+// then die outright; the transfer must finish anyway — resuming from
+// the sink's acked offset over the rerouted (spare-depot) path — and
+// the recovery must be visible as counters in the /metrics output.
+func TestReliableSurvivesDepotKillMidStream(t *testing.T) {
+	reg := obs.NewRegistry()
+	var (
+		sys      *System
+		killOnce sync.Once
+		killErr  error
+	)
+	// The first retry event marks the boundary between attempts: the
+	// interrupted first attempt has fully wound down, the next has not
+	// dialed yet. Killing the depot there is exactly "mid-transfer".
+	sys, mem := chainSystem(t, reg, sinkFunc(func(e obs.Event) {
+		if e.Kind == obs.KindRetry && e.Hop == 0 {
+			killOnce.Do(func() { killErr = sys.KillDepot("relay-b") })
+		}
+	}))
+
+	planned, err := sys.PlannedPath("src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPath(t, planned, "src", "relay-a", "relay-b", "dst")
+
+	f, err := sys.Fault("relay-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.DropAfter(96 << 10)
+
+	const size = 256 << 10
+	res, err := sys.TransferReliable("src", "dst", size, RecoveryPolicy{
+		Retry: fastPolicy(6), Failover: true, FailoverAfter: 1, AttemptTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if killErr != nil {
+		t.Fatalf("KillDepot: %v", killErr)
+	}
+	if res.Bytes != size {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, size)
+	}
+	assertPath(t, res.Path, "src", "spare", "dst")
+
+	if v := reg.Counter(MetricRetryAttempts).Value(); v < 1 {
+		t.Fatalf("%s = %d, want >= 1", MetricRetryAttempts, v)
+	}
+	if v := reg.Counter(MetricFailovers).Value(); v < 1 {
+		t.Fatalf("%s = %d, want >= 1", MetricFailovers, v)
+	}
+	if f.Injected() < 1 {
+		t.Fatal("fault injector never fired")
+	}
+
+	var sawRetry, sawFailover bool
+	for _, e := range mem.Events() {
+		switch e.Kind {
+		case obs.KindRetry:
+			sawRetry = true
+		case obs.KindFailover:
+			sawFailover = true
+			if !strings.Contains(e.Detail, "relay-b") {
+				t.Fatalf("failover event does not name the dead depot: %+v", e)
+			}
+		}
+	}
+	if !sawRetry || !sawFailover {
+		t.Fatalf("trace missing recovery events: retry=%v failover=%v", sawRetry, sawFailover)
+	}
+
+	// The recovery counters must surface on the debug endpoint.
+	srv := httptest.NewServer(obs.Handler(reg, nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, name := range []string{MetricRetryAttempts, MetricFailovers, "depot_faults_injected_total"} {
+		if !strings.Contains(body, name) {
+			t.Fatalf("/metrics output missing %s:\n%s", name, body)
+		}
+	}
+}
+
+// TestReliableResumesAtAckedOffset exercises retry WITHOUT failover:
+// the one-shot drop fault tears the chain mid-stream, and the retried
+// session must resume on the same path from the sink's acked offset —
+// observable as a positive resumed-bytes counter.
+func TestReliableResumesAtAckedOffset(t *testing.T) {
+	reg := obs.NewRegistry()
+	sys, _ := chainSystem(t, reg, nil)
+
+	f, err := sys.Fault("relay-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.DropAfter(128 << 10)
+
+	const size = 256 << 10
+	res, err := sys.TransferReliable("src", "dst", size, RecoveryPolicy{
+		Retry: fastPolicy(4), AttemptTimeout: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != size {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, size)
+	}
+	// No failover configured: delivery stays on the planned chain.
+	assertPath(t, res.Path, "src", "relay-a", "relay-b", "dst")
+	if v := reg.Counter(MetricRetryAttempts).Value(); v < 1 {
+		t.Fatalf("%s = %d, want >= 1", MetricRetryAttempts, v)
+	}
+	if v := reg.Counter(MetricResumedBytes).Value(); v <= 0 {
+		t.Fatalf("%s = %d, want > 0 (continuation restarted from scratch)", MetricResumedBytes, v)
+	}
+	if v := reg.Counter(MetricFailovers).Value(); v != 0 {
+		t.Fatalf("%s = %d, want 0", MetricFailovers, v)
+	}
+}
+
+// TestReliableFailoverMatchesPathAvoiding pins the reroute to the
+// scheduler: the path recovery picks for a cold-dead depot must be
+// exactly the minimax path on the surviving topology.
+func TestReliableFailoverMatchesPathAvoiding(t *testing.T) {
+	reg := obs.NewRegistry()
+	sys, _ := chainSystem(t, reg, nil)
+
+	if err := sys.KillDepot("relay-b"); err != nil {
+		t.Fatal(err)
+	}
+	si, _ := sys.Topo.HostIndex("src")
+	di, _ := sys.Topo.HostIndex("dst")
+	bi, _ := sys.Topo.HostIndex("relay-b")
+	want, err := sys.Planner.PathAvoiding(si, di, map[int]bool{bi: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 2 {
+		t.Fatalf("PathAvoiding = %v, want a usable route", want)
+	}
+
+	const size = 128 << 10
+	res, err := sys.TransferReliable("src", "dst", size, RecoveryPolicy{
+		Retry: fastPolicy(6), Failover: true, FailoverAfter: 1, AttemptTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPath(t, res.Path, sys.hostNames(want)...)
+	for _, name := range res.Path[1 : len(res.Path)-1] {
+		i, _ := sys.Topo.HostIndex(name)
+		if !sys.Topo.Hosts[i].Depot {
+			t.Fatalf("failover relay %s is not a depot", name)
+		}
+	}
+	if v := reg.Counter(MetricFailovers).Value(); v < 1 {
+		t.Fatalf("%s = %d, want >= 1", MetricFailovers, v)
+	}
+}
+
+// TestReliableExhaustedRetriesClassified: when every attempt dies and
+// failover is off, the caller gets an error that is explicitly an
+// exhaustion of the retry budget, not a mystery failure — and not a
+// fatal classification, since the cause was transient.
+func TestReliableExhaustedRetriesClassified(t *testing.T) {
+	reg := obs.NewRegistry()
+	sys, _ := chainSystem(t, reg, nil)
+
+	f, err := sys.Fault("relay-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.RefuseConnect(true)
+
+	_, err = sys.TransferReliable("src", "dst", 64<<10, RecoveryPolicy{
+		Retry: fastPolicy(3), AttemptTimeout: 600 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("transfer through a refusing depot succeeded")
+	}
+	if !errors.Is(err, retry.ErrExhausted) {
+		t.Fatalf("err = %v, want errors.Is(err, retry.ErrExhausted)", err)
+	}
+	if v := reg.Counter(MetricRecoveryFatal).Value(); v != 0 {
+		t.Fatalf("%s = %d, want 0 — a refused connect is transient", MetricRecoveryFatal, v)
+	}
+	if v := reg.Counter(MetricRetryAttempts).Value(); v != 2 {
+		t.Fatalf("%s = %d, want 2 (3 attempts)", MetricRetryAttempts, v)
+	}
+}
+
+// TestReliableCorruptionIsFatal: a silently corrupted payload (pattern
+// mismatch at the sink) must abort on the first attempt — retrying a
+// deterministic verification failure would only repeat it — and must be
+// counted as a fatal recovery outcome, not an exhausted retry budget.
+func TestReliableCorruptionIsFatal(t *testing.T) {
+	reg := obs.NewRegistry()
+	sys, _ := chainSystem(t, reg, nil)
+
+	f, err := sys.Fault("relay-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.CorruptAfter(16 << 10)
+
+	_, err = sys.TransferReliable("src", "dst", 64<<10, RecoveryPolicy{
+		Retry: fastPolicy(4), AttemptTimeout: 3 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("corrupted transfer reported success")
+	}
+	if errors.Is(err, retry.ErrExhausted) {
+		t.Fatalf("err = %v: corruption burned the retry budget instead of aborting", err)
+	}
+	if !strings.Contains(err.Error(), "pattern mismatch") {
+		t.Fatalf("err = %v, want the sink's pattern mismatch", err)
+	}
+	if v := reg.Counter(MetricRecoveryFatal).Value(); v != 1 {
+		t.Fatalf("%s = %d, want 1", MetricRecoveryFatal, v)
+	}
+	if v := reg.Counter(MetricRetryAttempts).Value(); v != 0 {
+		t.Fatalf("%s = %d, want 0 (fatal errors must not retry)", MetricRetryAttempts, v)
+	}
+}

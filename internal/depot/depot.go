@@ -23,8 +23,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"context"
+
 	"github.com/netlogistics/lsl/internal/lsl"
 	"github.com/netlogistics/lsl/internal/obs"
+	"github.com/netlogistics/lsl/internal/retry"
 	"github.com/netlogistics/lsl/internal/wire"
 )
 
@@ -68,6 +71,18 @@ type Config struct {
 	// beyond this concurrency — the load-based session negotiation the
 	// paper proposes for future work.
 	MaxSessions int
+	// ForwardRetry retries a failed onward dial with backoff before
+	// giving up on a session. The zero policy dials exactly once.
+	ForwardRetry retry.Policy
+	// FailoverDirect, when set, makes the depot dial the session's
+	// final destination directly after the next hop stays unreachable
+	// through ForwardRetry — hop-level graceful degradation that trades
+	// the rest of the chain for delivery.
+	FailoverDirect bool
+	// Faults, when non-nil, deterministically injects failures into the
+	// data path (refuse-connect, drop-after-N-bytes, stall) so recovery
+	// paths are testable. Production configs leave it nil.
+	Faults *FaultInjector
 	// Logf, when non-nil, receives diagnostic messages.
 	Logf func(format string, args ...any)
 	// Metrics, when non-nil, receives the depot's counters, the
@@ -101,6 +116,8 @@ type Stats struct {
 	BytesStored    int64
 	BytesFetched   int64
 	Errors         int64
+	ForwardRetries int64
+	Failovers      int64
 }
 
 // stat holds the Stats fields as atomics, so hot-path accounting never
@@ -119,6 +136,8 @@ type stat struct {
 	bytesStored    atomic.Int64
 	bytesFetched   atomic.Int64
 	errors         atomic.Int64
+	forwardRetries atomic.Int64
+	failovers      atomic.Int64
 }
 
 // metrics are the depot's shared-registry instruments, resolved once at
@@ -130,6 +149,9 @@ type metrics struct {
 	bytesFwd   *obs.Counter
 	bytesDlv   *obs.Counter
 	stallNanos *obs.Counter
+	fwdRetries *obs.Counter
+	failovers  *obs.Counter
+	faults     *obs.Counter
 	occupancy  *obs.Gauge
 	active     *obs.Gauge
 	chunkWrite *obs.Histogram
@@ -150,6 +172,9 @@ const (
 	MetricChunkWriteSeconds = "depot_chunk_write_seconds"
 	MetricSublinkMbps       = "depot_sublink_throughput_mbps"
 	MetricSessionSeconds    = "depot_session_seconds"
+	MetricForwardRetries    = "depot_forward_retries_total"
+	MetricFailovers         = "depot_failovers_total"
+	MetricFaultsInjected    = "depot_faults_injected_total"
 )
 
 func newMetrics(r *obs.Registry) metrics {
@@ -160,6 +185,9 @@ func newMetrics(r *obs.Registry) metrics {
 		bytesFwd:   r.Counter(MetricBytesForwarded),
 		bytesDlv:   r.Counter(MetricBytesDelivered),
 		stallNanos: r.Counter(MetricPumpStallNanos),
+		fwdRetries: r.Counter(MetricForwardRetries),
+		failovers:  r.Counter(MetricFailovers),
+		faults:     r.Counter(MetricFaultsInjected),
 		occupancy:  r.Gauge(MetricPipelineOccupancy),
 		active:     r.Gauge(MetricActiveSessions),
 		// 100 µs .. ~1.6 s write latencies.
@@ -219,6 +247,8 @@ func (s *Server) Stats() Stats {
 		BytesStored:    s.st.bytesStored.Load(),
 		BytesFetched:   s.st.bytesFetched.Load(),
 		Errors:         s.st.errors.Load(),
+		ForwardRetries: s.st.forwardRetries.Load(),
+		Failovers:      s.st.failovers.Load(),
 	}
 }
 
@@ -324,6 +354,15 @@ func (s *Server) Shutdown(timeout time.Duration) bool {
 // listener.
 func (s *Server) Handle(conn net.Conn) {
 	start := time.Now()
+	if s.cfg.Faults.refusing() {
+		// A dead depot process behind a live address: the connection is
+		// torn down before any protocol exchange.
+		s.met.faults.Inc()
+		s.st.refused.Add(1)
+		s.met.refused.Inc()
+		conn.Close()
+		return
+	}
 	if d := s.cfg.IdleTimeout; d > 0 {
 		conn = &idleConn{Conn: conn, timeout: d}
 	}
@@ -355,7 +394,7 @@ func (s *Server) Handle(conn net.Conn) {
 	s.met.accepted.Inc()
 	f.emit(obs.KindAccept, obs.Event{Peer: h.Src.String()})
 
-	sess := &lsl.Session{Conn: conn, Header: h}
+	sess := &lsl.Session{Conn: s.cfg.Faults.wrap(conn, s.met.faults), Header: h}
 	switch h.Type {
 	case wire.TypeData:
 		err = s.handleData(sess, f)
@@ -377,6 +416,27 @@ func (s *Server) Handle(conn net.Conn) {
 		f.emit(obs.KindError, obs.Event{Detail: err.Error()})
 		s.logf("depot %s: session %s: %v", s.cfg.Self, h.Session, err)
 	}
+}
+
+// dialOnward opens the next sublink, retrying transient dial failures
+// under Config.ForwardRetry. Every extra attempt is counted and traced,
+// so chain-level recovery is visible hop by hop.
+func (s *Server) dialOnward(next wire.Endpoint, f *flow) (net.Conn, error) {
+	var out net.Conn
+	err := s.cfg.ForwardRetry.Do(context.Background(), func(attempt int) error {
+		if attempt > 0 {
+			s.st.forwardRetries.Add(1)
+			s.met.fwdRetries.Inc()
+			f.emit(obs.KindRetry, obs.Event{Peer: next.String(), Detail: fmt.Sprintf("dial attempt %d", attempt+1)})
+		}
+		conn, derr := s.cfg.Dial.Dial(next.String())
+		if derr != nil {
+			return derr
+		}
+		out = conn
+		return nil
+	})
+	return out, err
 }
 
 // nextHop determines where a session goes next: the head of its source
@@ -441,9 +501,22 @@ func (s *Server) handleData(sess *lsl.Session, f *flow) error {
 		return s.deliver(sess, f)
 	}
 	defer s.track(f, sess.Header, "data", next)()
-	out, err := s.cfg.Dial.Dial(next.String())
+	out, err := s.dialOnward(next, f)
 	if err != nil {
-		return fmt.Errorf("forward dial %s: %w", next, err)
+		// The next hop is gone for good. With FailoverDirect the rest
+		// of the chain is abandoned and the payload goes straight to the
+		// destination — degraded (one long sublink) but delivered.
+		if !s.cfg.FailoverDirect || next == sess.Header.Dst {
+			return fmt.Errorf("forward dial %s: %w", next, err)
+		}
+		s.st.failovers.Add(1)
+		s.met.failovers.Inc()
+		f.emit(obs.KindFailover, obs.Event{Peer: sess.Header.Dst.String(), Detail: "next hop " + next.String() + " unreachable"})
+		s.logf("depot %s: next hop %s unreachable, failing over direct to %s", s.cfg.Self, next, sess.Header.Dst)
+		next, rest = sess.Header.Dst, nil
+		if out, err = s.dialOnward(next, f); err != nil {
+			return fmt.Errorf("failover dial %s: %w", next, err)
+		}
 	}
 	defer out.Close()
 	f.emit(obs.KindConnect, obs.Event{Peer: next.String()})

@@ -1,0 +1,129 @@
+package depot
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/retry"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+// TestForwardRetryRidesOutLateListener: the onward depot is not up when
+// the session arrives; the relay's dial retry must bridge the gap.
+func TestForwardRetryRidesOutLateListener(t *testing.T) {
+	h := newHarness(t)
+	h.addDepot(epB, Config{
+		ForwardRetry: retry.Policy{MaxAttempts: 5, BaseDelay: 50 * time.Millisecond},
+	})
+
+	sess, err := lsl.Open(h.dialerFrom("10.0.0.1"), epA, epC, []wire.Endpoint{epB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("late sink "), 1024)
+	go func() {
+		sess.Write(payload)
+		sess.Close()
+	}()
+
+	// The sink comes up only after the relay's first dial has already
+	// been refused.
+	time.Sleep(10 * time.Millisecond)
+	h.addDepot(epC, Config{})
+
+	if got := h.waitDelivery(sess.ID()); !bytes.Equal(got, payload) {
+		t.Fatalf("delivered %d bytes, want %d", len(got), len(payload))
+	}
+	st := h.servers[epB].Stats()
+	if st.ForwardRetries < 1 {
+		t.Fatalf("ForwardRetries = %d, want >= 1", st.ForwardRetries)
+	}
+	if st.Failovers != 0 {
+		t.Fatalf("Failovers = %d, want 0", st.Failovers)
+	}
+}
+
+// TestFailoverDirectSkipsDeadHop: with no depot at the routed next hop,
+// a failover-enabled relay must deliver by dialing the session's final
+// destination directly.
+func TestFailoverDirectSkipsDeadHop(t *testing.T) {
+	h := newHarness(t)
+	h.addDepot(epB, Config{FailoverDirect: true})
+	h.addDepot(epD, Config{}) // destination; epC (the routed hop) is dead
+
+	sess, err := lsl.Open(h.dialerFrom("10.0.0.1"), epA, epD, []wire.Endpoint{epB, epC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("around the dead hop "), 512)
+	go func() {
+		sess.Write(payload)
+		sess.Close()
+	}()
+	if got := h.waitDelivery(sess.ID()); !bytes.Equal(got, payload) {
+		t.Fatalf("delivered %d bytes, want %d", len(got), len(payload))
+	}
+	st := h.servers[epB].Stats()
+	if st.Failovers != 1 {
+		t.Fatalf("Failovers = %d, want 1", st.Failovers)
+	}
+}
+
+// TestFaultInjectorRefuse: a refusing depot closes connections before
+// the header and counts both the refusal and the injection.
+func TestFaultInjectorRefuse(t *testing.T) {
+	h := newHarness(t)
+	f := NewFaultInjector()
+	f.RefuseConnect(true)
+	h.addDepot(epB, Config{Faults: f})
+
+	sess, err := lsl.Open(h.dialerFrom("10.0.0.1"), epA, epB, nil)
+	if err == nil {
+		// The dial itself succeeds (the listener is alive); the refusal
+		// lands as a failed session, observed on write/close.
+		sess.Write([]byte("doomed"))
+		sess.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.servers[epB].Stats().Refused < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("refusal never counted: %+v", h.servers[epB].Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if f.Injected() < 1 {
+		t.Fatalf("Injected = %d, want >= 1", f.Injected())
+	}
+}
+
+// TestFaultInjectorDropTearsSession: an armed drop must cut a relayed
+// session partway, delivering only a prefix to the sink.
+func TestFaultInjectorDropTearsSession(t *testing.T) {
+	h := newHarness(t)
+	f := NewFaultInjector()
+	f.DropAfter(32 << 10)
+	h.addDepot(epB, Config{Faults: f})
+	h.addDepot(epC, Config{})
+
+	sess, err := lsl.Open(h.dialerFrom("10.0.0.1"), epA, epC, []wire.Endpoint{epB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{9}, 128<<10)
+	go func() {
+		sess.Write(payload)
+		sess.Close()
+	}()
+	got := h.waitDelivery(sess.ID())
+	if len(got) >= len(payload) {
+		t.Fatalf("delivered %d bytes through an armed drop fault", len(got))
+	}
+	if f.Injected() != 1 {
+		t.Fatalf("Injected = %d, want 1", f.Injected())
+	}
+	if !bytes.Equal(got, payload[:len(got)]) {
+		t.Fatal("delivered prefix does not match the payload")
+	}
+}

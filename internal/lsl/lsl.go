@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync/atomic"
 	"time"
 
@@ -78,6 +79,54 @@ func (s *Session) ID() wire.SessionID { return s.Header.Session }
 // session propagates end-of-stream down the chain.
 func Open(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint) (*Session, error) {
 	return open(d, src, dst, route, wire.TypeData, nil)
+}
+
+// OpenAt is Open for a resumed transfer: the session header carries a
+// resume-offset option announcing that the payload stream begins at the
+// given absolute byte offset. Depots forward the option untouched; the
+// sink appends from that offset instead of restarting. An offset of 0
+// is identical to Open.
+func OpenAt(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, offset int64) (*Session, error) {
+	if offset < 0 {
+		return nil, fmt.Errorf("lsl: negative resume offset %d", offset)
+	}
+	var opts []wire.Option
+	if offset > 0 {
+		opts = []wire.Option{wire.ResumeOffsetOption(uint64(offset))}
+	}
+	return open(d, src, dst, route, wire.TypeData, opts)
+}
+
+// TimeoutDialer bounds each Dial through d to the given timeout,
+// giving per-hop connect timeouts to transports (like the emulated
+// network) whose dials cannot otherwise be interrupted. On timeout the
+// abandoned connection, if it eventually materializes, is closed.
+func TimeoutDialer(d Dialer, timeout time.Duration) Dialer {
+	if timeout <= 0 {
+		return d
+	}
+	return DialerFunc(func(address string) (net.Conn, error) {
+		type result struct {
+			conn net.Conn
+			err  error
+		}
+		ch := make(chan result, 1)
+		go func() {
+			conn, err := d.Dial(address)
+			ch <- result{conn, err}
+		}()
+		select {
+		case r := <-ch:
+			return r.conn, r.err
+		case <-time.After(timeout):
+			go func() {
+				if r := <-ch; r.conn != nil {
+					r.conn.Close()
+				}
+			}()
+			return nil, fmt.Errorf("lsl: dial %s: %w", address, os.ErrDeadlineExceeded)
+		}
+	})
 }
 
 // OpenGenerate asks the first hop (a depot) to synthesize size bytes of

@@ -1,0 +1,141 @@
+package netsim
+
+import "github.com/netlogistics/lsl/internal/simtime"
+
+// FaultPlan is the simulation-side fault-injection hook: a schedule of
+// deterministic failures for named components (links, depots, hosts)
+// that discrete-event models consult on their data path. It mirrors the
+// live stack's depot.FaultInjector so the same recovery scenarios —
+// refuse-connect, drop-after-N-bytes, stall — can be scripted against
+// the simulated transports:
+//
+//	plan := netsim.NewFaultPlan()
+//	plan.FailAt("depot-b", 3*simtime.Second)      // dies at t=3s
+//	plan.RestoreAt("depot-b", 8*simtime.Second)   // back at t=8s
+//	plan.DropAfter("link-ab", 1<<20)              // link dies after 1 MB
+//
+// Models call Down(name, now) before dialing/forwarding and
+// Account(name, n) as bytes move; both are O(1) after the schedule is
+// sorted into per-component state. A nil *FaultPlan injects nothing, so
+// models need no configuration branches.
+type FaultPlan struct {
+	components map[string]*componentFaults
+	injected   int
+}
+
+type componentFaults struct {
+	// transitions is the ordered fail/restore schedule.
+	transitions []transition
+	// dropAfter is a byte budget; <0 means unarmed.
+	dropAfter int64
+	moved     int64
+	dropped   bool
+}
+
+type transition struct {
+	at   simtime.Time
+	down bool
+}
+
+// NewFaultPlan returns an empty plan.
+func NewFaultPlan() *FaultPlan {
+	return &FaultPlan{components: make(map[string]*componentFaults)}
+}
+
+func (p *FaultPlan) component(name string) *componentFaults {
+	c, ok := p.components[name]
+	if !ok {
+		c = &componentFaults{dropAfter: -1}
+		p.components[name] = c
+	}
+	return c
+}
+
+// FailAt schedules component name to go down at the given instant.
+// Transitions must be added in increasing time order per component.
+func (p *FaultPlan) FailAt(name string, at simtime.Time) {
+	c := p.component(name)
+	c.transitions = append(c.transitions, transition{at: at, down: true})
+}
+
+// RestoreAt schedules component name to come back at the given instant.
+func (p *FaultPlan) RestoreAt(name string, at simtime.Time) {
+	c := p.component(name)
+	c.transitions = append(c.transitions, transition{at: at, down: false})
+}
+
+// DropAfter arms a one-shot byte-budget fault: after n bytes have been
+// Accounted against name, the component reports Down forever (until the
+// plan is rebuilt).
+func (p *FaultPlan) DropAfter(name string, n int64) {
+	c := p.component(name)
+	c.dropAfter = n
+	c.moved = 0
+	c.dropped = false
+}
+
+// Account records n bytes moved through name and reports whether the
+// component is still up. The first crossing of a DropAfter budget
+// counts as one injected fault. Nil-safe.
+func (p *FaultPlan) Account(name string, n int64) bool {
+	if p == nil {
+		return true
+	}
+	c, ok := p.components[name]
+	if !ok {
+		return true
+	}
+	c.moved += n
+	if c.dropAfter >= 0 && !c.dropped && c.moved >= c.dropAfter {
+		c.dropped = true
+		p.injected++
+	}
+	return !c.dropped
+}
+
+// Down reports whether component name is failed at instant now, from
+// either its transition schedule or an exhausted byte budget. Nil-safe:
+// a nil plan (or unknown name) is always up.
+func (p *FaultPlan) Down(name string, now simtime.Time) bool {
+	if p == nil {
+		return false
+	}
+	c, ok := p.components[name]
+	if !ok {
+		return false
+	}
+	if c.dropped {
+		return true
+	}
+	down := false
+	for _, tr := range c.transitions {
+		if tr.at > now {
+			break
+		}
+		down = tr.down
+	}
+	return down
+}
+
+// Injected reports how many byte-budget faults have fired.
+func (p *FaultPlan) Injected() int {
+	if p == nil {
+		return 0
+	}
+	return p.injected
+}
+
+// Arm schedules a no-op event at every transition instant on e, so a
+// Run over the plan's horizon steps through each state change even
+// when no model event happens to land there — keeping time-driven
+// failure windows visible to pollers that only act inside events.
+func (p *FaultPlan) Arm(e *Engine) {
+	if p == nil {
+		return
+	}
+	for _, c := range p.components {
+		for _, tr := range c.transitions {
+			e.At(tr.at, func(simtime.Time) {})
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/simtime"
+)
+
+func TestFaultPlanTransitions(t *testing.T) {
+	plan := NewFaultPlan()
+	plan.FailAt("depot-b", 3)
+	plan.RestoreAt("depot-b", 8)
+
+	checks := []struct {
+		at   simtime.Time
+		down bool
+	}{
+		{0, false}, {2.999, false}, {3, true}, {5, true}, {8, false}, {100, false},
+	}
+	for _, c := range checks {
+		if got := plan.Down("depot-b", c.at); got != c.down {
+			t.Errorf("Down(depot-b, %v) = %v, want %v", c.at, got, c.down)
+		}
+	}
+	if plan.Down("unknown", 5) {
+		t.Error("unknown component reported down")
+	}
+}
+
+func TestFaultPlanDropAfter(t *testing.T) {
+	plan := NewFaultPlan()
+	plan.DropAfter("link-ab", 1000)
+	if !plan.Account("link-ab", 999) {
+		t.Fatal("down before budget exhausted")
+	}
+	if plan.Down("link-ab", 0) {
+		t.Fatal("Down before budget exhausted")
+	}
+	if plan.Account("link-ab", 1) {
+		t.Fatal("still up after budget exhausted")
+	}
+	if !plan.Down("link-ab", 0) {
+		t.Fatal("Down should report the exhausted budget")
+	}
+	if plan.Injected() != 1 {
+		t.Fatalf("Injected = %d, want 1", plan.Injected())
+	}
+	// Further accounting doesn't double-count the fault.
+	plan.Account("link-ab", 50)
+	if plan.Injected() != 1 {
+		t.Fatalf("Injected = %d after extra bytes, want 1", plan.Injected())
+	}
+}
+
+func TestFaultPlanNilSafe(t *testing.T) {
+	var plan *FaultPlan
+	if plan.Down("x", 1) || !plan.Account("x", 10) || plan.Injected() != 0 {
+		t.Fatal("nil plan should inject nothing")
+	}
+	plan.Arm(nil) // no panic
+}
+
+func TestFaultPlanArmSchedulesTransitions(t *testing.T) {
+	e := New(1)
+	plan := NewFaultPlan()
+	plan.FailAt("d", 2)
+	plan.RestoreAt("d", 4)
+	plan.Arm(e)
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	end, err := e.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 4 {
+		t.Fatalf("final time = %v, want 4", end)
+	}
+}
+
+func TestFaultPlanWithEngineRun(t *testing.T) {
+	// A model polls the plan from inside events: during the outage the
+	// component reports down, before and after it reports up.
+	e := New(1)
+	plan := NewFaultPlan()
+	plan.FailAt("depot", 5)
+	plan.RestoreAt("depot", 10)
+
+	var states []bool
+	for _, at := range []simtime.Time{1, 6, 11} {
+		at := at
+		e.At(at, func(now simtime.Time) {
+			states = append(states, plan.Down("depot", now))
+		})
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, false}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("states = %v, want %v", states, want)
+		}
+	}
+}

@@ -11,12 +11,12 @@ import (
 // The identifying fields are written once at registration; the byte and
 // queue counters are updated atomically from the data path.
 type SessionEntry struct {
-	ID      string    // hex session id
-	Type    string    // "data", "generate", "multicast", "store", "fetch"
-	Src     string    // header source endpoint
-	Dst     string    // header destination endpoint
-	Next    string    // next-hop endpoint ("" when delivering locally)
-	Hop     int       // this node's position in the chain
+	ID      string // hex session id
+	Type    string // "data", "generate", "multicast", "store", "fetch"
+	Src     string // header source endpoint
+	Dst     string // header destination endpoint
+	Next    string // next-hop endpoint ("" when delivering locally)
+	Hop     int    // this node's position in the chain
 	Started time.Time
 
 	bytes  atomic.Int64 // payload bytes moved so far

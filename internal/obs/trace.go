@@ -21,6 +21,15 @@ const (
 	KindRefused   = "refused"
 	KindError     = "error"
 	KindSample    = "sample" // periodic cumulative byte progress
+
+	// Recovery events. A retried attempt emits Retry (Detail carries
+	// the classified cause, Bytes the acked offset it resumes from); a
+	// reroute around a failed depot emits Failover (Detail names the
+	// avoided depots, Peer the new first hop); a continuation session
+	// that skips already-delivered bytes emits Resume at the sink.
+	KindRetry    = "retry"
+	KindFailover = "failover"
+	KindResume   = "resume"
 )
 
 // Event is one structured, per-session trace record — the JSON-lines

@@ -1,0 +1,152 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	transient := []error{
+		syscall.ECONNREFUSED,
+		syscall.ECONNRESET,
+		syscall.EPIPE,
+		os.ErrDeadlineExceeded,
+		context.DeadlineExceeded,
+		io.ErrUnexpectedEOF,
+		io.ErrClosedPipe,
+		fmt.Errorf("dial: %w", syscall.ECONNREFUSED),
+		errors.New(`emu: dial "10.0.1.1:7411": connection refused`),
+		errors.New("emu: connection closed"),
+		errors.New("depot: injected fault: drop after 4096 bytes"),
+		&net.OpError{Op: "read", Err: os.ErrDeadlineExceeded},
+		AsTransient(errors.New("anything")),
+	}
+	for _, err := range transient {
+		if !IsTransient(err) {
+			t.Errorf("Classify(%v) = %v, want transient", err, Classify(err))
+		}
+	}
+	fatal := []error{
+		errors.New("wire: option overruns header"),
+		errors.New("depot: pattern mismatch at offset 9"),
+		AsFatal(errors.New("connection refused")), // explicit mark wins
+	}
+	for _, err := range fatal {
+		if !IsFatal(err) {
+			t.Errorf("Classify(%v) = %v, want fatal", err, Classify(err))
+		}
+	}
+	if IsTransient(nil) || IsFatal(nil) {
+		t.Error("nil error classified as an error")
+	}
+}
+
+func TestClassifiedUnwrap(t *testing.T) {
+	base := errors.New("boom")
+	if !errors.Is(AsFatal(fmt.Errorf("wrap: %w", base)), base) {
+		t.Error("AsFatal broke the error chain")
+	}
+	if AsFatal(nil) != nil || AsTransient(nil) != nil {
+		t.Error("marking nil should stay nil")
+	}
+}
+
+func TestDelaySchedule(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 60 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{10, 20, 40, 60, 60} // capped at MaxDelay
+	for i, w := range want {
+		if got := p.Delay(i); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayJitterBounds(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, Jitter: 0.5, Rand: rand.New(rand.NewSource(7))}
+	for i := 0; i < 100; i++ {
+		d := p.Delay(0)
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [50ms, 100ms]", d)
+		}
+	}
+}
+
+func TestDoRetriesTransient(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Microsecond}
+	calls := 0
+	err := p.Do(context.Background(), func(attempt int) error {
+		if attempt != calls {
+			t.Fatalf("attempt %d, want %d", attempt, calls)
+		}
+		calls++
+		if calls < 3 {
+			return syscall.ECONNREFUSED
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoStopsOnFatal(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}
+	calls := 0
+	bad := errors.New("depot: pattern mismatch at offset 3")
+	err := p.Do(context.Background(), func(int) error { calls++; return bad })
+	if !errors.Is(err, bad) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want single fatal attempt", err, calls)
+	}
+}
+
+func TestDoExhaustionWrapsLastError(t *testing.T) {
+	p := Policy{MaxAttempts: 2, BaseDelay: time.Microsecond}
+	last := fmt.Errorf("sublink: %w", syscall.ECONNRESET)
+	err := p.Do(context.Background(), func(int) error { return last })
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err=%v, want ErrExhausted", err)
+	}
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("err=%v lost the last attempt's cause", err)
+	}
+}
+
+func TestDoHonorsContext(t *testing.T) {
+	p := Policy{MaxAttempts: 100, BaseDelay: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(ctx, func(int) error { calls++; return syscall.ECONNREFUSED })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err=%v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1 (cancelled during first backoff)", calls)
+	}
+}
+
+func TestSingleAttemptPolicy(t *testing.T) {
+	var p Policy // zero value: one attempt, no retry
+	calls := 0
+	err := p.Do(context.Background(), func(int) error { calls++; return syscall.ECONNRESET })
+	if calls != 1 || !errors.Is(err, ErrExhausted) {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}

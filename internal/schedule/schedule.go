@@ -239,6 +239,44 @@ func (p *Planner) Path(src, dst int) ([]int, error) {
 	return path, nil
 }
 
+// PathAvoiding recomputes the minimax path from src to dst on the last
+// Replan's cost graph with the avoided hosts removed as relays — the
+// failover query: when a depot on the planned route dies mid-transfer,
+// the surviving topology is re-solved without waiting for the next
+// measurement cadence. Avoided hosts get infinite transit cost, so they
+// can still terminate a session (src and dst are never excluded) but
+// never forward one. Like Path, it returns nil, nil when dst is
+// unreachable in the surviving graph; callers degrade to a direct
+// transfer in that case.
+func (p *Planner) PathAvoiding(src, dst int, avoid map[int]bool) ([]int, error) {
+	if p.g == nil {
+		return nil, ErrNotPlanned
+	}
+	n := p.Topo.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("schedule: host index out of range")
+	}
+	transit := make([]float64, n)
+	for i, h := range p.Topo.Hosts {
+		switch {
+		case avoid[i] || !h.Depot:
+			transit[i] = graph.Inf
+		case p.HostTransit && h.ForwardRate > 0:
+			transit[i] = 1 / h.ForwardRate
+		}
+	}
+	t := graph.MinimaxTreeTransit(p.g, graph.NodeID(src), p.Epsilon, transit)
+	nodes := t.PathTo(graph.NodeID(dst))
+	if nodes == nil {
+		return nil, nil
+	}
+	path := make([]int, len(nodes))
+	for i, id := range nodes {
+		path[i] = int(id)
+	}
+	return path, nil
+}
+
 // Relayed reports whether the planned path src→dst uses at least one
 // depot relay.
 func (p *Planner) Relayed(src, dst int) (bool, error) {

@@ -341,3 +341,63 @@ func TestHostTransitPrunesSlowForwarders(t *testing.T) {
 		}
 	}
 }
+
+func TestPathAvoidingReroutesAroundDeadDepot(t *testing.T) {
+	tp := topo.TwoPath()
+	p := newPlanned(t, tp, DefaultEpsilon)
+	ucsb := tp.MustHost(topo.UCSB)
+	uiuc := tp.MustHost(topo.UIUC)
+	path, err := p.Path(ucsb, uiuc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 3 {
+		t.Fatalf("expected a relayed plan, got %v", path)
+	}
+	dead := path[1]
+	avoid := map[int]bool{dead: true}
+	alt, err := p.PathAvoiding(ucsb, uiuc, avoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt == nil {
+		t.Fatal("destination unreachable after removing one depot")
+	}
+	if alt[0] != ucsb || alt[len(alt)-1] != uiuc {
+		t.Fatalf("endpoints of %v", alt)
+	}
+	for _, h := range alt[1 : len(alt)-1] {
+		if h == dead {
+			t.Fatalf("reroute %v still uses the dead depot %d", alt, dead)
+		}
+		if !tp.Hosts[h].Depot {
+			t.Fatalf("reroute relays through non-depot %s", tp.Hosts[h].Name)
+		}
+	}
+	// Avoiding nothing reproduces the planned path.
+	same, err := p.PathAvoiding(ucsb, uiuc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same) != len(path) {
+		t.Fatalf("PathAvoiding(nil) = %v, planner path %v", same, path)
+	}
+}
+
+func TestPathAvoidingValidation(t *testing.T) {
+	tp := topo.TwoPath()
+	p, err := NewPlanner(tp, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PathAvoiding(0, 1, nil); !errors.Is(err, ErrNotPlanned) {
+		t.Fatalf("before Replan: %v", err)
+	}
+	p = newPlanned(t, tp, 0.1)
+	if _, err := p.PathAvoiding(-1, 1, nil); err == nil {
+		t.Fatal("bad src accepted")
+	}
+	if _, err := p.PathAvoiding(0, tp.N(), nil); err == nil {
+		t.Fatal("bad dst accepted")
+	}
+}

@@ -103,6 +103,34 @@ func ParseHopIndex(o Option) (uint16, error) {
 	return binary.BigEndian.Uint16(o.Data), nil
 }
 
+// ResumeOffsetOption marks the session payload as starting at the
+// given absolute byte offset of the transfer it resumes.
+func ResumeOffsetOption(offset uint64) Option {
+	var data [8]byte
+	binary.BigEndian.PutUint64(data[:], offset)
+	return Option{Kind: OptResumeOffset, Data: data[:]}
+}
+
+// ParseResumeOffset decodes a resume-offset option.
+func ParseResumeOffset(o Option) (uint64, error) {
+	if o.Kind != OptResumeOffset || len(o.Data) != 8 {
+		return 0, fmt.Errorf("%w: bad resume offset", ErrBadOption)
+	}
+	return binary.BigEndian.Uint64(o.Data), nil
+}
+
+// ResumeOffset returns the absolute byte offset this session's payload
+// begins at: 0 for a fresh transfer, the carried offset for a resumed
+// one.
+func (h *Header) ResumeOffset() int64 {
+	if opt, ok := h.Option(OptResumeOffset); ok {
+		if off, err := ParseResumeOffset(opt); err == nil {
+			return int64(off)
+		}
+	}
+	return 0
+}
+
 // HopIndex returns the number of depots this session's header records
 // as already traversed: 0 for a header fresh from the initiator, and
 // therefore hop n for the n-th depot on the chain after it stamps the

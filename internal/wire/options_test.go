@@ -199,3 +199,22 @@ func TestMulticastDeepChain(t *testing.T) {
 		t.Fatalf("leaves = %d", len(got.Leaves()))
 	}
 }
+
+func TestResumeOffsetOption(t *testing.T) {
+	opt := ResumeOffsetOption(1 << 33)
+	off, err := ParseResumeOffset(opt)
+	if err != nil || off != 1<<33 {
+		t.Fatalf("off=%d err=%v", off, err)
+	}
+	h := &Header{Version: Version1, Type: TypeData}
+	if h.ResumeOffset() != 0 {
+		t.Fatal("fresh header should resume at 0")
+	}
+	h.AddOption(opt)
+	if h.ResumeOffset() != 1<<33 {
+		t.Fatalf("ResumeOffset = %d", h.ResumeOffset())
+	}
+	if _, err := ParseResumeOffset(Option{Kind: OptResumeOffset, Data: []byte{1}}); err == nil {
+		t.Fatal("short resume offset accepted")
+	}
+}

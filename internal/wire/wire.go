@@ -82,6 +82,12 @@ const (
 	// position into the forwarded header, so every node knows where it
 	// sits in the chain — the key per-hop trace events are indexed by.
 	OptHopIndex uint16 = 6
+	// OptResumeOffset marks a session as the continuation of an
+	// interrupted transfer: the payload stream begins at this absolute
+	// byte offset of the original object rather than at zero. Depots
+	// forward it untouched; the sink uses it to append instead of
+	// restart — the recovery path's resume semantics.
+	OptResumeOffset uint16 = 7
 )
 
 // HeaderFixedLen is the size of the fixed portion of the header.
