@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet fmt fmt-check race verify bench clean
+.PHONY: build test vet fmt fmt-check race verify bench experiments docs-check clean
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,18 @@ verify: fmt-check build vet test race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Regenerate the canonical experiment log that EXPERIMENTS.md quotes
+# (seed 1, paper iteration counts). Rerun after changing anything under
+# internal/experiments, then re-check the numbers quoted per figure in
+# EXPERIMENTS.md against the fresh experiments_output.txt.
+experiments:
+	$(GO) run ./cmd/lsl-exp -iterations 10 -measurements 20000 all > experiments_output.txt
+
+# The documentation gates alone: godoc coverage of the protocol-facing
+# packages and markdown link resolution (also run by CI's docs job).
+docs-check:
+	$(GO) test ./internal/docs/
 
 clean:
 	$(GO) clean ./...

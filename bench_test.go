@@ -415,3 +415,27 @@ func BenchmarkExtContention(b *testing.B) {
 		b.ReportMetric(rows[2].MeanSpeedup, "x16Speedup")
 	}
 }
+
+// BenchmarkStriping runs the parallel-sublink sweep on the
+// window-limited testbed and reports single- and 4-stripe throughput
+// plus their ratio — the striped-transfer acceptance quantity.
+func BenchmarkStriping(b *testing.B) {
+	var rows []experiments.StripingRow
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultStriping()
+		cfg.Seed = int64(i + 1)
+		cfg.Size = 2 << 20
+		cfg.Stripes = []int{1, 4}
+		cfg.Reps = 2
+		r, err := experiments.Striping(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	if len(rows) == 2 {
+		b.ReportMetric(rows[0].Mbit, "mbit1")
+		b.ReportMetric(rows[1].Mbit, "mbit4")
+		b.ReportMetric(rows[1].Speedup, "speedup")
+	}
+}

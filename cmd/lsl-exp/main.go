@@ -15,6 +15,7 @@
 //	trees     Figures 6-8: MMP trees with and without ε
 //	fig9      Figures 9-10 + percentile table + 26% statistic
 //	fig11     Figure 11: core-depot box statistics
+//	striping  parallel-sublink throughput sweep (1..N stripes)
 //	ablate    all ablation sweeps (ε, buffer, loss, freshness, baseline)
 //	all       everything above
 package main
@@ -33,6 +34,7 @@ var (
 	iterations   = flag.Int("iterations", 10, "runs per configuration for the Section 3 figures (paper: 10)")
 	measurements = flag.Int("measurements", 20000, "measurement budget for the aggregate evaluation (paper: 362,895)")
 	epsilon      = flag.Float64("epsilon", 0.1, "edge-equivalence for the tree comparison")
+	stripes      = flag.Int("stripes", 8, "largest stripe count for the striping sweep (doubling from 1)")
 	format       = flag.String("format", "table", "output format for figures: table or csv")
 )
 
@@ -47,7 +49,7 @@ func emit(table fmt.Stringer, csv func() string) {
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lsl-exp [flags] <rtts|fig2|fig3|fig4|fig5|trees|fig9|fig11|matrix[-twopath|-planetlab|-abilene]|ablate|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: lsl-exp [flags] <rtts|fig2|fig3|fig4|fig5|trees|fig9|fig11|striping|matrix[-twopath|-planetlab|-abilene]|ablate|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -134,6 +136,23 @@ func run(name string) error {
 			return err
 		}
 		fmt.Println(out)
+	case "striping":
+		cfg := experiments.DefaultStriping()
+		cfg.Seed = *seed
+		cfg.Stripes = nil
+		for n := 1; n <= *stripes; n *= 2 {
+			cfg.Stripes = append(cfg.Stripes, n)
+		}
+		rows, err := experiments.Striping(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatStriping(rows))
+		n, bw, err := experiments.SuggestedStripes(*stripes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scheduler suggests %d stripes (forecast %.2f Mbit/s)\n\n", n, bw)
 	case "robustness":
 		rows, err := experiments.Robustness(nil, *measurements/5)
 		if err != nil {
@@ -143,7 +162,7 @@ func run(name string) error {
 	case "ablate":
 		return ablate()
 	case "all":
-		for _, n := range []string{"rtts", "trees", "fig2", "fig3", "fig4", "fig5", "fig9", "fig11", "robustness", "ablate"} {
+		for _, n := range []string{"rtts", "trees", "fig2", "fig3", "fig4", "fig5", "fig9", "fig11", "striping", "robustness", "ablate"} {
 			if err := run(n); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

@@ -19,6 +19,14 @@
 // fresh session id — real TCP gives the sender no ack channel to
 // resume from, unlike the in-process library transfers.
 //
+// Striping: -stripes N opens N parallel sublink chains sharing one
+// session id, each carrying a contiguous byte range of the object
+// announced through the resume-offset option. A window-limited path
+// delivers roughly N times the single-connection throughput; -retries
+// applies per stripe, restarting only the failed stripe's range:
+//
+//	lsl-xfer -to sink:7411 -via depot:7411 -size 64M -stripes 4
+//
 // Sink mode accepts sessions, verifies the payload pattern, and prints
 // per-session throughput:
 //
@@ -44,6 +52,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/netlogistics/lsl/internal/depot"
@@ -70,6 +79,7 @@ var (
 	retries   = flag.Int("retries", 0, "retry a failed send this many times with backoff (plain send mode only)")
 	backoff   = flag.Duration("retry-backoff", 500*time.Millisecond, "base delay before the first retry (doubles each retry)")
 	failover  = flag.Bool("failover", false, "on retry, abandon the -via depot route and dial -to directly")
+	stripesN  = flag.Int("stripes", 1, "send over this many parallel sublinks sharing one session id (plain send mode only)")
 )
 
 func main() {
@@ -279,6 +289,13 @@ func runSend() error {
 		firstHop = route[0]
 	}
 
+	if *stripesN > 1 {
+		if *store || *generate {
+			return fmt.Errorf("-stripes combines only with a plain send, not -store or -generate")
+		}
+		return runStripedSend(dial, srcEP, dst, route, firstHop, size, tr)
+	}
+
 	start := time.Now()
 	var sess *lsl.Session
 	if *store {
@@ -366,6 +383,88 @@ func runSend() error {
 		sess.ID(), size, elapsed.Round(time.Millisecond),
 		float64(size)*8/1e6/elapsed.Seconds())
 	return nil
+}
+
+// runStripedSend pushes the object over *stripesN parallel sublink
+// chains sharing one session id. Each stripe carries a contiguous byte
+// range announced through the resume-offset option, so an ordinary
+// -sink reassembles by absolute offset with no striping-specific code.
+// -retries applies independently per stripe: a failed stripe restarts
+// from its own range start while its siblings stream on.
+func runStripedSend(dial lsl.Dialer, srcEP, dst wire.Endpoint, route []wire.Endpoint, firstHop wire.Endpoint, size int64, tr obs.Sink) error {
+	n := *stripesN
+	if int64(n) > size {
+		n = int(size)
+	}
+	id, err := wire.NewSessionID()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	base, rem := size/int64(n), size%int64(n)
+	var from int64
+	for k := 0; k < n; k++ {
+		length := base
+		if int64(k) < rem {
+			length++
+		}
+		wg.Add(1)
+		go func(k int, from, end int64) {
+			defer wg.Done()
+			pol := retry.Policy{MaxAttempts: *retries + 1, BaseDelay: *backoff}
+			errs[k] = pol.Do(context.Background(), func(attempt int) error {
+				if attempt > 0 {
+					log.Printf("stripe %d: retry %d of %d", k, attempt, *retries)
+				}
+				sess, oerr := lsl.OpenStripe(dial, srcEP, dst, route, id, k, n, from)
+				if oerr != nil {
+					return oerr
+				}
+				emit0(tr, id, obs.KindConnect, obs.Event{Peer: firstHop.String(), Stripe: k, Retries: attempt})
+				written, werr := sendPatternRange(sess, id, from, end)
+				sess.Close()
+				if werr != nil {
+					return fmt.Errorf("stripe %d after %d bytes: %w", k, written, werr)
+				}
+				emit0(tr, id, obs.KindLastByte, obs.Event{Bytes: written, Stripe: k})
+				return nil
+			})
+		}(k, from, from+length)
+		from += length
+	}
+	wg.Wait()
+	for _, werr := range errs {
+		if werr != nil {
+			return werr
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("session %s: %d bytes over %d stripes in %v = %.2f Mbit/s (send-side)\n",
+		id, size, n, elapsed.Round(time.Millisecond),
+		float64(size)*8/1e6/elapsed.Seconds())
+	return nil
+}
+
+// sendPatternRange streams the deterministic pattern for absolute
+// object offsets [from, end) — one stripe's share.
+func sendPatternRange(w io.Writer, id wire.SessionID, from, end int64) (int64, error) {
+	buf := make([]byte, 64<<10)
+	written := from
+	for written < end {
+		n := int64(len(buf))
+		if remaining := end - written; remaining < n {
+			n = remaining
+		}
+		depot.FillPattern(buf[:n], id, written)
+		m, werr := w.Write(buf[:n])
+		written += int64(m)
+		if werr != nil {
+			return written - from, werr
+		}
+	}
+	return written - from, nil
 }
 
 func runSink() error {

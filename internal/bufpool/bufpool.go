@@ -1,0 +1,47 @@
+// Package bufpool provides the shared pool of fixed-size copy buffers
+// behind every hot loop of the data path: the depot forwarding pump,
+// the pattern generators, and the sink read loops.
+//
+// The forwarding pump used to allocate one fresh chunk per 32 KiB of
+// payload (a chunk's lifetime outlives the read loop — it sits in the
+// pipeline channel until the downstream sublink drains it), which put
+// ~256 allocations and 8 MB of garbage on every 8 MB forwarded. A
+// sync.Pool turns that into a small steady-state working set sized by
+// the pipeline depth, while striped transfers — N concurrent pumps per
+// hop — share one pool instead of multiplying the garbage by N.
+//
+// Buffers are handed out as *[]byte so returning one to the pool does
+// not re-box the slice header on every Put. The canonical shape:
+//
+//	bp := bufpool.Get()
+//	defer bufpool.Put(bp)
+//	buf := *bp // len(buf) == bufpool.ChunkSize
+package bufpool
+
+import "sync"
+
+// ChunkSize is the length of every pooled buffer: the depot pipeline's
+// chunk unit (32 KiB, matching the paper's forwarding granularity).
+const ChunkSize = 32 << 10
+
+var pool = sync.Pool{
+	New: func() any {
+		b := make([]byte, ChunkSize)
+		return &b
+	},
+}
+
+// Get returns a buffer of length ChunkSize. The contents are
+// arbitrary; callers must not assume zeroing.
+func Get() *[]byte { return pool.Get().(*[]byte) }
+
+// Put returns a buffer obtained from Get to the pool. The caller must
+// not touch the slice afterwards. Buffers whose length has been
+// changed (rather than re-sliced locally) are rejected, protecting the
+// pool's fixed-size invariant.
+func Put(b *[]byte) {
+	if b == nil || len(*b) != ChunkSize {
+		return
+	}
+	pool.Put(b)
+}

@@ -1,0 +1,40 @@
+package bufpool
+
+import "testing"
+
+func TestGetPutRoundTrip(t *testing.T) {
+	b := Get()
+	if b == nil || len(*b) != ChunkSize {
+		t.Fatalf("Get returned %v", b)
+	}
+	(*b)[0] = 0xAB
+	Put(b)
+	// A second Get must hand back a full-size buffer regardless of
+	// whether the pool recycled ours.
+	c := Get()
+	if len(*c) != ChunkSize {
+		t.Fatalf("recycled len = %d", len(*c))
+	}
+	Put(c)
+}
+
+func TestPutRejectsWrongSize(t *testing.T) {
+	Put(nil) // must not panic
+	short := make([]byte, 10)
+	Put(&short) // silently dropped
+	if b := Get(); len(*b) != ChunkSize {
+		t.Fatalf("pool handed out a foreign buffer of len %d", len(*b))
+	}
+}
+
+func TestGetAllocsAmortizeToZero(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		b := Get()
+		Put(b)
+	})
+	// sync.Pool may miss occasionally (GC, per-P caches); the point is
+	// that steady-state reuse does not allocate per call.
+	if allocs > 0.1 {
+		t.Fatalf("Get/Put allocates %.2f per op", allocs)
+	}
+}

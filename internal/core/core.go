@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/netlogistics/lsl/internal/bufpool"
 	"github.com/netlogistics/lsl/internal/depot"
 	"github.com/netlogistics/lsl/internal/emu"
 	"github.com/netlogistics/lsl/internal/lsl"
@@ -100,8 +101,9 @@ type System struct {
 }
 
 type deliverResult struct {
-	bytes int64
-	err   error
+	bytes  int64
+	offset int64 // absolute object offset the delivered range began at
+	err    error
 }
 
 // NewSystem builds the deployment: an emulated link per host pair, a
@@ -264,9 +266,12 @@ func (s *System) routeLookup(host int) func(wire.Endpoint) (wire.Endpoint, bool)
 }
 
 // localHandler verifies delivered payloads against the session pattern
-// and completes any registered waiter. A resumed session's pattern is
-// verified from its carried offset, so a continuation appends to the
-// interrupted transfer instead of restarting it.
+// and completes any registered waiter. A resumed (or striped) session's
+// pattern is verified from its carried offset, so a continuation
+// appends to the interrupted transfer instead of restarting it — and a
+// stripe lands in its own byte range of the shared object. The read
+// buffer is pooled: sinks of striped transfers run one of these loops
+// per stripe.
 func (s *System) localHandler() depot.Handler {
 	return func(sess *lsl.Session) error {
 		var (
@@ -274,7 +279,9 @@ func (s *System) localHandler() depot.Handler {
 			verr  error
 		)
 		base := sess.Header.ResumeOffset()
-		buf := make([]byte, 32<<10)
+		bp := bufpool.Get()
+		defer bufpool.Put(bp)
+		buf := *bp
 		for {
 			n, err := sess.Read(buf)
 			if n > 0 {
@@ -291,13 +298,20 @@ func (s *System) localHandler() depot.Handler {
 				break
 			}
 		}
-		s.complete(sess.ID(), deliverResult{bytes: total, err: verr})
+		s.complete(sess.ID(), deliverResult{bytes: total, offset: base, err: verr})
 		return verr
 	}
 }
 
 func (s *System) registerWaiter(id wire.SessionID) chan deliverResult {
-	ch := make(chan deliverResult, 8)
+	return s.registerWaiterN(id, 8)
+}
+
+// registerWaiterN registers a waiter channel with room for n reports —
+// striped transfers receive one report per stripe attempt under a
+// single session id, so the channel must never block the sinks.
+func (s *System) registerWaiterN(id wire.SessionID, n int) chan deliverResult {
+	ch := make(chan deliverResult, n)
 	s.mu.Lock()
 	s.waiters[id] = ch
 	s.mu.Unlock()

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/netlogistics/lsl/internal/bufpool"
 	"github.com/netlogistics/lsl/internal/depot"
 	"github.com/netlogistics/lsl/internal/lsl"
 	"github.com/netlogistics/lsl/internal/obs"
@@ -289,9 +290,12 @@ func (s *System) emitRecovery(sessID string, src int, kind string, e obs.Event) 
 }
 
 // writeSessionPatternFrom streams the session's deterministic pattern
-// for absolute object offsets [from, size).
+// for absolute object offsets [from, size). The copy buffer is pooled
+// with the depot pumps and sink loops.
 func writeSessionPatternFrom(sess *lsl.Session, from, size int64) error {
-	buf := make([]byte, 32<<10)
+	bp := bufpool.Get()
+	defer bufpool.Put(bp)
+	buf := *bp
 	written := from
 	for written < size {
 		n := int64(len(buf))

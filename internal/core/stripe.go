@@ -1,0 +1,264 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/obs"
+	"github.com/netlogistics/lsl/internal/retry"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+// Striping metric names reported into Config.Metrics.
+const (
+	// MetricStripedTransfers counts completed striped transfers.
+	MetricStripedTransfers = "core_striped_transfers_total"
+	// MetricStripeRetries counts per-stripe retry attempts beyond the
+	// first, across all striped transfers.
+	MetricStripeRetries = "core_stripe_retries_total"
+)
+
+// stripeRange is one stripe's contiguous byte range [start, end) of the
+// transferred object.
+type stripeRange struct {
+	start, end int64
+}
+
+// stripeRanges splits size bytes into n contiguous ranges whose lengths
+// differ by at most one byte: the first size%n stripes carry the extra
+// byte. n must satisfy 1 <= n <= size.
+func stripeRanges(size int64, n int) []stripeRange {
+	base := size / int64(n)
+	rem := size % int64(n)
+	out := make([]stripeRange, n)
+	var off int64
+	for k := range out {
+		length := base
+		if int64(k) < rem {
+			length++
+		}
+		out[k] = stripeRange{start: off, end: off + length}
+		off += length
+	}
+	return out
+}
+
+// stripeFor locates the stripe whose range contains the absolute
+// offset, or -1 when none does.
+func stripeFor(ranges []stripeRange, offset int64) int {
+	for k, r := range ranges {
+		if offset >= r.start && offset < r.end {
+			return k
+		}
+	}
+	return -1
+}
+
+// TransferStriped moves size bytes from srcHost to dstHost over the
+// planner's chosen path using the given number of parallel sublink
+// chains ("stripes"). All stripes share one session identifier and one
+// depot path; each stripe is an ordinary resumable data session
+// carrying a contiguous byte range of the object, announced through the
+// resume-offset option, so every depot pumps it with the standard flow
+// machinery and the sink reassembles by absolute offset.
+//
+// Recovery composes per stripe: a stripe whose chain tears is retried
+// under pol with the usual resume-at-acked-offset continuation while
+// its siblings keep streaming — a single sublink failure costs one
+// stripe's retry, not the transfer. Fatal errors (protocol violations,
+// pattern mismatches) abort the whole transfer.
+//
+// stripes <= 1 (or a size smaller than the stripe count) degrades
+// gracefully: the transfer runs with as many stripes as there are
+// bytes, and a single stripe is exactly TransferReliable.
+func (s *System) TransferStriped(srcHost, dstHost string, size int64, stripes int, pol RecoveryPolicy) (TransferResult, error) {
+	if size <= 0 {
+		return TransferResult{}, fmt.Errorf("core: transfer size %d must be positive", size)
+	}
+	if stripes < 1 {
+		return TransferResult{}, fmt.Errorf("core: stripe count %d must be positive", stripes)
+	}
+	if int64(stripes) > size {
+		stripes = int(size)
+	}
+	if stripes == 1 {
+		return s.TransferReliable(srcHost, dstHost, size, pol)
+	}
+	si, err := s.resolve(srcHost)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	di, err := s.resolve(dstHost)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	pol = pol.withDefaults()
+	path, err := s.Planner.Path(si, di)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	if path == nil {
+		path = []int{si, di}
+	}
+
+	id, err := wire.NewSessionID()
+	if err != nil {
+		return TransferResult{}, err
+	}
+	ranges := stripeRanges(size, stripes)
+
+	// One waiter channel serves every stripe session (they share the
+	// id); a dispatcher routes each sink report to its stripe by the
+	// absolute offset the delivered range began at. Buffers are sized
+	// so sinks never block: at most one report per stripe attempt.
+	ch := s.registerWaiterN(id, stripes*pol.Retry.MaxAttempts)
+	defer s.dropWaiter(id)
+	perStripe := make([]chan deliverResult, stripes)
+	for k := range perStripe {
+		perStripe[k] = make(chan deliverResult, pol.Retry.MaxAttempts)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case r := <-ch:
+				if k := stripeFor(ranges, r.offset); k >= 0 {
+					perStripe[k] <- r
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	errs := make([]error, stripes)
+	var wg sync.WaitGroup
+	for k := range ranges {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			errs[k] = s.stripeWorker(path, id, k, stripes, ranges[k], pol, perStripe[k])
+		}(k)
+	}
+	wg.Wait()
+
+	for k, werr := range errs {
+		if werr != nil {
+			err := fmt.Errorf("core: stripe %d/%d: %w", k, stripes, werr)
+			s.observeTransfer(TransferResult{}, err)
+			return TransferResult{}, err
+		}
+	}
+	out := s.result(size, time.Since(start), path)
+	s.observeTransfer(out, nil)
+	s.cfg.Metrics.Counter(MetricStripedTransfers).Inc()
+	return out, nil
+}
+
+// stripeWorker drives one stripe to completion: it opens stripe
+// sessions resuming at the deepest acked offset, retrying under pol,
+// and returns nil once the sink has verified the stripe's whole range.
+func (s *System) stripeWorker(path []int, id wire.SessionID, k, count int, rng stripeRange, pol RecoveryPolicy, results <-chan deliverResult) error {
+	r := s.cfg.Metrics
+	si := path[0]
+	acked := rng.start // absolute offset the sink has verified up to
+	var lastErr error
+	for attempt := 0; attempt < pol.Retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.Counter(MetricStripeRetries).Inc()
+			s.emitRecovery(id.String(), si, obs.KindRetry, obs.Event{
+				Stripe: k,
+				Bytes:  acked,
+				Detail: fmt.Sprintf("%s: %v", retry.Classify(lastErr), lastErr),
+			})
+			if err := pol.Retry.Sleep(context.Background(), attempt-1); err != nil {
+				break
+			}
+			if acked > rng.start {
+				// Bytes the continuation session does not re-send.
+				r.Counter(MetricResumedBytes).Add(acked - rng.start)
+			}
+		}
+		got, aerr := s.stripeAttempt(path, id, k, count, acked, rng.end, pol.AttemptTimeout, results)
+		acked += got
+		if aerr == nil && acked == rng.end {
+			return nil
+		}
+		if aerr == nil {
+			aerr = retry.AsTransient(fmt.Errorf("core: sink acked %d of %d stripe bytes", acked-rng.start, rng.end-rng.start))
+		}
+		lastErr = aerr
+		if retry.IsFatal(aerr) {
+			r.Counter(MetricRecoveryFatal).Inc()
+			return fmt.Errorf("core: fatal: %w", aerr)
+		}
+	}
+	return fmt.Errorf("core: %w after %d attempts: %w", retry.ErrExhausted, pol.Retry.MaxAttempts, lastErr)
+}
+
+// stripeAttempt runs one stripe session along path, streaming the
+// pattern for absolute offsets [from, end) and returning how many new
+// bytes the sink acked past from. Reports are read from the stripe's
+// routed channel; a late report from an earlier torn attempt only ever
+// increases the acked prefix (its range starts no deeper than from), so
+// progress is the maximum of offset+bytes over the reports seen.
+func (s *System) stripeAttempt(path []int, id wire.SessionID, k, count int, from, end int64, timeout time.Duration, results <-chan deliverResult) (int64, error) {
+	src, dst := path[0], path[len(path)-1]
+	route := make([]wire.Endpoint, 0, len(path)-2)
+	for _, h := range path[1 : len(path)-1] {
+		route = append(route, s.endpoints[h])
+	}
+	dial := lsl.TimeoutDialer(s.dialerFor(src), timeout)
+	sess, err := lsl.OpenStripe(dial, s.endpoints[src], s.endpoints[dst], route, id, k, count, from)
+	if err != nil {
+		return 0, err
+	}
+	first := dst
+	if len(path) > 2 {
+		first = path[1]
+	}
+	s.emitHop0(sess.ID(), src, obs.KindConnect, obs.Event{Peer: s.endpoints[first].String(), Bytes: from, Stripe: k})
+
+	deadline := time.Now().Add(timeout)
+	_ = sess.SetWriteDeadline(deadline)
+	s.emitHop0(sess.ID(), src, obs.KindFirstByte, obs.Event{Stripe: k})
+	werr := writeSessionPatternFrom(sess, from, end)
+	sess.Close()
+	if werr == nil {
+		s.emitHop0(sess.ID(), src, obs.KindLastByte, obs.Event{Bytes: end - from, Stripe: k})
+	}
+
+	// Wait for the sink's report, mirroring attemptResumable: a clean
+	// write waits out the deadline for the delivery report, a torn one
+	// only a short drain window for in-flight bytes.
+	settle := time.Until(deadline)
+	if werr != nil || settle < drainWindow {
+		settle = drainWindow
+	}
+	progress := func(res deliverResult) int64 {
+		if got := res.offset + res.bytes - from; got > 0 {
+			return got
+		}
+		return 0
+	}
+	select {
+	case res := <-results:
+		if res.err != nil {
+			return progress(res), fmt.Errorf("core: sink: %w", res.err)
+		}
+		if werr != nil && res.offset+res.bytes < end {
+			return progress(res), fmt.Errorf("core: send: %w", werr)
+		}
+		return progress(res), nil
+	case <-time.After(settle):
+		if werr != nil {
+			return 0, fmt.Errorf("core: send: %w", werr)
+		}
+		return 0, retry.AsTransient(fmt.Errorf("core: no sink report within %v", settle))
+	}
+}

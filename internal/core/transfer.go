@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"github.com/netlogistics/lsl/internal/bufpool"
 	"github.com/netlogistics/lsl/internal/depot"
 	"github.com/netlogistics/lsl/internal/graph"
 	"github.com/netlogistics/lsl/internal/lsl"
@@ -300,9 +301,12 @@ func (s *System) result(size int64, elapsed time.Duration, path []int) TransferR
 	}
 }
 
-// writeSessionPattern streams the session's deterministic pattern.
+// writeSessionPattern streams the session's deterministic pattern. The
+// copy buffer is pooled with the depot pumps and sink loops.
 func writeSessionPattern(sess *lsl.Session, size int64) error {
-	buf := make([]byte, 32<<10)
+	bp := bufpool.Get()
+	defer bufpool.Put(bp)
+	buf := *bp
 	var written int64
 	for written < size {
 		n := int64(len(buf))

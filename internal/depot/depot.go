@@ -25,6 +25,7 @@ import (
 
 	"context"
 
+	"github.com/netlogistics/lsl/internal/bufpool"
 	"github.com/netlogistics/lsl/internal/lsl"
 	"github.com/netlogistics/lsl/internal/obs"
 	"github.com/netlogistics/lsl/internal/retry"
@@ -35,8 +36,9 @@ import (
 // (8 MB kernel send + 8 MB kernel receive + matching user buffers).
 const DefaultPipelineBytes = 32 << 20
 
-// chunkSize is the unit of the forwarding pipeline.
-const chunkSize = 32 << 10
+// chunkSize is the unit of the forwarding pipeline. It equals the
+// pooled buffer size so every hot loop draws from one shared pool.
+const chunkSize = bufpool.ChunkSize
 
 // Handler consumes sessions addressed to this depot's host.
 type Handler func(s *lsl.Session) error
@@ -154,6 +156,7 @@ type metrics struct {
 	faults     *obs.Counter
 	occupancy  *obs.Gauge
 	active     *obs.Gauge
+	stripes    *obs.Gauge
 	chunkWrite *obs.Histogram
 	throughput *obs.Histogram
 	sessionDur *obs.Histogram
@@ -169,6 +172,7 @@ const (
 	MetricPumpStallNanos    = "depot_pump_stall_nanos_total"
 	MetricPipelineOccupancy = "depot_pipeline_occupancy_bytes"
 	MetricActiveSessions    = "depot_active_sessions"
+	MetricActiveStripes     = "depot_active_stripes"
 	MetricChunkWriteSeconds = "depot_chunk_write_seconds"
 	MetricSublinkMbps       = "depot_sublink_throughput_mbps"
 	MetricSessionSeconds    = "depot_session_seconds"
@@ -190,6 +194,7 @@ func newMetrics(r *obs.Registry) metrics {
 		faults:     r.Counter(MetricFaultsInjected),
 		occupancy:  r.Gauge(MetricPipelineOccupancy),
 		active:     r.Gauge(MetricActiveSessions),
+		stripes:    r.Gauge(MetricActiveStripes),
 		// 100 µs .. ~1.6 s write latencies.
 		chunkWrite: r.Histogram(MetricChunkWriteSeconds, obs.ExpBuckets(1e-4, 2, 15)),
 		// 1 .. ~16k Mbit/s sublink throughput.
@@ -263,11 +268,13 @@ func (s *Server) logf(format string, args ...any) {
 // report progress. A nil *flow is valid everywhere (bare pumps in
 // tests, internal copies).
 type flow struct {
-	srv   *Server
-	id    string
-	hop   int
-	entry *obs.SessionEntry // may be nil
-	first atomic.Bool       // first payload chunk seen
+	srv     *Server
+	id      string
+	hop     int
+	stripe  int               // 0-based stripe index (0 when unstriped)
+	stripes int               // header stripe count (1 when unstriped)
+	entry   *obs.SessionEntry // may be nil
+	first   atomic.Bool       // first payload chunk seen
 }
 
 func (f *flow) emit(kind string, e obs.Event) {
@@ -277,6 +284,9 @@ func (f *flow) emit(kind string, e obs.Event) {
 	e.Kind = kind
 	e.Session = f.id
 	e.Hop = f.hop
+	if f.stripes > 1 {
+		e.Stripe = f.stripe
+	}
 	e.Node = f.srv.cfg.Self.String()
 	obs.Emit(f.srv.cfg.Trace, e)
 }
@@ -293,6 +303,8 @@ func (s *Server) track(f *flow, h *wire.Header, typ string, next wire.Endpoint) 
 		Src:     h.Src.String(),
 		Dst:     h.Dst.String(),
 		Hop:     f.hop,
+		Stripe:  f.stripe,
+		Stripes: f.stripes,
 		Started: time.Now(),
 	}
 	if !next.IsZero() {
@@ -374,7 +386,8 @@ func (s *Server) Handle(conn net.Conn) {
 		s.logf("depot %s: bad header: %v", s.cfg.Self, err)
 		return
 	}
-	f := &flow{srv: s, id: h.Session.String(), hop: h.HopIndex() + 1}
+	f := &flow{srv: s, id: h.Session.String(), hop: h.HopIndex() + 1,
+		stripe: h.StripeIndex(), stripes: h.StripeCount()}
 	if s.cfg.MaxSessions > 0 && s.active.Load() >= int64(s.cfg.MaxSessions) {
 		s.st.refused.Add(1)
 		s.met.refused.Inc()
@@ -385,9 +398,17 @@ func (s *Server) Handle(conn net.Conn) {
 	}
 	s.active.Add(1)
 	s.met.active.Add(1)
+	if f.stripes > 1 {
+		// Each sublink chain of a striped session counts once, so the
+		// gauge reads "stripe pumps in flight at this depot".
+		s.met.stripes.Add(1)
+	}
 	defer func() {
 		s.active.Add(-1)
 		s.met.active.Add(-1)
+		if f.stripes > 1 {
+			s.met.stripes.Add(-1)
+		}
 		s.met.sessionDur.Observe(time.Since(start).Seconds())
 	}()
 	s.st.accepted.Add(1)
@@ -638,7 +659,9 @@ func (s *Server) handleGenerate(sess *lsl.Session, f *flow) error {
 // writePattern emits size bytes of a deterministic pattern derived from
 // the session id, so sinks can verify integrity end to end.
 func writePattern(w io.Writer, size int64, id wire.SessionID) (int64, error) {
-	buf := make([]byte, chunkSize)
+	bp := bufpool.Get()
+	defer bufpool.Put(bp)
+	buf := *bp
 	var written int64
 	for written < size {
 		n := int64(len(buf))

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"github.com/netlogistics/lsl/internal/bufpool"
 	"github.com/netlogistics/lsl/internal/lsl"
 	"github.com/netlogistics/lsl/internal/obs"
 	"github.com/netlogistics/lsl/internal/wire"
@@ -38,6 +39,13 @@ func (f *flow) firstByte() bool {
 // and the reader — and therefore the upstream TCP connection — blocks:
 // the depot back-pressure of Figure 5.
 //
+// Chunk buffers come from the shared bufpool: a chunk lives from its
+// read until the downstream write completes (possibly queued for the
+// whole pipeline depth), and is then recycled, so a pump's allocation
+// cost is its steady-state pipeline working set rather than one buffer
+// per 32 KiB forwarded — which matters ×N when a striped session runs
+// N pumps through one depot.
+//
 // The pump is also where the logistical effect is observed: every chunk
 // moved is recorded as it moves (so partial transfers never lose bytes
 // on an error path), pipeline occupancy is kept as a live gauge that
@@ -53,6 +61,7 @@ func (s *Server) pump(dst io.Writer, src io.Reader, f *flow) (int64, error) {
 	}
 	type item struct {
 		data []byte
+		buf  *[]byte // pool token; nil for the terminal error item
 		err  error
 	}
 	ch := make(chan item, depth)
@@ -70,16 +79,21 @@ func (s *Server) pump(dst io.Writer, src io.Reader, f *flow) (int64, error) {
 			s.met.stallNanos.Add(time.Since(t0).Nanoseconds())
 		}
 	}
-	dequeued := func(n int64) {
+	dequeued := func(it item) {
+		n := int64(len(it.data))
 		s.met.occupancy.Add(-n)
 		f.addQueued(-n)
+		bufpool.Put(it.buf)
 	}
 	go func() {
 		for {
-			buf := make([]byte, chunkSize)
+			bp := bufpool.Get()
+			buf := *bp
 			n, err := src.Read(buf)
 			if n > 0 {
-				enqueue(item{data: buf[:n]})
+				enqueue(item{data: buf[:n], buf: bp})
+			} else {
+				bufpool.Put(bp)
 			}
 			if err != nil {
 				if errors.Is(err, io.EOF) {
@@ -114,7 +128,7 @@ func (s *Server) pump(dst io.Writer, src io.Reader, f *flow) (int64, error) {
 		t0 := time.Now()
 		n, err := dst.Write(it.data)
 		s.met.chunkWrite.Observe(time.Since(t0).Seconds())
-		dequeued(int64(len(it.data)))
+		dequeued(it)
 		// Record bytes as they move, not when the pump completes:
 		// partial transfers keep their accounting on every error path.
 		written += int64(n)
@@ -126,7 +140,7 @@ func (s *Server) pump(dst io.Writer, src io.Reader, f *flow) (int64, error) {
 			// occupancy the queued chunks still hold.
 			go func() {
 				for it := range ch {
-					dequeued(int64(len(it.data)))
+					dequeued(it)
 				}
 			}()
 			return finish(fmt.Errorf("pump write: %w", err))

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestStripingSpeedup is the striping acceptance check: on a
+// window-limited emulated path, a multi-stripe transfer must deliver at
+// least 1.5x the single-stripe throughput.
+func TestStripingSpeedup(t *testing.T) {
+	cfg := DefaultStriping()
+	cfg.Size = 2 << 20
+	cfg.Stripes = []int{1, 4}
+	cfg.Reps = 2
+	rows, err := Striping(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Mbit <= 0 || rows[1].Mbit <= 0 {
+		t.Fatalf("non-positive throughput: %+v", rows)
+	}
+	if rows[1].Speedup < 1.5 {
+		t.Fatalf("4-stripe speedup = %.2fx, want >= 1.5x (rows %+v)", rows[1].Speedup, rows)
+	}
+	// The forecast must agree on the direction: more stripes, more
+	// predicted bandwidth, still bounded by the physical path.
+	if rows[1].Predicted < rows[0].Predicted {
+		t.Fatalf("forecast shrank with stripes: %+v", rows)
+	}
+
+	n, bw, err := SuggestedStripes(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 || n > 16 || bw <= 0 {
+		t.Fatalf("SuggestedStripes = %d, %.2f", n, bw)
+	}
+}

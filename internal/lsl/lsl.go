@@ -97,6 +97,34 @@ func OpenAt(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, offset int6
 	return open(d, src, dst, route, wire.TypeData, opts)
 }
 
+// OpenStripe opens one stripe of a striped transfer: stripe index of
+// count parallel sublink chains that together move a single object
+// under the shared session identifier id. The stripe's payload is the
+// contiguous byte range beginning at absolute object offset — carried
+// as a resume-offset option, so depots and the sink handle a stripe
+// with exactly the machinery of a resumed transfer and reassemble by
+// absolute offset. A failed stripe is reopened with the same id and
+// index and a deeper offset; its siblings are untouched.
+func OpenStripe(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, id wire.SessionID, index, count int, offset int64) (*Session, error) {
+	if count < 1 || index < 0 || index >= count {
+		return nil, fmt.Errorf("lsl: stripe %d of %d out of range", index, count)
+	}
+	if count > int(^uint16(0)) {
+		return nil, fmt.Errorf("lsl: stripe count %d exceeds wire limit", count)
+	}
+	if offset < 0 {
+		return nil, fmt.Errorf("lsl: negative stripe offset %d", offset)
+	}
+	opts := []wire.Option{
+		wire.StripeCountOption(uint16(count)),
+		wire.StripeIndexOption(uint16(index)),
+	}
+	if offset > 0 {
+		opts = append(opts, wire.ResumeOffsetOption(uint64(offset)))
+	}
+	return openWithID(d, id, src, dst, route, wire.TypeData, opts)
+}
+
 // TimeoutDialer bounds each Dial through d to the given timeout,
 // giving per-hop connect timeouts to transports (like the emulated
 // network) whose dials cannot otherwise be interrupted. On timeout the
@@ -246,6 +274,16 @@ func observeSetup(t0 time.Time) {
 }
 
 func open(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, typ uint16, opts []wire.Option) (*Session, error) {
+	id, err := wire.NewSessionID()
+	if err != nil {
+		return nil, err
+	}
+	return openWithID(d, id, src, dst, route, typ, opts)
+}
+
+// openWithID is open with a caller-chosen session identifier, so the
+// stripes of one transfer can share an id.
+func openWithID(d Dialer, id wire.SessionID, src, dst wire.Endpoint, route []wire.Endpoint, typ uint16, opts []wire.Option) (*Session, error) {
 	if dst.IsZero() {
 		return nil, errors.New("lsl: zero destination endpoint")
 	}
@@ -260,7 +298,7 @@ func open(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, typ uint16, o
 	if len(rest) > 0 {
 		opts = append(opts, wire.SourceRouteOption(rest))
 	}
-	sess, err := start(conn, src, dst, typ, opts)
+	sess, err := startWithID(conn, id, src, dst, typ, opts)
 	if err == nil {
 		observeSetup(t0)
 	}
@@ -285,6 +323,12 @@ func start(conn net.Conn, src, dst wire.Endpoint, typ uint16, opts []wire.Option
 		conn.Close()
 		return nil, err
 	}
+	return startWithID(conn, id, src, dst, typ, opts)
+}
+
+// startWithID writes the session header for an already-chosen id on an
+// already-dialed transport.
+func startWithID(conn net.Conn, id wire.SessionID, src, dst wire.Endpoint, typ uint16, opts []wire.Option) (*Session, error) {
 	h := &wire.Header{
 		Version: wire.Version1,
 		Type:    typ,

@@ -278,3 +278,71 @@ func TestAcceptGarbage(t *testing.T) {
 		t.Fatal("garbage header accepted")
 	}
 }
+
+func TestOpenStripe(t *testing.T) {
+	dst := wire.MustEndpoint("10.0.0.2:7411")
+	src := wire.MustEndpoint("10.0.0.1:7411")
+	dial, sessions := testNet(t, dst.String())
+
+	id, err := wire.NewSessionID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two stripes of one object share the id; the second begins at a
+	// nonzero absolute offset carried as a resume option.
+	cases := []struct {
+		index  int
+		offset int64
+	}{
+		{index: 0, offset: 0},
+		{index: 1, offset: 4096},
+	}
+	for _, tc := range cases {
+		sess, err := OpenStripe(dial, src, dst, nil, id, tc.index, 2, tc.offset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.Close()
+		got := <-sessions
+		if got.ID() != id {
+			t.Fatalf("stripe %d: id %s, want shared %s", tc.index, got.ID(), id)
+		}
+		if c := got.Header.StripeCount(); c != 2 {
+			t.Fatalf("stripe %d: count = %d", tc.index, c)
+		}
+		if k := got.Header.StripeIndex(); k != tc.index {
+			t.Fatalf("stripe index = %d, want %d", k, tc.index)
+		}
+		if off := got.Header.ResumeOffset(); off != tc.offset {
+			t.Fatalf("stripe %d: offset = %d, want %d", tc.index, off, tc.offset)
+		}
+	}
+}
+
+func TestOpenStripeValidation(t *testing.T) {
+	dst := wire.MustEndpoint("10.0.0.2:7411")
+	src := wire.MustEndpoint("10.0.0.1:7411")
+	dial, _ := testNet(t, dst.String())
+	id, err := wire.NewSessionID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name         string
+		index, count int
+		offset       int64
+	}{
+		{"zero-count", 0, 0, 0},
+		{"negative-index", -1, 2, 0},
+		{"index-beyond-count", 2, 2, 0},
+		{"negative-offset", 0, 2, -1},
+		{"count-overflows-wire", 0, 1 << 17, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := OpenStripe(dial, src, dst, nil, id, tc.index, tc.count, tc.offset); err == nil {
+				t.Fatalf("OpenStripe accepted index=%d count=%d offset=%d", tc.index, tc.count, tc.offset)
+			}
+		})
+	}
+}

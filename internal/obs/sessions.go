@@ -17,6 +17,8 @@ type SessionEntry struct {
 	Dst     string // header destination endpoint
 	Next    string // next-hop endpoint ("" when delivering locally)
 	Hop     int    // this node's position in the chain
+	Stripe  int    // 0-based stripe index (0 for unstriped sessions)
+	Stripes int    // stripe count carried by the header (1 = unstriped)
 	Started time.Time
 
 	bytes  atomic.Int64 // payload bytes moved so far
@@ -54,6 +56,8 @@ type SessionInfo struct {
 	Dst         string        `json:"dst"`
 	Next        string        `json:"next,omitempty"`
 	Hop         int           `json:"hop"`
+	Stripe      int           `json:"stripe,omitempty"`
+	Stripes     int           `json:"stripes,omitempty"`
 	Started     time.Time     `json:"started"`
 	Elapsed     time.Duration `json:"elapsed_ns"`
 	Bytes       int64         `json:"bytes"`
@@ -126,6 +130,8 @@ func (t *SessionTable) Snapshot() []SessionInfo {
 			Dst:         e.Dst,
 			Next:        e.Next,
 			Hop:         e.Hop,
+			Stripe:      e.Stripe,
+			Stripes:     e.Stripes,
 			Started:     e.Started,
 			Elapsed:     now.Sub(e.Started),
 			Bytes:       e.bytes.Load(),

@@ -53,6 +53,10 @@ type Event struct {
 	// Bytes carries cumulative payload bytes where meaningful
 	// (LastByte, Deliver, Sample).
 	Bytes int64 `json:"bytes,omitempty"`
+	// Stripe is the 0-based stripe index for events of a striped
+	// session's sublink chains; unstriped sessions omit it. Together
+	// with Session and Hop it uniquely names one sublink of one stripe.
+	Stripe int `json:"stripe,omitempty"`
 	// Retries counts connection attempts before success, when the
 	// emitter retries.
 	Retries int `json:"retries,omitempty"`

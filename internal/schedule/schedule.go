@@ -320,6 +320,58 @@ func (p *Planner) RouteTable(s int) (graph.RouteTable, error) {
 	return t.Routes(), nil
 }
 
+// StripedBottleneck predicts the end-to-end bandwidth of a transfer
+// striped over n parallel sublink chains along path (host indices, as
+// returned by Path). A single TCP flow on edge (i,j) is forecast at
+// the monitor's bandwidth 1/cost(i,j); n stripes multiply that flow
+// rate until the link's physical capacity caps it, so each edge
+// contributes min(n × forecast, capacity) and the path moves at the
+// narrowest edge — the minimax bottleneck, stripe-aware. Edges with no
+// physical capacity record (test topologies) are capped only by the
+// forecast. It returns 0 before Replan, for paths shorter than two
+// hosts, or when any edge is missing from the cost graph.
+func (p *Planner) StripedBottleneck(path []int, n int) float64 {
+	if p.g == nil || len(path) < 2 || n < 1 {
+		return 0
+	}
+	bottleneck := math.Inf(1)
+	for k := 0; k+1 < len(path); k++ {
+		i, j := path[k], path[k+1]
+		c := p.g.Cost(graph.NodeID(i), graph.NodeID(j))
+		if math.IsInf(c, 1) || c <= 0 {
+			return 0
+		}
+		bw := float64(n) / c
+		if l := p.Topo.Link(i, j); l.Valid() && l.Capacity > 0 && l.Capacity < bw {
+			bw = l.Capacity
+		}
+		if bw < bottleneck {
+			bottleneck = bw
+		}
+	}
+	return bottleneck
+}
+
+// SuggestStripes returns the smallest stripe count in [1, max] beyond
+// which StripedBottleneck stops improving on path — the point where
+// every edge is capacity-limited and further sublinks only add
+// connection overhead. The predicted striped bandwidth is returned
+// alongside. max < 1 is treated as 1.
+func (p *Planner) SuggestStripes(path []int, max int) (int, float64) {
+	if max < 1 {
+		max = 1
+	}
+	best, bw := 1, p.StripedBottleneck(path, 1)
+	for n := 2; n <= max; n++ {
+		next := p.StripedBottleneck(path, n)
+		if next <= bw {
+			break
+		}
+		best, bw = n, next
+	}
+	return best, bw
+}
+
 // AutoEpsilon returns the monitor's mean relative forecast error, the
 // paper's suggested automatic ε ("prediction error from the NWS ...
 // potentially good candidates for ε"). It falls back to DefaultEpsilon

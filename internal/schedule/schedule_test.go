@@ -401,3 +401,83 @@ func TestPathAvoidingValidation(t *testing.T) {
 		t.Fatal("bad dst accepted")
 	}
 }
+
+func TestStripedBottleneck(t *testing.T) {
+	tp := topo.TwoPath()
+	p := newPlanned(t, tp, 0.1)
+	ucsb, _ := tp.HostIndex(topo.UCSB)
+	uiuc, _ := tp.HostIndex(topo.UIUC)
+	path, err := p.Path(ucsb, uiuc)
+	if err != nil || path == nil {
+		t.Fatalf("path: %v, %v", path, err)
+	}
+
+	one := p.StripedBottleneck(path, 1)
+	if one <= 0 {
+		t.Fatalf("single-flow bottleneck = %v, want > 0", one)
+	}
+	// More stripes never predict less bandwidth, and each step is capped
+	// at a linear speedup and at the physical link capacities.
+	prev := one
+	for n := 2; n <= 8; n++ {
+		bw := p.StripedBottleneck(path, n)
+		if bw < prev {
+			t.Fatalf("StripedBottleneck(%d) = %v < StripedBottleneck(%d) = %v", n, bw, n-1, prev)
+		}
+		if bw > float64(n)*one+1e-9 {
+			t.Fatalf("StripedBottleneck(%d) = %v exceeds linear speedup of %v", n, bw, one)
+		}
+		prev = bw
+	}
+	// Capacity cap: the prediction can never beat the narrowest physical
+	// link on the path.
+	minCap := math.Inf(1)
+	for k := 0; k+1 < len(path); k++ {
+		if l := tp.Link(path[k], path[k+1]); l.Valid() && l.Capacity > 0 && l.Capacity < minCap {
+			minCap = l.Capacity
+		}
+	}
+	if !math.IsInf(minCap, 1) {
+		if bw := p.StripedBottleneck(path, 1000); bw > minCap+1e-9 {
+			t.Fatalf("StripedBottleneck(1000) = %v exceeds physical capacity %v", bw, minCap)
+		}
+	}
+
+	// Degenerate inputs.
+	if bw := p.StripedBottleneck(nil, 4); bw != 0 {
+		t.Fatalf("nil path: %v", bw)
+	}
+	if bw := p.StripedBottleneck(path, 0); bw != 0 {
+		t.Fatalf("zero stripes: %v", bw)
+	}
+	unplanned, _ := NewPlanner(tp, 0.1)
+	if bw := unplanned.StripedBottleneck(path, 2); bw != 0 {
+		t.Fatalf("before Replan: %v", bw)
+	}
+}
+
+func TestSuggestStripes(t *testing.T) {
+	tp := topo.TwoPath()
+	p := newPlanned(t, tp, 0.1)
+	ucsb, _ := tp.HostIndex(topo.UCSB)
+	uiuc, _ := tp.HostIndex(topo.UIUC)
+	path, err := p.Path(ucsb, uiuc)
+	if err != nil || path == nil {
+		t.Fatalf("path: %v, %v", path, err)
+	}
+	n, bw := p.SuggestStripes(path, 16)
+	if n < 1 || n > 16 {
+		t.Fatalf("SuggestStripes n = %d", n)
+	}
+	if bw != p.StripedBottleneck(path, n) {
+		t.Fatalf("bw = %v, want %v", bw, p.StripedBottleneck(path, n))
+	}
+	// One more stripe than suggested must not help.
+	if next := p.StripedBottleneck(path, n+1); next > bw {
+		t.Fatalf("n+1 stripes improve on the suggestion: %v > %v", next, bw)
+	}
+	// max clamps.
+	if n, _ := p.SuggestStripes(path, 0); n != 1 {
+		t.Fatalf("max=0 suggests %d", n)
+	}
+}

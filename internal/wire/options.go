@@ -119,6 +119,66 @@ func ParseResumeOffset(o Option) (uint64, error) {
 	return binary.BigEndian.Uint64(o.Data), nil
 }
 
+// StripeCountOption announces the number of parallel stripes the
+// session's object is split over.
+func StripeCountOption(count uint16) Option {
+	var data [2]byte
+	binary.BigEndian.PutUint16(data[:], count)
+	return Option{Kind: OptStripeCount, Data: data[:]}
+}
+
+// ParseStripeCount decodes a stripe-count option. A count of zero is
+// malformed: a striped session always has at least one stripe.
+func ParseStripeCount(o Option) (uint16, error) {
+	if o.Kind != OptStripeCount || len(o.Data) != 2 {
+		return 0, fmt.Errorf("%w: bad stripe count", ErrBadOption)
+	}
+	n := binary.BigEndian.Uint16(o.Data)
+	if n == 0 {
+		return 0, fmt.Errorf("%w: stripe count 0", ErrBadOption)
+	}
+	return n, nil
+}
+
+// StripeIndexOption identifies which stripe this sublink chain carries.
+func StripeIndexOption(index uint16) Option {
+	var data [2]byte
+	binary.BigEndian.PutUint16(data[:], index)
+	return Option{Kind: OptStripeIndex, Data: data[:]}
+}
+
+// ParseStripeIndex decodes a stripe-index option.
+func ParseStripeIndex(o Option) (uint16, error) {
+	if o.Kind != OptStripeIndex || len(o.Data) != 2 {
+		return 0, fmt.Errorf("%w: bad stripe index", ErrBadOption)
+	}
+	return binary.BigEndian.Uint16(o.Data), nil
+}
+
+// StripeCount returns the number of parallel stripes the session's
+// object is split over: 1 for an unstriped session (or a malformed
+// option — an unreadable count must not make a depot misroute a
+// session it can still forward).
+func (h *Header) StripeCount() int {
+	if opt, ok := h.Option(OptStripeCount); ok {
+		if n, err := ParseStripeCount(opt); err == nil {
+			return int(n)
+		}
+	}
+	return 1
+}
+
+// StripeIndex returns which stripe this session carries (0 when
+// unstriped or unreadable).
+func (h *Header) StripeIndex() int {
+	if opt, ok := h.Option(OptStripeIndex); ok {
+		if i, err := ParseStripeIndex(opt); err == nil {
+			return int(i)
+		}
+	}
+	return 0
+}
+
 // ResumeOffset returns the absolute byte offset this session's payload
 // begins at: 0 for a fresh transfer, the carried offset for a resumed
 // one.

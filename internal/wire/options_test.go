@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 )
@@ -197,6 +198,108 @@ func TestMulticastDeepChain(t *testing.T) {
 	}
 	if len(got.Leaves()) != 1 {
 		t.Fatalf("leaves = %d", len(got.Leaves()))
+	}
+}
+
+func TestStripeOptionsRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		count uint16
+		index uint16
+	}{
+		{"two-stripes-first", 2, 0},
+		{"two-stripes-second", 2, 1},
+		{"mid-fan", 8, 3},
+		{"max-count", ^uint16(0), 1234},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			count, err := ParseStripeCount(StripeCountOption(tc.count))
+			if err != nil || count != tc.count {
+				t.Fatalf("count = %d, %v; want %d", count, err, tc.count)
+			}
+			index, err := ParseStripeIndex(StripeIndexOption(tc.index))
+			if err != nil || index != tc.index {
+				t.Fatalf("index = %d, %v; want %d", index, err, tc.index)
+			}
+		})
+	}
+}
+
+func TestStripeOptionsErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Option
+		via  string // which parser
+	}{
+		{"count-wrong-kind", Option{Kind: OptStripeIndex, Data: []byte{0, 2}}, "count"},
+		{"count-short", Option{Kind: OptStripeCount, Data: []byte{2}}, "count"},
+		{"count-long", Option{Kind: OptStripeCount, Data: []byte{0, 0, 2}}, "count"},
+		{"count-zero", Option{Kind: OptStripeCount, Data: []byte{0, 0}}, "count"},
+		{"index-wrong-kind", Option{Kind: OptStripeCount, Data: []byte{0, 1}}, "index"},
+		{"index-short", Option{Kind: OptStripeIndex, Data: []byte{1}}, "index"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var err error
+			if tc.via == "count" {
+				_, err = ParseStripeCount(tc.opt)
+			} else {
+				_, err = ParseStripeIndex(tc.opt)
+			}
+			if err == nil {
+				t.Fatalf("%s parser accepted %v", tc.via, tc.opt)
+			}
+		})
+	}
+}
+
+func TestHeaderStripeHelpers(t *testing.T) {
+	h := &Header{Version: Version1, Type: TypeData}
+	if h.StripeCount() != 1 || h.StripeIndex() != 0 {
+		t.Fatalf("fresh header: count=%d index=%d", h.StripeCount(), h.StripeIndex())
+	}
+	h.AddOption(StripeCountOption(4))
+	h.AddOption(StripeIndexOption(2))
+	if h.StripeCount() != 4 || h.StripeIndex() != 2 {
+		t.Fatalf("striped header: count=%d index=%d", h.StripeCount(), h.StripeIndex())
+	}
+	// Malformed options degrade to the unstriped defaults rather than
+	// poisoning the forwarding path.
+	bad := &Header{Version: Version1, Type: TypeData}
+	bad.AddOption(Option{Kind: OptStripeCount, Data: []byte{9}})
+	bad.AddOption(Option{Kind: OptStripeIndex, Data: []byte{9}})
+	if bad.StripeCount() != 1 || bad.StripeIndex() != 0 {
+		t.Fatalf("malformed header: count=%d index=%d", bad.StripeCount(), bad.StripeIndex())
+	}
+}
+
+func TestStripeOptionsSurviveHeaderRoundTrip(t *testing.T) {
+	id, err := NewSessionID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &Header{
+		Version: Version1,
+		Type:    TypeData,
+		Session: id,
+		Src:     MustEndpoint("10.0.0.1:7411"),
+		Dst:     MustEndpoint("10.0.0.2:7411"),
+	}
+	h.AddOption(StripeCountOption(3))
+	h.AddOption(StripeIndexOption(1))
+	h.AddOption(ResumeOffsetOption(1 << 20))
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StripeCount() != 3 || got.StripeIndex() != 1 || got.ResumeOffset() != 1<<20 {
+		t.Fatalf("after round trip: count=%d index=%d offset=%d",
+			got.StripeCount(), got.StripeIndex(), got.ResumeOffset())
 	}
 }
 

@@ -88,6 +88,19 @@ const (
 	// forward it untouched; the sink uses it to append instead of
 	// restart — the recovery path's resume semantics.
 	OptResumeOffset uint16 = 7
+	// OptStripeCount announces that the session's object is striped
+	// over this many parallel sublink chains sharing one session id.
+	// Each stripe is an ordinary data session carrying a contiguous
+	// byte range of the object; the range start travels in
+	// OptResumeOffset, so the sink reassembles by absolute offset with
+	// the same machinery that handles resumed transfers. Depots forward
+	// the option untouched.
+	OptStripeCount uint16 = 8
+	// OptStripeIndex identifies which stripe (0-based, less than the
+	// carried OptStripeCount) this sublink chain carries. Depots use it
+	// to label per-stripe trace events and the active-stripes gauge;
+	// it never affects routing.
+	OptStripeIndex uint16 = 9
 )
 
 // HeaderFixedLen is the size of the fixed portion of the header.
