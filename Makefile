@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet fmt fmt-check race verify bench experiments docs-check clean
+.PHONY: build test vet fmt fmt-check lint fuzz-smoke race verify bench experiments docs-check clean
 
 build:
 	$(GO) build ./...
@@ -23,10 +23,27 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Static analysis beyond vet. Uses a staticcheck binary when one is on
+# PATH; otherwise runs it through the module cache (needs network the
+# first time — CI installs it, offline dev boxes can skip lint).
+STATICCHECK_VERSION ?= 2025.1.1
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	fi
+
+# Short fuzzing bursts over the wire-format parsers: enough to catch a
+# freshly introduced panic or round-trip break without burning minutes.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseOptions -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzReadHeader -fuzztime 10s ./internal/wire/
+
 # The data path is lock-free by design; prove it under the race
 # detector where the concurrency lives.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/depot/... ./internal/lsl/... ./internal/core/...
+	$(GO) test -race ./internal/obs/... ./internal/depot/... ./internal/lsl/... ./internal/core/... ./internal/ctl/...
 
 # The full pre-commit gate.
 verify: fmt-check build vet test race

@@ -7,6 +7,7 @@
 //	lsl-depot -listen 0.0.0.0:7411 -self 198.51.100.7:7411 \
 //	          [-routes routes.txt] [-pipeline 32] [-max-sessions 64] \
 //	          [-retries 3] [-retry-backoff 100ms] [-failover] \
+//	          [-ctl] [-table-driven] [-max-hops 16] \
 //	          [-debug-addr 127.0.0.1:7412]
 //
 // With -retries the depot re-dials a failed onward connection with
@@ -18,6 +19,14 @@
 // The optional routes file has one entry per line:
 //
 //	<destination-ip:port> <next-hop-ip:port>
+//
+// With -ctl the depot accepts TypeControl sessions from an lsl-ctl
+// controller and installs the route tables they push; -table-driven
+// makes the pushed table the routing source of truth (sessions with no
+// source route and no table entry are refused instead of dialed
+// direct). -max-hops bounds forwarding chains: a session arriving with
+// a hop index at or past the limit is refused, so a looping table
+// cannot circulate traffic forever.
 //
 // With -debug-addr the depot serves a live telemetry endpoint:
 // GET /metrics returns every counter, gauge, and histogram in a flat
@@ -57,6 +66,9 @@ var (
 	retries     = flag.Int("retries", 0, "retry a failed onward dial this many times with backoff (0 = dial once)")
 	backoff     = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before the first onward-dial retry (doubles each retry)")
 	failover    = flag.Bool("failover", false, "dial a session's final destination directly when its next hop stays unreachable after retries")
+	acceptCtl   = flag.Bool("ctl", false, "accept control sessions that push route tables")
+	tableDriven = flag.Bool("table-driven", false, "route unrouted sessions only by the pushed table (miss = refuse)")
+	maxHops     = flag.Int("max-hops", 16, "refuse sessions whose hop index reaches this limit (0 = unlimited)")
 	debugAddr   = flag.String("debug-addr", "", "serve /metrics and /sessions on this ip:port (empty = off)")
 	verbose     = flag.Bool("v", false, "log per-session diagnostics")
 )
@@ -104,6 +116,9 @@ func run() error {
 		PipelineBytes:  *pipelineMB << 20,
 		MaxSessions:    *maxSessions,
 		FailoverDirect: *failover,
+		AcceptControl:  *acceptCtl,
+		TableDriven:    *tableDriven,
+		MaxHops:        *maxHops,
 		Metrics:        reg,
 		Sessions:       sessions,
 	}

@@ -27,6 +27,14 @@
 //
 //	lsl-xfer -to sink:7411 -via depot:7411 -size 64M -stripes 4
 //
+// Table-driven mode hands routing to the control plane: the sender
+// dials a single entry depot (-via) with no source route, and every
+// depot on the way forwards by the route table its lsl-ctl controller
+// pushed. A depot with no table entry for the destination refuses the
+// session rather than guessing:
+//
+//	lsl-xfer -to sink:7411 -via mydepot:7411 -size 16M -table-driven
+//
 // Sink mode accepts sessions, verifies the payload pattern, and prints
 // per-session throughput:
 //
@@ -80,6 +88,7 @@ var (
 	backoff   = flag.Duration("retry-backoff", 500*time.Millisecond, "base delay before the first retry (doubles each retry)")
 	failover  = flag.Bool("failover", false, "on retry, abandon the -via depot route and dial -to directly")
 	stripesN  = flag.Int("stripes", 1, "send over this many parallel sublinks sharing one session id (plain send mode only)")
+	tableMode = flag.Bool("table-driven", false, "send with no source route through one -via entry depot; depots route by controller-pushed tables")
 )
 
 func main() {
@@ -289,6 +298,16 @@ func runSend() error {
 		firstHop = route[0]
 	}
 
+	if *tableMode {
+		if *store || *generate || *stripesN > 1 {
+			return fmt.Errorf("-table-driven combines only with a plain send, not -store, -generate, or -stripes")
+		}
+		if len(route) != 1 {
+			return fmt.Errorf("-table-driven needs exactly one -via entry depot (got %d)", len(route))
+		}
+		return runTableDrivenSend(dial, srcEP, dst, route[0], size, tr)
+	}
+
 	if *stripesN > 1 {
 		if *store || *generate {
 			return fmt.Errorf("-stripes combines only with a plain send, not -store or -generate")
@@ -380,6 +399,42 @@ func runSend() error {
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("session %s: %d bytes in %v = %.2f Mbit/s (send-side)\n",
+		sess.ID(), size, elapsed.Round(time.Millisecond),
+		float64(size)*8/1e6/elapsed.Seconds())
+	return nil
+}
+
+// runTableDrivenSend pushes the object through one entry depot with no
+// source route: the header names only src and dst, and each depot picks
+// the next hop from its controller-pushed route table. A table miss
+// anywhere on the path surfaces here as a refusal.
+func runTableDrivenSend(dial lsl.Dialer, srcEP, dst, entry wire.Endpoint, size int64, tr obs.Sink) error {
+	start := time.Now()
+	conn, err := dial.Dial(entry.String())
+	if err != nil {
+		return err
+	}
+	sess, err := lsl.Wrap(conn, srcEP, dst)
+	if err != nil {
+		return err
+	}
+	emit0(tr, sess.ID(), obs.KindConnect, obs.Event{Peer: entry.String()})
+	sampler := newSampler("send " + sess.ID().String())
+	var w io.Writer = sess
+	if sampler != nil {
+		w = sampler.Writer(sess)
+	}
+	emit0(tr, sess.ID(), obs.KindFirstByte, obs.Event{})
+	written, werr := sendPattern(w, sess.ID(), size)
+	if werr != nil {
+		sess.Close()
+		return fmt.Errorf("table-driven send after %d bytes: %w", written, werr)
+	}
+	sess.Close()
+	emit0(tr, sess.ID(), obs.KindLastByte, obs.Event{Bytes: written})
+	finishSampler(sampler, tr, start, sess.ID().String(), *src)
+	elapsed := time.Since(start)
+	fmt.Printf("session %s: %d bytes in %v = %.2f Mbit/s (send-side, table-driven)\n",
 		sess.ID(), size, elapsed.Round(time.Millisecond),
 		float64(size)*8/1e6/elapsed.Seconds())
 	return nil

@@ -36,6 +36,9 @@
 //   - internal/schedule — the NWS-fed planner: Prime/Observe/Replan,
 //     PathAvoiding for failover, StripedBottleneck and SuggestStripes
 //     for stripe-aware capacity (DESIGN.md §3, §9, §10)
+//   - internal/ctl — the distributed control plane: a controller that
+//     probes the depot mesh, feeds the forecasters, and pushes
+//     epoch-stamped route tables to table-driven depots (DESIGN.md §11)
 //   - internal/nws — Network Weather Service-style forecasting
 //     (DESIGN.md §6 calibration)
 //   - internal/topo — testbed models: two-path, PlanetLab, Abilene
@@ -64,8 +67,8 @@
 //     (DESIGN.md §7)
 //   - internal/stats — means, quantiles, box statistics (DESIGN.md §4)
 //
-// The commands under cmd/ (lsl-depot, lsl-xfer, lsl-sched, lsl-exp)
-// are documented flag by flag in docs/CLI.md.
+// The commands under cmd/ (lsl-depot, lsl-xfer, lsl-ctl, lsl-sched,
+// lsl-exp) are documented flag by flag in docs/CLI.md.
 //
 // The benchmarks in this directory regenerate every table and figure of
 // the paper's evaluation; see EXPERIMENTS.md for the measured results

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/netlogistics/lsl/internal/bufpool"
+	"github.com/netlogistics/lsl/internal/ctl"
 	"github.com/netlogistics/lsl/internal/depot"
 	"github.com/netlogistics/lsl/internal/emu"
 	"github.com/netlogistics/lsl/internal/lsl"
@@ -50,6 +51,15 @@ type Config struct {
 	// calls schedule from live data instead of only the priming
 	// measurements — the paper's continuous-measurement operating mode.
 	FeedObservations bool
+	// ControlPlane runs the deployment in controller-owned routing mode:
+	// every depot is table-driven (no live planner access, no direct
+	// fallback for unrouted destinations) and an in-process ctl
+	// controller probes the mesh, replans and pushes epoch-stamped route
+	// tables. ControlRound advances it deterministically.
+	ControlPlane bool
+	// MaxHops bounds depot forwarding chains (0 selects
+	// DefaultMaxHops under ControlPlane, unlimited otherwise).
+	MaxHops int
 	// Metrics, when non-nil, is shared by every depot in the system and
 	// by the transfer façade: depot counters and back-pressure gauges
 	// aggregate across hosts, and core_transfer_* metrics record each
@@ -77,8 +87,16 @@ func (c Config) withDefaults() Config {
 	if c.BasePort == 0 {
 		c.BasePort = 7411
 	}
+	if c.ControlPlane && c.MaxHops == 0 {
+		c.MaxHops = DefaultMaxHops
+	}
 	return c
 }
+
+// DefaultMaxHops is the forwarding TTL of control-plane deployments:
+// far above any sane relay chain, low enough that a transient routing
+// loop burns out quickly.
+const DefaultMaxHops = 16
 
 // System is a running in-process LSL deployment.
 type System struct {
@@ -93,6 +111,7 @@ type System struct {
 	faults    []*depot.FaultInjector
 	listeners []net.Listener
 	rng       *rand.Rand
+	control   *ctl.Controller
 
 	mu      sync.Mutex
 	waiters map[wire.SessionID]chan deliverResult
@@ -163,7 +182,7 @@ func NewSystem(t *topo.Topology, cfg Config) (*System, error) {
 	for i := 0; i < t.N(); i++ {
 		i := i
 		s.faults[i] = depot.NewFaultInjector()
-		d, err := depot.New(depot.Config{
+		dcfg := depot.Config{
 			Self: s.endpoints[i],
 			Dial: lsl.DialerFunc(func(address string) (net.Conn, error) {
 				return s.Net.Dial(s.hostAddr(i), address)
@@ -171,11 +190,20 @@ func NewSystem(t *topo.Topology, cfg Config) (*System, error) {
 			Routes:        s.routeLookup(i),
 			Local:         s.localHandler(),
 			PipelineBytes: int(pipelineOf(t.Hosts[i])),
+			MaxHops:       cfg.MaxHops,
 			Metrics:       cfg.Metrics,
 			Trace:         cfg.Trace,
 			Sessions:      cfg.Sessions,
 			Faults:        s.faults[i],
-		})
+		}
+		if cfg.ControlPlane {
+			// Controller-owned routing: no live planner access, no direct
+			// fallback — the depot knows only what the controller pushed.
+			dcfg.Routes = nil
+			dcfg.TableDriven = true
+			dcfg.AcceptControl = true
+		}
+		d, err := depot.New(dcfg)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("core: depot %s: %w", t.Hosts[i].Name, err)
@@ -197,6 +225,12 @@ func NewSystem(t *topo.Topology, cfg Config) (*System, error) {
 	if err := planner.Replan(); err != nil {
 		s.Close()
 		return nil, err
+	}
+	if cfg.ControlPlane {
+		if err := s.startControl(); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }

@@ -52,8 +52,24 @@ type Config struct {
 	Dial lsl.Dialer
 	// Routes resolves a destination to the next-hop address when a
 	// session carries no source route. It may be nil, in which case the
-	// depot forwards directly to the destination.
+	// depot consults the controller-pushed route table (if any) and then
+	// forwards directly to the destination.
 	Routes func(dst wire.Endpoint) (next wire.Endpoint, ok bool)
+	// AcceptControl permits TypeControl sessions: a controller may push
+	// versioned route tables into this depot. When false (the default),
+	// control sessions are refused.
+	AcceptControl bool
+	// TableDriven makes routing strict: a session with no source route,
+	// no static Routes answer, and no installed-table entry for its
+	// destination is refused with ErrNoRoute instead of being dialed
+	// directly. This is the paper's controller-owned routing mode — a
+	// depot never improvises a path the control plane didn't push.
+	TableDriven bool
+	// MaxHops, when positive, refuses any session whose OptHopIndex has
+	// already reached this many depot traversals — loop protection for
+	// table-driven forwarding (transiently inconsistent tables can
+	// loop) and for malicious or buggy source routes alike.
+	MaxHops int
 	// Local handles sessions addressed to Self. Nil means count and
 	// discard the payload.
 	Local Handler
@@ -120,6 +136,11 @@ type Stats struct {
 	Errors         int64
 	ForwardRetries int64
 	Failovers      int64
+	TablePushes    int64
+	StalePushes    int64
+	TableHits      int64
+	TableMisses    int64
+	HopLimited     int64
 }
 
 // stat holds the Stats fields as atomics, so hot-path accounting never
@@ -140,26 +161,37 @@ type stat struct {
 	errors         atomic.Int64
 	forwardRetries atomic.Int64
 	failovers      atomic.Int64
+	tablePushes    atomic.Int64
+	stalePushes    atomic.Int64
+	tableHits      atomic.Int64
+	tableMisses    atomic.Int64
+	hopLimited     atomic.Int64
 }
 
 // metrics are the depot's shared-registry instruments, resolved once at
 // construction. All fields are nil (no-op) when Config.Metrics is nil.
 type metrics struct {
-	accepted   *obs.Counter
-	refused    *obs.Counter
-	errors     *obs.Counter
-	bytesFwd   *obs.Counter
-	bytesDlv   *obs.Counter
-	stallNanos *obs.Counter
-	fwdRetries *obs.Counter
-	failovers  *obs.Counter
-	faults     *obs.Counter
-	occupancy  *obs.Gauge
-	active     *obs.Gauge
-	stripes    *obs.Gauge
-	chunkWrite *obs.Histogram
-	throughput *obs.Histogram
-	sessionDur *obs.Histogram
+	accepted    *obs.Counter
+	refused     *obs.Counter
+	errors      *obs.Counter
+	bytesFwd    *obs.Counter
+	bytesDlv    *obs.Counter
+	stallNanos  *obs.Counter
+	fwdRetries  *obs.Counter
+	failovers   *obs.Counter
+	faults      *obs.Counter
+	tablePushes *obs.Counter
+	stalePushes *obs.Counter
+	tableHits   *obs.Counter
+	tableMisses *obs.Counter
+	hopLimited  *obs.Counter
+	tableEpoch  *obs.Gauge
+	occupancy   *obs.Gauge
+	active      *obs.Gauge
+	stripes     *obs.Gauge
+	chunkWrite  *obs.Histogram
+	throughput  *obs.Histogram
+	sessionDur  *obs.Histogram
 }
 
 // Metric and gauge names published to Config.Metrics.
@@ -179,22 +211,34 @@ const (
 	MetricForwardRetries    = "depot_forward_retries_total"
 	MetricFailovers         = "depot_failovers_total"
 	MetricFaultsInjected    = "depot_faults_injected_total"
+	MetricTableEpoch        = "depot_table_epoch"
+	MetricTablePushes       = "depot_table_pushes_total"
+	MetricStalePushes       = "depot_table_pushes_stale_total"
+	MetricTableHits         = "depot_table_hits_total"
+	MetricTableMisses       = "depot_table_misses_total"
+	MetricHopLimited        = "depot_hop_limit_refused_total"
 )
 
 func newMetrics(r *obs.Registry) metrics {
 	return metrics{
-		accepted:   r.Counter(MetricSessionsAccepted),
-		refused:    r.Counter(MetricSessionsRefused),
-		errors:     r.Counter(MetricSessionErrors),
-		bytesFwd:   r.Counter(MetricBytesForwarded),
-		bytesDlv:   r.Counter(MetricBytesDelivered),
-		stallNanos: r.Counter(MetricPumpStallNanos),
-		fwdRetries: r.Counter(MetricForwardRetries),
-		failovers:  r.Counter(MetricFailovers),
-		faults:     r.Counter(MetricFaultsInjected),
-		occupancy:  r.Gauge(MetricPipelineOccupancy),
-		active:     r.Gauge(MetricActiveSessions),
-		stripes:    r.Gauge(MetricActiveStripes),
+		accepted:    r.Counter(MetricSessionsAccepted),
+		refused:     r.Counter(MetricSessionsRefused),
+		errors:      r.Counter(MetricSessionErrors),
+		bytesFwd:    r.Counter(MetricBytesForwarded),
+		bytesDlv:    r.Counter(MetricBytesDelivered),
+		stallNanos:  r.Counter(MetricPumpStallNanos),
+		fwdRetries:  r.Counter(MetricForwardRetries),
+		failovers:   r.Counter(MetricFailovers),
+		faults:      r.Counter(MetricFaultsInjected),
+		tablePushes: r.Counter(MetricTablePushes),
+		stalePushes: r.Counter(MetricStalePushes),
+		tableHits:   r.Counter(MetricTableHits),
+		tableMisses: r.Counter(MetricTableMisses),
+		hopLimited:  r.Counter(MetricHopLimited),
+		tableEpoch:  r.Gauge(MetricTableEpoch),
+		occupancy:   r.Gauge(MetricPipelineOccupancy),
+		active:      r.Gauge(MetricActiveSessions),
+		stripes:     r.Gauge(MetricActiveStripes),
 		// 100 µs .. ~1.6 s write latencies.
 		chunkWrite: r.Histogram(MetricChunkWriteSeconds, obs.ExpBuckets(1e-4, 2, 15)),
 		// 1 .. ~16k Mbit/s sublink throughput.
@@ -209,6 +253,7 @@ type Server struct {
 	cfg    Config
 	active atomic.Int64
 	store  *sessionStore
+	routes atomic.Pointer[routeTable]
 	wg     sync.WaitGroup
 
 	st  stat
@@ -254,6 +299,11 @@ func (s *Server) Stats() Stats {
 		Errors:         s.st.errors.Load(),
 		ForwardRetries: s.st.forwardRetries.Load(),
 		Failovers:      s.st.failovers.Load(),
+		TablePushes:    s.st.tablePushes.Load(),
+		StalePushes:    s.st.stalePushes.Load(),
+		TableHits:      s.st.tableHits.Load(),
+		TableMisses:    s.st.tableMisses.Load(),
+		HopLimited:     s.st.hopLimited.Load(),
 	}
 }
 
@@ -388,6 +438,21 @@ func (s *Server) Handle(conn net.Conn) {
 	}
 	f := &flow{srv: s, id: h.Session.String(), hop: h.HopIndex() + 1,
 		stripe: h.StripeIndex(), stripes: h.StripeCount()}
+	if h.Type == wire.TypeControl {
+		// Control pushes bypass the load gate: a depot refusing data
+		// sessions under load must still be reachable by its controller,
+		// or the tables that could shed the load never arrive.
+		s.st.accepted.Add(1)
+		s.met.accepted.Inc()
+		f.emit(obs.KindAccept, obs.Event{Peer: h.Src.String()})
+		if cerr := s.handleControl(conn, h, f); cerr != nil {
+			s.st.errors.Add(1)
+			s.met.errors.Inc()
+			f.emit(obs.KindError, obs.Event{Detail: cerr.Error()})
+			s.logf("depot %s: control session %s: %v", s.cfg.Self, h.Session, cerr)
+		}
+		return
+	}
 	if s.cfg.MaxSessions > 0 && s.active.Load() >= int64(s.cfg.MaxSessions) {
 		s.st.refused.Add(1)
 		s.met.refused.Inc()
@@ -461,8 +526,11 @@ func (s *Server) dialOnward(next wire.Endpoint, f *flow) (net.Conn, error) {
 }
 
 // nextHop determines where a session goes next: the head of its source
-// route, a route-table entry, or directly to the destination. ok=false
-// means the session is addressed to this depot.
+// route, a static Routes answer, a controller-pushed table entry, or —
+// outside TableDriven mode — directly to the destination. local=true
+// means the session is addressed to this depot. Routing refusals
+// (ErrNoRoute, ErrHopLimit) come back as typed errors the handlers
+// convert into protocol-level refusals.
 func (s *Server) nextHop(h *wire.Header) (next wire.Endpoint, rest []wire.Endpoint, local bool, err error) {
 	if opt, found := h.Option(wire.OptSourceRoute); found {
 		hops, perr := wire.ParseSourceRoute(opt)
@@ -470,7 +538,7 @@ func (s *Server) nextHop(h *wire.Header) (next wire.Endpoint, rest []wire.Endpoi
 			return wire.Endpoint{}, nil, false, perr
 		}
 		if len(hops) > 0 {
-			return hops[0], hops[1:], false, nil
+			return s.checkTTL(h, hops[0], hops[1:])
 		}
 	}
 	if h.Dst == s.cfg.Self {
@@ -481,10 +549,32 @@ func (s *Server) nextHop(h *wire.Header) (next wire.Endpoint, rest []wire.Endpoi
 			if hop == s.cfg.Self {
 				return wire.Endpoint{}, nil, true, nil
 			}
-			return hop, nil, false, nil
+			return s.checkTTL(h, hop, nil)
 		}
 	}
-	return h.Dst, nil, false, nil
+	if s.cfg.TableDriven || s.routes.Load() != nil {
+		if hop, ok := s.lookupRoute(h.Dst); ok {
+			if hop == s.cfg.Self {
+				return wire.Endpoint{}, nil, true, nil
+			}
+			return s.checkTTL(h, hop, nil)
+		}
+		if s.cfg.TableDriven {
+			return wire.Endpoint{}, nil, false, fmt.Errorf("%w: %s", ErrNoRoute, h.Dst)
+		}
+	}
+	return s.checkTTL(h, h.Dst, nil)
+}
+
+// checkTTL vets a forwarding decision against the hop limit: a session
+// that has already traversed Config.MaxHops depots is refused instead
+// of forwarded, bounding any loop a transiently inconsistent route
+// table (or a pathological source route) could form.
+func (s *Server) checkTTL(h *wire.Header, next wire.Endpoint, rest []wire.Endpoint) (wire.Endpoint, []wire.Endpoint, bool, error) {
+	if s.cfg.MaxHops > 0 && h.HopIndex() >= s.cfg.MaxHops {
+		return wire.Endpoint{}, nil, false, fmt.Errorf("%w: %d hops traversed, limit %d", ErrHopLimit, h.HopIndex(), s.cfg.MaxHops)
+	}
+	return next, rest, false, nil
 }
 
 // forwardHeader rebuilds the header for the next hop, replacing the
@@ -515,6 +605,9 @@ func (s *Server) handleData(sess *lsl.Session, f *flow) error {
 	defer sess.Close()
 	next, rest, local, err := s.nextHop(sess.Header)
 	if err != nil {
+		if s.refuseRouting(sess, f, err) {
+			return nil
+		}
 		return err
 	}
 	if local {
@@ -605,6 +698,9 @@ func (s *Server) handleGenerate(sess *lsl.Session, f *flow) error {
 	}
 	next, rest, local, err := s.nextHop(sess.Header)
 	if err != nil {
+		if s.refuseRouting(sess, f, err) {
+			return nil
+		}
 		return err
 	}
 

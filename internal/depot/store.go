@@ -97,6 +97,9 @@ func (s *Server) handleStore(sess *lsl.Session, f *flow) error {
 	defer sess.Close()
 	next, rest, local, err := s.nextHop(sess.Header)
 	if err != nil {
+		if s.refuseRouting(sess, f, err) {
+			return nil
+		}
 		return err
 	}
 	if !local {

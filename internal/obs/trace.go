@@ -30,6 +30,11 @@ const (
 	KindRetry    = "retry"
 	KindFailover = "failover"
 	KindResume   = "resume"
+	// KindRoutes marks control-plane route-table activity: a depot
+	// installing (or ignoring as stale) a pushed table, or a controller
+	// deciding a host's routes changed. Detail carries the epoch and
+	// entry count.
+	KindRoutes = "routes"
 )
 
 // Event is one structured, per-session trace record — the JSON-lines

@@ -1,0 +1,146 @@
+package schedule
+
+import (
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/graph"
+	"github.com/netlogistics/lsl/internal/topo"
+)
+
+// replanTopo is the control plane's canonical three-host line: a and c
+// are endpoints at distinct sites, b the only relay-capable depot.
+func replanTopo(t *testing.T) *topo.Topology {
+	t.Helper()
+	tp, err := topo.New("replan-test", []topo.Host{
+		{Name: "a", Site: "sa"},
+		{Name: "b", Site: "sb", Depot: true},
+		{Name: "c", Site: "sc"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+// observeMesh feeds one full round of pairwise measurements, the way a
+// controller round does.
+func observeMesh(t *testing.T, p *Planner, bw map[[2]string]float64) {
+	t.Helper()
+	for pair, v := range bw {
+		if err := p.Observe(pair[0], pair[1], v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestObserveCollapseMovesNextHop drives the planner the way the
+// controller does: repeated Observe rounds of a collapsing relay leg
+// must move the source's route-table next hop off the relay and onto
+// the direct path.
+func TestObserveCollapseMovesNextHop(t *testing.T) {
+	p, err := NewPlanner(replanTopo(t), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong := map[[2]string]float64{
+		{"a", "b"}: 100, {"b", "a"}: 100,
+		{"b", "c"}: 100, {"c", "b"}: 100,
+		{"a", "c"}: 10, {"c", "a"}: 10,
+	}
+	observeMesh(t, p, strong)
+	if err := p.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := p.RouteTable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt[2] != 1 {
+		t.Fatalf("next hop a->c = %d, want relay b (1); table %v", rt[2], rt)
+	}
+
+	// The relay's exit leg collapses below the direct path. Forecasters
+	// weigh history, so one reading is not a forecast — the controller
+	// observes every round, and within a few rounds the table must move.
+	collapsed := map[[2]string]float64{
+		{"a", "b"}: 100, {"b", "a"}: 100,
+		{"b", "c"}: 1, {"c", "b"}: 1,
+		{"a", "c"}: 10, {"c", "a"}: 10,
+	}
+	moved := false
+	for round := 0; round < 10 && !moved; round++ {
+		observeMesh(t, p, collapsed)
+		if err := p.Replan(); err != nil {
+			t.Fatal(err)
+		}
+		rt, err = p.RouteTable(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved = rt[2] == 2
+	}
+	if !moved {
+		t.Fatalf("next hop a->c never moved to direct after collapse; table %v", rt)
+	}
+	// The reverse direction must agree: c reaches a directly too.
+	rtc, err := p.RouteTable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtc[0] != 0 {
+		t.Fatalf("next hop c->a = %d, want direct (0); table %v", rtc[0], rtc)
+	}
+}
+
+// TestEpsilonSuppressesJitterReplans is the hysteresis half: forecast
+// wobble within ε must reproduce identical route tables across Replans,
+// so the controller's diff finds nothing to push.
+func TestEpsilonSuppressesJitterReplans(t *testing.T) {
+	p, err := NewPlanner(replanTopo(t), -1) // default ε = 0.10
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := map[[2]string]float64{
+		{"a", "b"}: 100, {"b", "a"}: 100,
+		{"b", "c"}: 100, {"c", "b"}: 100,
+		{"a", "c"}: 10, {"c", "a"}: 10,
+	}
+	observeMesh(t, p, base)
+	if err := p.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]graph.RouteTable, p.Topo.N())
+	for s := range want {
+		if want[s], err = p.RouteTable(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// ±3% wobble — well within ε — over several rounds.
+	for round := 0; round < 6; round++ {
+		jitter := 1.0 + 0.03*float64(1-2*(round%2))
+		wobbled := make(map[[2]string]float64, len(base))
+		for pair, v := range base {
+			wobbled[pair] = v * jitter
+		}
+		observeMesh(t, p, wobbled)
+		if err := p.Replan(); err != nil {
+			t.Fatal(err)
+		}
+		for s := range want {
+			got, err := p.RouteTable(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want[s]) {
+				t.Fatalf("round %d: host %d table %v, want %v", round, s, got, want[s])
+			}
+			for dst, next := range want[s] {
+				if got[dst] != next {
+					t.Fatalf("round %d: host %d route to %d moved %d -> %d under within-ε jitter",
+						round, s, dst, next, got[dst])
+				}
+			}
+		}
+	}
+}

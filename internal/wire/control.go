@@ -1,0 +1,181 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// TypeControl opens a control-plane session: the header's options carry
+// the payload (a versioned route table pushed by the controller) and no
+// byte stream follows. The depot answers with a TypeControl header
+// echoing its installed table epoch, so the pusher can verify the push
+// landed, or a TypeRefuse header when it does not accept control
+// sessions.
+const TypeControl uint16 = 7
+
+// Control-plane option kinds.
+const (
+	// OptRouteTable carries a batch of destination → next-hop tuples,
+	// 12 bytes each (dst IPv4+port, next IPv4+port). A header may carry
+	// several OptRouteTable options; the receiver concatenates them, so
+	// one push can exceed a single option's 64 KB TLV length limit.
+	OptRouteTable uint16 = 10
+	// OptTableEpoch stamps a control push with the controller's
+	// monotonically increasing table version. Depots ignore pushes whose
+	// epoch is not newer than the installed table's, so reordered or
+	// duplicated pushes never roll routing state backwards.
+	OptTableEpoch uint16 = 11
+)
+
+// RouteEntry is one destination → next-hop tuple of a pushed route
+// table, the wire form of the paper's "destination/next hop tuples
+// [that] form a route table ... consumed by the logistical depot".
+type RouteEntry struct {
+	// Dst is the final destination endpoint the entry routes.
+	Dst Endpoint
+	// Next is the next-hop endpoint a session for Dst is forwarded to.
+	// Next equal to the depot's own endpoint means "deliver locally".
+	Next Endpoint
+}
+
+// routeEntryLen is the encoded size of one RouteEntry.
+const routeEntryLen = 12
+
+// maxRouteEntriesPerOption bounds one OptRouteTable option body well
+// under the 64 KB TLV length limit; larger tables are chunked across
+// several options in the same header.
+const maxRouteEntriesPerOption = 2048
+
+// MaxRouteEntries is the largest route table one control push can
+// carry: the chunked options plus the epoch option must still fit the
+// MaxHeaderLen header bound.
+const MaxRouteEntries = (MaxHeaderLen - HeaderFixedLen - 64) / routeEntryLen
+
+// RouteTableOptions encodes a route table as one or more OptRouteTable
+// options, chunked so every option body stays within TLV bounds. The
+// entries are encoded in sorted order (by destination, then next hop)
+// so equal tables always serialize to equal bytes. It fails when the
+// table cannot fit a single header.
+func RouteTableOptions(entries []RouteEntry) ([]Option, error) {
+	if len(entries) > MaxRouteEntries {
+		return nil, fmt.Errorf("wire: route table with %d entries exceeds the %d-entry header bound", len(entries), MaxRouteEntries)
+	}
+	sorted := append([]RouteEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Dst != sorted[j].Dst {
+			return lessEndpoint(sorted[i].Dst, sorted[j].Dst)
+		}
+		return lessEndpoint(sorted[i].Next, sorted[j].Next)
+	})
+	var opts []Option
+	for len(sorted) > 0 {
+		n := len(sorted)
+		if n > maxRouteEntriesPerOption {
+			n = maxRouteEntriesPerOption
+		}
+		data := make([]byte, 0, n*routeEntryLen)
+		for _, e := range sorted[:n] {
+			data = appendEndpoint(data, e.Dst)
+			data = appendEndpoint(data, e.Next)
+		}
+		opts = append(opts, Option{Kind: OptRouteTable, Data: data})
+		sorted = sorted[n:]
+	}
+	if len(opts) == 0 {
+		// An explicitly empty table is still a valid push (it clears
+		// routing state), so it encodes as one empty option.
+		opts = []Option{{Kind: OptRouteTable}}
+	}
+	return opts, nil
+}
+
+// appendEndpoint appends the 6-byte wire form of e.
+func appendEndpoint(data []byte, e Endpoint) []byte {
+	data = append(data, e.IP[:]...)
+	var p [2]byte
+	binary.BigEndian.PutUint16(p[:], e.Port)
+	return append(data, p[:]...)
+}
+
+// lessEndpoint orders endpoints by IP bytes, then port.
+func lessEndpoint(a, b Endpoint) bool {
+	for i := range a.IP {
+		if a.IP[i] != b.IP[i] {
+			return a.IP[i] < b.IP[i]
+		}
+	}
+	return a.Port < b.Port
+}
+
+// ParseRouteTable decodes one OptRouteTable option body. Malformed
+// bodies are rejected whole — a route table is installed atomically or
+// not at all, so a depot never forwards by half a table.
+func ParseRouteTable(o Option) ([]RouteEntry, error) {
+	if o.Kind != OptRouteTable {
+		return nil, fmt.Errorf("%w: kind %d is not a route table", ErrBadOption, o.Kind)
+	}
+	if len(o.Data)%routeEntryLen != 0 {
+		return nil, fmt.Errorf("%w: route table length %d not a multiple of %d", ErrBadOption, len(o.Data), routeEntryLen)
+	}
+	entries := make([]RouteEntry, 0, len(o.Data)/routeEntryLen)
+	for off := 0; off < len(o.Data); off += routeEntryLen {
+		var e RouteEntry
+		copy(e.Dst.IP[:], o.Data[off:off+4])
+		e.Dst.Port = binary.BigEndian.Uint16(o.Data[off+4:])
+		copy(e.Next.IP[:], o.Data[off+6:off+10])
+		e.Next.Port = binary.BigEndian.Uint16(o.Data[off+10:])
+		if e.Dst.IsZero() || e.Next.IsZero() {
+			return nil, fmt.Errorf("%w: route table entry with zero endpoint", ErrBadOption)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// TableEpochOption stamps a control push with its table version.
+func TableEpochOption(epoch uint64) Option {
+	var data [8]byte
+	binary.BigEndian.PutUint64(data[:], epoch)
+	return Option{Kind: OptTableEpoch, Data: data[:]}
+}
+
+// ParseTableEpoch decodes a table-epoch option.
+func ParseTableEpoch(o Option) (uint64, error) {
+	if o.Kind != OptTableEpoch || len(o.Data) != 8 {
+		return 0, fmt.Errorf("%w: bad table epoch", ErrBadOption)
+	}
+	return binary.BigEndian.Uint64(o.Data), nil
+}
+
+// TableEpoch returns the table epoch carried by the header, or 0 when
+// the option is absent or unreadable — epoch 0 is never a valid push
+// (controllers start at 1), so a damaged epoch degrades to "stale" and
+// the receiver keeps its current table, the same discipline as the
+// stripe options.
+func (h *Header) TableEpoch() uint64 {
+	if opt, ok := h.Option(OptTableEpoch); ok {
+		if e, err := ParseTableEpoch(opt); err == nil {
+			return e
+		}
+	}
+	return 0
+}
+
+// RouteEntries concatenates every OptRouteTable option in the header in
+// order. Any malformed chunk fails the whole parse, so callers install
+// complete tables or nothing.
+func (h *Header) RouteEntries() ([]RouteEntry, error) {
+	var entries []RouteEntry
+	for _, o := range h.Options {
+		if o.Kind != OptRouteTable {
+			continue
+		}
+		es, err := ParseRouteTable(o)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, es...)
+	}
+	return entries, nil
+}

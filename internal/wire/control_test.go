@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func ep(s string) Endpoint { return MustEndpoint(s) }
+
+func TestRouteTableRoundTrip(t *testing.T) {
+	entries := []RouteEntry{
+		{Dst: ep("10.0.0.3:7411"), Next: ep("10.0.0.2:7411")},
+		{Dst: ep("10.0.0.4:7411"), Next: ep("10.0.0.2:7411")},
+		{Dst: ep("10.0.0.2:7411"), Next: ep("10.0.0.2:7411")},
+	}
+	opts, err := RouteTableOptions(entries)
+	if err != nil {
+		t.Fatalf("RouteTableOptions: %v", err)
+	}
+	if len(opts) != 1 {
+		t.Fatalf("got %d options, want 1", len(opts))
+	}
+	got, err := ParseRouteTable(opts[0])
+	if err != nil {
+		t.Fatalf("ParseRouteTable: %v", err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("got %d entries, want %d", len(got), len(entries))
+	}
+	// Entries come back sorted by destination.
+	for i := 1; i < len(got); i++ {
+		if !lessEndpoint(got[i-1].Dst, got[i].Dst) {
+			t.Fatalf("entries not sorted: %v before %v", got[i-1].Dst, got[i].Dst)
+		}
+	}
+}
+
+func TestRouteTableOptionsDeterministic(t *testing.T) {
+	a := []RouteEntry{
+		{Dst: ep("10.0.0.3:7411"), Next: ep("10.0.0.2:7411")},
+		{Dst: ep("10.0.0.2:7411"), Next: ep("10.0.0.2:7411")},
+	}
+	b := []RouteEntry{a[1], a[0]} // same table, different order
+	oa, err := RouteTableOptions(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := RouteTableOptions(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oa) != len(ob) || !bytes.Equal(oa[0].Data, ob[0].Data) {
+		t.Fatal("equal tables should serialize to equal bytes")
+	}
+}
+
+func TestRouteTableChunking(t *testing.T) {
+	n := maxRouteEntriesPerOption + 7
+	entries := make([]RouteEntry, n)
+	for i := range entries {
+		e := Endpoint{IP: [4]byte{10, byte(i / 200), byte(i%200 + 1), 1}, Port: 7411}
+		entries[i] = RouteEntry{Dst: e, Next: e}
+	}
+	opts, err := RouteTableOptions(entries)
+	if err != nil {
+		t.Fatalf("RouteTableOptions: %v", err)
+	}
+	if len(opts) != 2 {
+		t.Fatalf("got %d options, want 2", len(opts))
+	}
+	h := &Header{Version: Version1, Type: TypeControl, Options: append(opts, TableEpochOption(3))}
+	got, err := h.RouteEntries()
+	if err != nil {
+		t.Fatalf("RouteEntries: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("reassembled %d entries, want %d", len(got), n)
+	}
+	if h.TableEpoch() != 3 {
+		t.Fatalf("TableEpoch = %d, want 3", h.TableEpoch())
+	}
+}
+
+func TestRouteTableTooLarge(t *testing.T) {
+	entries := make([]RouteEntry, MaxRouteEntries+1)
+	for i := range entries {
+		e := Endpoint{IP: [4]byte{10, byte(i >> 8), byte(i), 1}, Port: 7411}
+		entries[i] = RouteEntry{Dst: e, Next: e}
+	}
+	if _, err := RouteTableOptions(entries); err == nil {
+		t.Fatal("expected error for oversized table")
+	}
+}
+
+func TestRouteTableEmpty(t *testing.T) {
+	opts, err := RouteTableOptions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 1 {
+		t.Fatalf("got %d options, want 1", len(opts))
+	}
+	got, err := ParseRouteTable(opts[0])
+	if err != nil || len(got) != 0 {
+		t.Fatalf("ParseRouteTable(empty) = %v, %v", got, err)
+	}
+}
+
+func TestParseRouteTableMalformed(t *testing.T) {
+	cases := []Option{
+		{Kind: OptSourceRoute, Data: nil},                 // wrong kind
+		{Kind: OptRouteTable, Data: make([]byte, 5)},      // not a multiple of 12
+		{Kind: OptRouteTable, Data: make([]byte, 12)},     // zero endpoints
+		{Kind: OptRouteTable, Data: make([]byte, 12*3+1)}, // trailing garbage
+	}
+	for i, o := range cases {
+		if _, err := ParseRouteTable(o); !errors.Is(err, ErrBadOption) {
+			t.Errorf("case %d: err = %v, want ErrBadOption", i, err)
+		}
+	}
+}
+
+func TestTableEpochRoundTrip(t *testing.T) {
+	o := TableEpochOption(42)
+	e, err := ParseTableEpoch(o)
+	if err != nil || e != 42 {
+		t.Fatalf("ParseTableEpoch = %d, %v", e, err)
+	}
+	if _, err := ParseTableEpoch(Option{Kind: OptTableEpoch, Data: []byte{1}}); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("short epoch: err = %v, want ErrBadOption", err)
+	}
+	// Damaged epoch degrades to 0 via the header accessor.
+	h := &Header{Options: []Option{{Kind: OptTableEpoch, Data: []byte{9}}}}
+	if h.TableEpoch() != 0 {
+		t.Fatalf("TableEpoch on damaged option = %d, want 0", h.TableEpoch())
+	}
+}
+
+func TestHeaderRouteEntriesRejectsDamagedChunk(t *testing.T) {
+	good, err := RouteTableOptions([]RouteEntry{{Dst: ep("10.0.0.2:1"), Next: ep("10.0.0.3:1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &Header{Options: append(good, Option{Kind: OptRouteTable, Data: []byte{1, 2, 3}})}
+	if _, err := h.RouteEntries(); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("err = %v, want ErrBadOption", err)
+	}
+}
