@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet fmt fmt-check lint fuzz-smoke race verify bench experiments docs-check clean
+.PHONY: build test vet fmt fmt-check lint vulncheck fuzz-smoke race verify bench experiments docs-check clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,17 @@ lint:
 		staticcheck ./...; \
 	else \
 		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	fi
+
+# Known-vulnerability scan of the code paths the binaries reach. Uses
+# a govulncheck binary when one is on PATH (CI installs it); otherwise
+# runs it through the module cache (needs network the first time).
+GOVULNCHECK_VERSION ?= latest
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...; \
 	fi
 
 # Short fuzzing bursts over the wire-format parsers: enough to catch a

@@ -31,7 +31,12 @@
 // With -once the controller runs a single probe→replan→push round and
 // exits (cron-style operation); otherwise it loops at -interval until
 // SIGINT/SIGTERM. With -debug-addr it serves GET /metrics with the
-// controller's counters and the current table epoch.
+// controller's counters and the current table epoch; adding -collect
+// turns the same listener into the mesh's trace collector: depots
+// started with -trace-push POST their hop events to
+// http://<debug-addr>/traces/ingest, and GET /traces (or
+// /traces/{trace-id}) returns the assembled per-transfer timelines
+// that lsl-trace renders.
 package main
 
 import (
@@ -68,6 +73,8 @@ var (
 	refreshEvery = flag.Int("refresh-every", ctl.DefaultRefreshEvery, "re-push unchanged tables every this many rounds (negative = never)")
 	once         = flag.Bool("once", false, "run a single round and exit")
 	debugAddr    = flag.String("debug-addr", "", "serve /metrics on this ip:port (empty = off)")
+	collect      = flag.Bool("collect", false, "also run the mesh trace collector on -debug-addr (/traces, /traces/ingest)")
+	pprofOn      = flag.Bool("pprof", false, "mount /debug/pprof on the debug listener (needs -debug-addr)")
 	verbose      = flag.Bool("v", false, "log per-round diagnostics")
 )
 
@@ -159,9 +166,17 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
+		hcfg := obs.HandlerConfig{Registry: reg, Pprof: *pprofOn}
+		if *collect {
+			col := obs.NewCollector(0).CountDrops(reg.Counter(obs.MetricTraceDrops))
+			defer col.Close()
+			hcfg.Collector = col
+			log.Printf("trace collector on http://%s/traces (ingest at /traces/ingest)", dln.Addr())
+		}
 		log.Printf("debug endpoint on http://%s (/metrics)", dln.Addr())
+		h := obs.NewHandler(hcfg)
 		go func() {
-			if herr := http.Serve(dln, obs.Handler(reg, nil)); herr != nil {
+			if herr := http.Serve(dln, h); herr != nil {
 				log.Printf("debug endpoint: %v", herr)
 			}
 		}()

@@ -30,10 +30,19 @@
 //
 // With -debug-addr the depot serves a live telemetry endpoint:
 // GET /metrics returns every counter, gauge, and histogram in a flat
-// text format (append ?format=json for a JSON snapshot), and
-// GET /sessions lists the in-flight sessions with their hop index,
-// byte progress, and pipeline occupancy. On SIGINT/SIGTERM the depot
+// text format (append ?format=json for a JSON snapshot or ?format=prom
+// for the Prometheus text exposition), and GET /sessions lists the
+// in-flight sessions with their hop index, byte progress, and pipeline
+// occupancy. -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ on the same listener. On SIGINT/SIGTERM the depot
 // shuts down cleanly and logs a final stats line.
+//
+// Distributed tracing: -trace-out appends the depot's hop events as
+// JSON lines to a file, and -trace-push ships them (batched, lossy
+// under backpressure — trace_drops_total counts what was shed) to a
+// trace collector's POST /traces/ingest endpoint, where events from
+// every depot of a transfer are reassembled into one timeline by the
+// wire-carried trace id.
 package main
 
 import (
@@ -70,6 +79,9 @@ var (
 	tableDriven = flag.Bool("table-driven", false, "route unrouted sessions only by the pushed table (miss = refuse)")
 	maxHops     = flag.Int("max-hops", 16, "refuse sessions whose hop index reaches this limit (0 = unlimited)")
 	debugAddr   = flag.String("debug-addr", "", "serve /metrics and /sessions on this ip:port (empty = off)")
+	pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof on the debug listener (needs -debug-addr)")
+	traceOut    = flag.String("trace-out", "", "append hop trace events as JSON lines to this file (empty = off)")
+	tracePush   = flag.String("trace-push", "", "POST batched trace events to this collector ingest URL, e.g. http://ctl:7502/traces/ingest (empty = off)")
 	verbose     = flag.Bool("v", false, "log per-session diagnostics")
 )
 
@@ -107,6 +119,28 @@ func run() error {
 	sessions := obs.NewSessionTable()
 	lsl.SetMetrics(reg)
 
+	// Trace sinks: a local JSONL file, a remote collector, or both.
+	var sinks obs.MultiSink
+	if *traceOut != "" {
+		tf, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+		defer tf.Close()
+		sinks = append(sinks, obs.NewJSONSink(tf).CountDrops(reg.Counter(obs.MetricTraceDrops)))
+	}
+	if *tracePush != "" {
+		push := obs.NewPushSink(obs.PushConfig{URL: *tracePush}).
+			CountDrops(reg.Counter(obs.MetricTraceDrops))
+		defer push.Close()
+		sinks = append(sinks, push)
+		log.Printf("pushing trace events to %s", *tracePush)
+	}
+	var trace obs.Sink
+	if len(sinks) > 0 {
+		trace = sinks
+	}
+
 	cfg := depot.Config{
 		Self: self,
 		Dial: lsl.DialerFunc(func(addr string) (net.Conn, error) {
@@ -121,6 +155,7 @@ func run() error {
 		MaxHops:        *maxHops,
 		Metrics:        reg,
 		Sessions:       sessions,
+		Trace:          trace,
 	}
 	if *retries > 0 {
 		cfg.ForwardRetry = retry.Policy{MaxAttempts: *retries + 1, BaseDelay: *backoff}
@@ -145,8 +180,9 @@ func run() error {
 			return fmt.Errorf("debug listener: %w", err)
 		}
 		log.Printf("debug endpoint on http://%s (/metrics, /sessions)", dln.Addr())
+		h := obs.NewHandler(obs.HandlerConfig{Registry: reg, Sessions: sessions, Pprof: *pprofOn})
 		go func() {
-			if herr := http.Serve(dln, obs.Handler(reg, sessions)); herr != nil {
+			if herr := http.Serve(dln, h); herr != nil {
 				log.Printf("debug endpoint: %v", herr)
 			}
 		}()

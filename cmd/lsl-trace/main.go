@@ -1,0 +1,333 @@
+// Command lsl-trace renders end-to-end transfer timelines from LSL
+// trace events — the Figure 4/5 analysis of the paper, computed from
+// the stack's own distributed tracing instead of tcpdump.
+//
+// Events come from JSON-lines trace files (lsl-xfer/lsl-depot
+// -trace-out) or from a running trace collector (lsl-ctl -collect, or
+// lsl-trace -serve). Every event of one logical transfer shares the
+// trace id its initiator minted, so the timeline survives retries,
+// failover reroutes, and striping: the rendered chart shows each hop
+// of each stripe as one bar, and how much each hop's streaming window
+// overlaps its upstream hop — the cut-through pipelining the paper's
+// sequence plots make visible as parallel slopes.
+//
+// Usage:
+//
+//	lsl-trace [-trace id] file.jsonl...        render from trace files
+//	lsl-trace -from http://host:7502 [-trace id]
+//	                                           fetch from a collector
+//	lsl-trace -serve 127.0.0.1:7510            run a standalone collector
+//
+// Without -trace, the traces found are listed; with exactly one trace
+// in the input it is rendered directly. With -serve, lsl-trace runs
+// the collector HTTP endpoint itself (POST /traces/ingest, GET
+// /traces, GET /traces/{id}) until interrupted — the standalone
+// alternative to hosting the collector inside lsl-ctl.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/obs"
+)
+
+var (
+	fromURL  = flag.String("from", "", "fetch traces from this collector base URL (e.g. http://host:7502)")
+	traceID  = flag.String("trace", "", "render this trace id (default: list, or render the only trace)")
+	serveOn  = flag.String("serve", "", "run a standalone trace collector on this ip:port")
+	barWidth = flag.Int("width", 64, "timeline bar width in columns")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		log.Fatalf("lsl-trace: %v", err)
+	}
+}
+
+func run() error {
+	if *serveOn != "" {
+		return serve(*serveOn)
+	}
+	if *fromURL != "" {
+		return fromCollector(*fromURL, *traceID)
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "lsl-trace: need trace files, -from, or -serve")
+		flag.Usage()
+		os.Exit(2)
+	}
+	return fromFiles(flag.Args(), *traceID)
+}
+
+// serve runs a standalone collector with the full debug handler.
+func serve(addr string) error {
+	reg := obs.NewRegistry()
+	col := obs.NewCollector(0).CountDrops(reg.Counter(obs.MetricTraceDrops))
+	defer col.Close()
+	log.Printf("trace collector on http://%s (POST /traces/ingest, GET /traces)", addr)
+	return http.ListenAndServe(addr, obs.NewHandler(obs.HandlerConfig{
+		Registry:  reg,
+		Collector: col,
+	}))
+}
+
+// fromFiles ingests JSONL trace files into an in-process collector and
+// renders from it.
+func fromFiles(paths []string, id string) error {
+	col := obs.NewCollector(0)
+	defer col.Close()
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		n, err := col.Ingest(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		if n == 0 {
+			fmt.Fprintf(os.Stderr, "lsl-trace: %s: no events\n", p)
+		}
+	}
+	col.Sync()
+	return render(os.Stdout, col.Summaries(), id, func(tid string) (obs.TraceTimeline, bool) {
+		return col.Timeline(tid)
+	})
+}
+
+// fromCollector fetches summaries and timelines over HTTP.
+func fromCollector(base, id string) error {
+	base = strings.TrimRight(base, "/")
+	var sums []obs.TraceSummary
+	if err := getJSON(base+"/traces", &sums); err != nil {
+		return err
+	}
+	return render(os.Stdout, sums, id, func(tid string) (obs.TraceTimeline, bool) {
+		var tl obs.TraceTimeline
+		if err := getJSON(base+"/traces/"+tid, &tl); err != nil {
+			return obs.TraceTimeline{}, false
+		}
+		return tl, true
+	})
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// render lists traces, or renders one when selected (explicitly, or
+// implicitly when the input holds exactly one).
+func render(w io.Writer, sums []obs.TraceSummary, id string, timeline func(string) (obs.TraceTimeline, bool)) error {
+	if id == "" {
+		if len(sums) == 1 {
+			id = sums[0].Trace
+		} else {
+			if len(sums) == 0 {
+				fmt.Fprintln(w, "no traces")
+				return nil
+			}
+			renderList(w, sums)
+			return nil
+		}
+	}
+	tl, ok := timeline(id)
+	if !ok {
+		return fmt.Errorf("trace %s not found", id)
+	}
+	renderTimeline(w, tl, *barWidth)
+	return nil
+}
+
+// renderList prints the trace summary table.
+func renderList(w io.Writer, sums []obs.TraceSummary) {
+	fmt.Fprintf(w, "%-34s %8s %5s %5s %7s %12s %10s %s\n",
+		"TRACE", "EVENTS", "HOPS", "SESS", "STRIPES", "BYTES", "DURATION", "RECOVERY")
+	for _, s := range sums {
+		rec := "-"
+		if s.Retries+s.Failovers+s.Errors > 0 {
+			rec = fmt.Sprintf("%d retries, %d failovers, %d errors", s.Retries, s.Failovers, s.Errors)
+		}
+		fmt.Fprintf(w, "%-34s %8d %5d %5d %7d %12d %10s %s\n",
+			s.Trace, s.Events, s.Hops, s.Sessions, s.Stripes, s.Bytes,
+			fmtDur(s.End.Sub(s.Start)), rec)
+	}
+}
+
+// renderTimeline draws the Figure 4/5-style hop-pipelining chart and
+// the per-hop critical-path table for one trace.
+func renderTimeline(w io.Writer, tl obs.TraceTimeline, width int) {
+	if width < 16 {
+		width = 16
+	}
+	s := tl.Summary
+	fmt.Fprintf(w, "trace %s: %d hops", s.Trace, s.Hops+1)
+	if s.Stripes > 0 {
+		fmt.Fprintf(w, ", %d stripes", s.Stripes)
+	}
+	if s.Sessions > 1 {
+		fmt.Fprintf(w, ", %d sessions", s.Sessions)
+	}
+	fmt.Fprintf(w, ", %d bytes in %s", s.Bytes, fmtDur(s.End.Sub(s.Start)))
+	if s.Retries+s.Failovers > 0 {
+		fmt.Fprintf(w, " (%d retries, %d failovers)", s.Retries, s.Failovers)
+	}
+	fmt.Fprintln(w)
+
+	spans := tl.Spans
+	if len(spans) == 0 {
+		fmt.Fprintln(w, "no spans (trace carries no lifecycle events)")
+		return
+	}
+
+	// One shared time axis over every span's extent.
+	t0, t1 := s.Start, s.End
+	if !t1.After(t0) {
+		t1 = t0.Add(time.Millisecond)
+	}
+	scale := func(t time.Time) int {
+		c := int(float64(width-1) * float64(t.Sub(t0)) / float64(t1.Sub(t0)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	fmt.Fprintf(w, "\n%-4s %-7s %-10s %-*s %8s\n", "HOP", "STRIPE", "SESSION", width, "TIMELINE ('·' waiting, '█' streaming)", "OVERLAP")
+	for _, sp := range spans {
+		bar := []rune(strings.Repeat(" ", width))
+		open := firstSet(sp.Accept, sp.Connect, sp.First)
+		end := lastSet(sp.Deliver, sp.Last, sp.First, sp.Connect, sp.Accept)
+		if !open.IsZero() && !end.IsZero() {
+			for c := scale(open); c <= scale(end); c++ {
+				bar[c] = '·'
+			}
+		}
+		if !sp.First.IsZero() && !sp.Last.IsZero() {
+			for c := scale(sp.First); c <= scale(sp.Last); c++ {
+				bar[c] = '█'
+			}
+		}
+		ov := "-"
+		if sp.Hop > 0 && sp.Overlap > 0 {
+			ov = fmt.Sprintf("%3.0f%%", sp.Overlap*100)
+		}
+		fmt.Fprintf(w, "%-4d %-7s %-10s %s %8s\n",
+			sp.Hop, stripeLabel(sp.Stripe), short(sp.Session, 10), string(bar), ov)
+	}
+
+	// Critical-path table: where did the wall-clock go, per sublink. The
+	// slowest streaming window — the hop that bounds end-to-end time
+	// under pipelining — is starred.
+	var slowest time.Duration
+	for _, sp := range spans {
+		if d := sp.Streaming(); d > slowest {
+			slowest = d
+		}
+	}
+	fmt.Fprintf(w, "\n%-4s %-7s %-10s %10s %10s %10s %12s %8s %7s\n",
+		"HOP", "STRIPE", "SESSION", "DIAL", "FIRSTBYTE", "STREAM", "BYTES", "MBPS", "RETRIES")
+	for _, sp := range spans {
+		dial := gap(sp.Accept, sp.Connect)
+		if sp.Hop == 0 {
+			dial = "-"
+		}
+		stream := sp.Streaming()
+		mark := " "
+		if stream > 0 && stream == slowest {
+			mark = "*"
+		}
+		mbps := "-"
+		if stream > 0 && sp.Bytes > 0 {
+			mbps = fmt.Sprintf("%.1f", float64(sp.Bytes)*8/1e6/stream.Seconds())
+		}
+		fmt.Fprintf(w, "%-4d %-7s %-10s %10s %10s %9s%s %12d %8s %7d\n",
+			sp.Hop, stripeLabel(sp.Stripe), short(sp.Session, 10),
+			dial, gap(sp.Connect, sp.First), fmtDur(stream), mark, sp.Bytes, mbps, sp.Retries)
+	}
+	if slowest > 0 {
+		fmt.Fprintln(w, "\n* critical path: the slowest streaming window bounds the pipelined transfer")
+	}
+}
+
+// stripeLabel renders a stripe pointer for a table cell.
+func stripeLabel(p *int) string {
+	if p == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%d", *p)
+}
+
+// short truncates an id for a fixed-width column.
+func short(s string, n int) string {
+	if s == "" {
+		return "-"
+	}
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+// gap renders the duration between two lifecycle instants, "-" when
+// either is missing.
+func gap(a, b time.Time) string {
+	if a.IsZero() || b.IsZero() || b.Before(a) {
+		return "-"
+	}
+	return fmtDur(b.Sub(a))
+}
+
+// fmtDur renders a duration at millisecond-ish precision.
+func fmtDur(d time.Duration) string {
+	if d <= 0 {
+		return "0s"
+	}
+	return d.Round(100 * time.Microsecond).String()
+}
+
+// firstSet returns the earliest non-zero time of its arguments.
+func firstSet(ts ...time.Time) time.Time {
+	var out time.Time
+	for _, t := range ts {
+		if t.IsZero() {
+			continue
+		}
+		if out.IsZero() || t.Before(out) {
+			out = t
+		}
+	}
+	return out
+}
+
+// lastSet returns the latest non-zero time of its arguments.
+func lastSet(ts ...time.Time) time.Time {
+	var out time.Time
+	for _, t := range ts {
+		if t.After(out) {
+			out = t
+		}
+	}
+	return out
+}

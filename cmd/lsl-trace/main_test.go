@@ -1,0 +1,126 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/obs"
+)
+
+// failoverTimeline builds a realistic assembled trace: a 2-stripe,
+// 2-hop transfer whose stripe 1 dies, retries, and continues through a
+// rerouted depot under the same trace id.
+func failoverTimeline(t *testing.T) obs.TraceTimeline {
+	t.Helper()
+	base := time.Date(2004, 11, 6, 12, 0, 0, 0, time.UTC)
+	sec := func(n int) time.Time { return base.Add(time.Duration(n) * time.Second) }
+	tid := "cafe0123cafe0123cafe0123cafe0123"
+	ev := func(n int, sess string, hop int, kind string, stripe int, bytes int64, node string) obs.Event {
+		return obs.Event{
+			Time: sec(n), Trace: tid, Session: sess, Hop: hop, Kind: kind,
+			Stripe: obs.StripeOf(stripe), Bytes: bytes, Node: node,
+		}
+	}
+	events := []obs.Event{
+		// Stripe 0 sails through relay-a.
+		ev(0, "s1", 0, obs.KindConnect, 0, 0, "src"),
+		ev(1, "s1", 0, obs.KindFirstByte, 0, 0, "src"),
+		ev(8, "s1", 0, obs.KindLastByte, 0, 64<<10, "src"),
+		ev(1, "s1", 1, obs.KindAccept, 0, 0, "relay-a"),
+		ev(2, "s1", 1, obs.KindFirstByte, 0, 0, "relay-a"),
+		ev(9, "s1", 1, obs.KindLastByte, 0, 64<<10, "relay-a"),
+		ev(9, "s1", 1, obs.KindDeliver, 0, 64<<10, "relay-a"),
+		// Stripe 1 dies, retries, and reroutes through the spare depot.
+		ev(0, "s1", 0, obs.KindConnect, 1, 0, "src"),
+		ev(3, "s1", 0, obs.KindRetry, 1, 32<<10, "src"),
+		{Time: sec(4), Trace: tid, Session: "s1", Hop: 0, Kind: obs.KindFailover, Node: "src", Detail: "avoiding relay-a"},
+		ev(5, "s1", 0, obs.KindConnect, 1, 0, "src"),
+		ev(6, "s1", 0, obs.KindFirstByte, 1, 0, "src"),
+		ev(12, "s1", 0, obs.KindLastByte, 1, 64<<10, "src"),
+		ev(6, "s1", 2, obs.KindAccept, 1, 0, "spare"),
+		ev(7, "s1", 2, obs.KindFirstByte, 1, 0, "spare"),
+		ev(13, "s1", 2, obs.KindLastByte, 1, 64<<10, "spare"),
+		ev(13, "s1", 2, obs.KindResume, 1, 32<<10, "spare"),
+	}
+	col := obs.NewCollector(0)
+	defer col.Close()
+	for _, e := range events {
+		col.Emit(e)
+	}
+	col.Sync()
+	tl, ok := col.Timeline(tid)
+	if !ok {
+		t.Fatal("collector lost the trace")
+	}
+	return tl
+}
+
+func TestRenderTimeline(t *testing.T) {
+	tl := failoverTimeline(t)
+	var sb strings.Builder
+	renderTimeline(&sb, tl, 48)
+	out := sb.String()
+
+	if !strings.Contains(out, "trace cafe0123cafe0123cafe0123cafe0123") {
+		t.Fatalf("missing trace header:\n%s", out)
+	}
+	if !strings.Contains(out, "2 stripes") || !strings.Contains(out, "1 retries, 1 failovers") {
+		t.Fatalf("summary line incomplete:\n%s", out)
+	}
+	for _, want := range []string{"TIMELINE", "OVERLAP", "█", "DIAL", "FIRSTBYTE", "STREAM", "critical path"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// Both stripes must appear as rows, including the rerouted hop 2.
+	if !strings.Contains(out, "\n2    1") {
+		t.Fatalf("rerouted continuation (hop 2, stripe 1) not rendered:\n%s", out)
+	}
+	// Pipelined hop 1 overlaps its upstream; the percentage must show.
+	if !strings.Contains(out, "%") {
+		t.Fatalf("no overlap percentage rendered:\n%s", out)
+	}
+}
+
+func TestRenderListAndSelection(t *testing.T) {
+	tl := failoverTimeline(t)
+	sums := []obs.TraceSummary{tl.Summary, {Trace: "other", Events: 1}}
+	var sb strings.Builder
+	if err := render(&sb, sums, "", func(string) (obs.TraceTimeline, bool) {
+		t.Fatal("list mode must not fetch a timeline")
+		return obs.TraceTimeline{}, false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "TRACE") || !strings.Contains(sb.String(), "other") {
+		t.Fatalf("list output:\n%s", sb.String())
+	}
+
+	// A single trace renders implicitly.
+	sb.Reset()
+	if err := render(&sb, sums[:1], "", func(id string) (obs.TraceTimeline, bool) {
+		return tl, id == tl.Summary.Trace
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "TIMELINE") {
+		t.Fatalf("single trace not auto-rendered:\n%s", sb.String())
+	}
+
+	if err := render(&sb, sums, "missing", func(string) (obs.TraceTimeline, bool) {
+		return obs.TraceTimeline{}, false
+	}); err == nil {
+		t.Fatal("missing trace id did not error")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := render(&sb, nil, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no traces") {
+		t.Fatalf("empty output: %q", sb.String())
+	}
+}

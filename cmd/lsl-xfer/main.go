@@ -83,6 +83,7 @@ var (
 	listen    = flag.String("listen", "0.0.0.0:7411", "sink: TCP listen address")
 	selfAddr  = flag.String("self", "", "sink: public ip:port (required with -sink)")
 	traceOut  = flag.String("trace-out", "", "append session trace events to this file as JSON lines")
+	tracePush = flag.String("trace-push", "", "POST batched trace events to this collector ingest URL, e.g. http://ctl:7502/traces/ingest")
 	sampleIvl = flag.Duration("sample", 0, "sample sent/received bytes at this interval and print a sequence table (0 = off)")
 	retries   = flag.Int("retries", 0, "retry a failed send this many times with backoff (plain send mode only)")
 	backoff   = flag.Duration("retry-backoff", 500*time.Millisecond, "base delay before the first retry (doubles each retry)")
@@ -107,17 +108,56 @@ func main() {
 	}
 }
 
-// openTrace opens the -trace-out sink, or returns a nil Sink (no-op)
-// when the flag is unset. close is always safe to call.
+// openTrace opens the configured trace sinks — the -trace-out JSONL
+// file, the -trace-push collector shipper, or both — or returns a nil
+// Sink (no-op) when neither flag is set. close is always safe to call.
 func openTrace() (obs.Sink, func(), error) {
-	if *traceOut == "" {
-		return nil, func() {}, nil
+	var sinks obs.MultiSink
+	var closers []func()
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, func() {}, fmt.Errorf("trace-out: %w", err)
+		}
+		sinks = append(sinks, obs.NewJSONSink(f))
+		closers = append(closers, func() { f.Close() })
 	}
-	f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, func() {}, fmt.Errorf("trace-out: %w", err)
+	if *tracePush != "" {
+		push := obs.NewPushSink(obs.PushConfig{URL: *tracePush})
+		sinks = append(sinks, push)
+		closers = append(closers, push.Close)
 	}
-	return obs.NewJSONSink(f), func() { f.Close() }, nil
+	closeAll := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	if len(sinks) == 0 {
+		return nil, closeAll, nil
+	}
+	return sinks, closeAll, nil
+}
+
+// xferTrace is the end-to-end trace id of this invocation's transfer,
+// minted once per send so every attempt, stripe, and depot hop shares
+// it. Zero (untraced) when minting was never requested or entropy
+// failed — tracing is best-effort by design.
+var xferTrace wire.TraceID
+
+// mintTrace mints the invocation-wide trace id.
+func mintTrace() {
+	if tid, err := wire.NewTraceID(); err == nil {
+		xferTrace = tid
+	}
+}
+
+// traceOpts returns the wire options carrying the minted trace id, or
+// nil when untraced.
+func traceOpts() []wire.Option {
+	if xferTrace.IsZero() {
+		return nil
+	}
+	return []wire.Option{wire.TraceIDOption(xferTrace)}
 }
 
 // newSampler starts the -sample byte sampler, or returns nil when off.
@@ -138,16 +178,23 @@ func finishSampler(s *obs.ByteSampler, tr obs.Sink, base time.Time, session stri
 	fmt.Print(trace.Table([]*trace.Series{series}, 12))
 	if tr != nil {
 		for _, e := range obs.SeriesEvents(series, base, session, 0, node) {
+			if !xferTrace.IsZero() {
+				e.Trace = xferTrace.String()
+			}
 			tr.Emit(e)
 		}
 	}
 }
 
-// emit0 reports a hop-0 (initiator-side) trace event.
+// emit0 reports a hop-0 (initiator-side) trace event, stamped with the
+// invocation's trace id when one was minted.
 func emit0(tr obs.Sink, session wire.SessionID, kind string, e obs.Event) {
 	e.Kind = kind
 	e.Session = session.String()
 	e.Node = *src
+	if !xferTrace.IsZero() {
+		e.Trace = xferTrace.String()
+	}
 	obs.Emit(tr, e)
 }
 
@@ -290,6 +337,9 @@ func runSend() error {
 		return err
 	}
 	defer closeTrace()
+	// One trace id spans the whole send: every retry attempt, every
+	// stripe, and every depot hop the header reaches.
+	mintTrace()
 	dial := lsl.DialerFunc(func(addr string) (net.Conn, error) {
 		return net.DialTimeout("tcp", addr, 10*time.Second)
 	})
@@ -318,7 +368,7 @@ func runSend() error {
 	start := time.Now()
 	var sess *lsl.Session
 	if *store {
-		sess, err = lsl.OpenStore(dial, srcEP, dst, route)
+		sess, err = lsl.OpenStore(dial, srcEP, dst, route, traceOpts()...)
 		if err != nil {
 			return err
 		}
@@ -343,7 +393,7 @@ func runSend() error {
 		if len(route) == 0 {
 			return fmt.Errorf("-generate needs at least one -via depot to do the generating")
 		}
-		sess, err = lsl.OpenGenerate(dial, srcEP, dst, route, uint64(size))
+		sess, err = lsl.OpenGenerate(dial, srcEP, dst, route, uint64(size), traceOpts()...)
 		if err != nil {
 			return err
 		}
@@ -371,7 +421,7 @@ func runSend() error {
 			if len(attemptRoute) > 0 {
 				hop = attemptRoute[0]
 			}
-			s2, oerr := lsl.Open(dial, srcEP, dst, attemptRoute)
+			s2, oerr := lsl.Open(dial, srcEP, dst, attemptRoute, traceOpts()...)
 			if oerr != nil {
 				return oerr
 			}
@@ -414,7 +464,7 @@ func runTableDrivenSend(dial lsl.Dialer, srcEP, dst, entry wire.Endpoint, size i
 	if err != nil {
 		return err
 	}
-	sess, err := lsl.Wrap(conn, srcEP, dst)
+	sess, err := lsl.Wrap(conn, srcEP, dst, traceOpts()...)
 	if err != nil {
 		return err
 	}
@@ -473,17 +523,17 @@ func runStripedSend(dial lsl.Dialer, srcEP, dst wire.Endpoint, route []wire.Endp
 				if attempt > 0 {
 					log.Printf("stripe %d: retry %d of %d", k, attempt, *retries)
 				}
-				sess, oerr := lsl.OpenStripe(dial, srcEP, dst, route, id, k, n, from)
+				sess, oerr := lsl.OpenStripe(dial, srcEP, dst, route, id, k, n, from, traceOpts()...)
 				if oerr != nil {
 					return oerr
 				}
-				emit0(tr, id, obs.KindConnect, obs.Event{Peer: firstHop.String(), Stripe: k, Retries: attempt})
+				emit0(tr, id, obs.KindConnect, obs.Event{Peer: firstHop.String(), Stripe: obs.StripeOf(k), Retries: attempt})
 				written, werr := sendPatternRange(sess, id, from, end)
 				sess.Close()
 				if werr != nil {
 					return fmt.Errorf("stripe %d after %d bytes: %w", k, written, werr)
 				}
-				emit0(tr, id, obs.KindLastByte, obs.Event{Bytes: written, Stripe: k})
+				emit0(tr, id, obs.KindLastByte, obs.Event{Bytes: written, Stripe: obs.StripeOf(k)})
 				return nil
 			})
 		}(k, from, from+length)

@@ -61,7 +61,9 @@ func (s *System) StoreAtContext(ctx context.Context, srcHost, depotHost string, 
 	}
 
 	start := time.Now()
-	sess, err := lsl.OpenStore(s.dialerFor(si), s.endpoints[si], s.endpoints[di], route)
+	// Stores are traced like transfers: the depot-side events of the
+	// staging leg share one correlation key.
+	sess, err := lsl.OpenStore(s.dialerFor(si), s.endpoints[si], s.endpoints[di], route, traceOpt(mintTrace())...)
 	if err != nil {
 		return StoreResult{}, err
 	}

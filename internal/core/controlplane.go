@@ -110,23 +110,24 @@ func (s *System) TransferTableDriven(srcHost, dstHost string, size int64) (Trans
 	if err != nil {
 		return TransferResult{}, err
 	}
-	sess, err := lsl.Wrap(conn, s.endpoints[si], s.endpoints[di])
+	tid := mintTrace()
+	sess, err := lsl.Wrap(conn, s.endpoints[si], s.endpoints[di], traceOpt(tid)...)
 	if err != nil {
 		s.observeTransfer(TransferResult{}, err)
 		return TransferResult{}, err
 	}
-	s.emitHop0(sess.ID(), si, obs.KindConnect, obs.Event{Peer: s.endpoints[si].String()})
+	s.emitHop0(sess.ID(), tid, si, obs.KindConnect, obs.Event{Peer: s.endpoints[si].String()})
 	ch := s.registerWaiter(sess.ID())
 	defer s.dropWaiter(sess.ID())
 
-	s.emitHop0(sess.ID(), si, obs.KindFirstByte, obs.Event{})
+	s.emitHop0(sess.ID(), tid, si, obs.KindFirstByte, obs.Event{})
 	if err := writeSessionPattern(sess, size); err != nil {
 		sess.Close()
 		s.observeTransfer(TransferResult{}, err)
 		return TransferResult{}, fmt.Errorf("core: table-driven send: %w", err)
 	}
 	sess.Close()
-	s.emitHop0(sess.ID(), si, obs.KindLastByte, obs.Event{Bytes: size})
+	s.emitHop0(sess.ID(), tid, si, obs.KindLastByte, obs.Event{Bytes: size})
 
 	select {
 	case res := <-ch:

@@ -101,6 +101,9 @@ func (s *System) TransferReliable(srcHost, dstHost string, size int64, pol Recov
 
 	r := s.cfg.Metrics
 	start := time.Now()
+	// One trace id spans every attempt, resume continuation, and
+	// failover reroute of this logical transfer.
+	tid := mintTrace()
 	var (
 		acked      int64 // bytes the sink has verified and acked
 		lastErr    error
@@ -110,7 +113,7 @@ func (s *System) TransferReliable(srcHost, dstHost string, size int64, pol Recov
 	for attempt := 0; attempt < pol.Retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			r.Counter(MetricRetryAttempts).Inc()
-			s.emitRecovery(lastID, si, obs.KindRetry, obs.Event{
+			s.emitRecovery(lastID, tid, si, obs.KindRetry, obs.Event{
 				Bytes:  acked,
 				Detail: fmt.Sprintf("%s: %v", retry.Classify(lastErr), lastErr),
 			})
@@ -122,7 +125,7 @@ func (s *System) TransferReliable(srcHost, dstHost string, size int64, pol Recov
 			// Bytes the continuation session does not re-send.
 			r.Counter(MetricResumedBytes).Add(acked)
 		}
-		got, id, aerr := s.attemptResumable(path, size, acked, pol.AttemptTimeout)
+		got, id, aerr := s.attemptResumable(path, size, acked, pol.AttemptTimeout, tid)
 		acked += got
 		lastID = id
 		if aerr == nil && acked == size {
@@ -147,7 +150,7 @@ func (s *System) TransferReliable(srcHost, dstHost string, size int64, pol Recov
 			noProgress++
 		}
 		if pol.Failover && noProgress >= pol.FailoverAfter && len(path) > 2 {
-			path = s.failoverPath(si, di, path, lastID)
+			path = s.failoverPath(si, di, path, lastID, tid)
 			noProgress = 0
 		}
 	}
@@ -165,7 +168,7 @@ const drainWindow = 500 * time.Millisecond
 // for this session (its ack), the session id, and the attempt's error.
 // Partial progress and an error frequently coexist: a chain that dies
 // mid-stream still delivered its prefix.
-func (s *System) attemptResumable(path []int, size, offset int64, timeout time.Duration) (int64, string, error) {
+func (s *System) attemptResumable(path []int, size, offset int64, timeout time.Duration, tid wire.TraceID) (int64, string, error) {
 	src, dst := path[0], path[len(path)-1]
 	route := make([]wire.Endpoint, 0, len(path)-2)
 	for _, h := range path[1 : len(path)-1] {
@@ -174,7 +177,7 @@ func (s *System) attemptResumable(path []int, size, offset int64, timeout time.D
 	// Per-hop connect timeout on the first sublink; depots bound their
 	// own onward dials.
 	dial := lsl.TimeoutDialer(s.dialerFor(src), timeout)
-	sess, err := lsl.OpenAt(dial, s.endpoints[src], s.endpoints[dst], route, offset)
+	sess, err := lsl.OpenAt(dial, s.endpoints[src], s.endpoints[dst], route, offset, traceOpt(tid)...)
 	if err != nil {
 		return 0, "", err
 	}
@@ -183,7 +186,7 @@ func (s *System) attemptResumable(path []int, size, offset int64, timeout time.D
 	if len(path) > 2 {
 		first = path[1]
 	}
-	s.emitHop0(sess.ID(), src, obs.KindConnect, obs.Event{Peer: s.endpoints[first].String(), Bytes: offset})
+	s.emitHop0(sess.ID(), tid, src, obs.KindConnect, obs.Event{Peer: s.endpoints[first].String(), Bytes: offset})
 	ch := s.registerWaiter(sess.ID())
 	defer s.dropWaiter(sess.ID())
 
@@ -191,11 +194,11 @@ func (s *System) attemptResumable(path []int, size, offset int64, timeout time.D
 	// attempt makes races the same deadline.
 	deadline := time.Now().Add(timeout)
 	_ = sess.SetWriteDeadline(deadline)
-	s.emitHop0(sess.ID(), src, obs.KindFirstByte, obs.Event{})
+	s.emitHop0(sess.ID(), tid, src, obs.KindFirstByte, obs.Event{})
 	werr := writeSessionPatternFrom(sess, offset, size)
 	sess.Close()
 	if werr == nil {
-		s.emitHop0(sess.ID(), src, obs.KindLastByte, obs.Event{Bytes: size - offset})
+		s.emitHop0(sess.ID(), tid, src, obs.KindLastByte, obs.Event{Bytes: size - offset})
 	}
 
 	// Wait for the sink's report of what actually landed. A cleanly
@@ -232,7 +235,7 @@ func (s *System) attemptResumable(path []int, size, offset int64, timeout time.D
 // current relays are condemned together. The avoided set accumulates
 // in the planner query only for this call chain: each failover starts
 // from the current path, so a depot exonerated by a replan can return.
-func (s *System) failoverPath(si, di int, cur []int, sessID string) []int {
+func (s *System) failoverPath(si, di int, cur []int, sessID string, tid wire.TraceID) []int {
 	avoid := make(map[int]bool)
 	var dead []int
 	for _, h := range cur[1 : len(cur)-1] {
@@ -260,7 +263,7 @@ func (s *System) failoverPath(si, di int, cur []int, sessID string) []int {
 	if len(next) > 2 {
 		firstHop = next[1]
 	}
-	s.emitRecovery(sessID, si, obs.KindFailover, obs.Event{
+	s.emitRecovery(sessID, tid, si, obs.KindFailover, obs.Event{
 		Peer:   s.endpoints[firstHop].String(),
 		Detail: "avoiding " + strings.Join(names, ","),
 	})
@@ -280,10 +283,14 @@ func (s *System) probeHost(from, h int) bool {
 
 // emitRecovery reports a recovery decision as a hop-0 trace event.
 // Unlike emitHop0 it tolerates an empty session id (a retry after a
-// failed dial has no session yet).
-func (s *System) emitRecovery(sessID string, src int, kind string, e obs.Event) {
+// failed dial has no session yet) — the trace id still correlates the
+// event with the logical transfer it belongs to.
+func (s *System) emitRecovery(sessID string, tid wire.TraceID, src int, kind string, e obs.Event) {
 	e.Kind = kind
 	e.Session = sessID
+	if !tid.IsZero() {
+		e.Trace = tid.String()
+	}
 	e.Hop = 0
 	e.Node = s.endpoints[src].String()
 	obs.Emit(s.cfg.Trace, e)

@@ -68,8 +68,12 @@ func stripeFor(ranges []stripeRange, offset int64) int {
 // Recovery composes per stripe: a stripe whose chain tears is retried
 // under pol with the usual resume-at-acked-offset continuation while
 // its siblings keep streaming — a single sublink failure costs one
-// stripe's retry, not the transfer. Fatal errors (protocol violations,
-// pattern mismatches) abort the whole transfer.
+// stripe's retry, not the transfer. When pol.Failover is set and a
+// stripe makes no progress for FailoverAfter consecutive attempts, the
+// shared depot path is rerouted around the dead relays exactly as in
+// TransferReliable; the reroute is decided once and every sibling's
+// next attempt follows the new path. Fatal errors (protocol
+// violations, pattern mismatches) abort the whole transfer.
 //
 // stripes <= 1 (or a size smaller than the stripe count) degrades
 // gracefully: the transfer runs with as many stripes as there are
@@ -108,6 +112,9 @@ func (s *System) TransferStriped(srcHost, dstHost string, size int64, stripes in
 	if err != nil {
 		return TransferResult{}, err
 	}
+	// One trace id spans every stripe, retry continuation, and failover
+	// reroute of this logical transfer.
+	tid := mintTrace()
 	ranges := stripeRanges(size, stripes)
 
 	// One waiter channel serves every stripe session (they share the
@@ -136,16 +143,18 @@ func (s *System) TransferStriped(srcHost, dstHost string, size int64, stripes in
 	}()
 
 	start := time.Now()
+	sp := &stripePath{path: path}
 	errs := make([]error, stripes)
 	var wg sync.WaitGroup
 	for k := range ranges {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			errs[k] = s.stripeWorker(path, id, k, stripes, ranges[k], pol, perStripe[k])
+			errs[k] = s.stripeWorker(sp, si, di, id, tid, k, stripes, ranges[k], pol, perStripe[k])
 		}(k)
 	}
 	wg.Wait()
+	path = sp.current()
 
 	for k, werr := range errs {
 		if werr != nil {
@@ -160,19 +169,55 @@ func (s *System) TransferStriped(srcHost, dstHost string, size int64, stripes in
 	return out, nil
 }
 
+// stripePath is the depot path a striped transfer's workers share. A
+// failover reroute decided by one stripe advances the generation and
+// every sibling's next attempt follows the new path; the generation
+// guard in failover makes concurrent triggers from several starved
+// stripes cost a single probe-and-replan.
+type stripePath struct {
+	mu   sync.Mutex
+	path []int
+	gen  int
+}
+
+// get returns the current path and its generation.
+func (p *stripePath) get() ([]int, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.path, p.gen
+}
+
+// current returns the path the transfer ended on.
+func (p *stripePath) current() []int {
+	path, _ := p.get()
+	return path
+}
+
+// failover reroutes via fn unless a sibling already rerouted past gen.
+func (p *stripePath) failover(gen int, fn func(cur []int) []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if gen != p.gen {
+		return // a sibling already rerouted this generation
+	}
+	p.path = fn(p.path)
+	p.gen++
+}
+
 // stripeWorker drives one stripe to completion: it opens stripe
-// sessions resuming at the deepest acked offset, retrying under pol,
-// and returns nil once the sink has verified the stripe's whole range.
-func (s *System) stripeWorker(path []int, id wire.SessionID, k, count int, rng stripeRange, pol RecoveryPolicy, results <-chan deliverResult) error {
+// sessions resuming at the deepest acked offset, retrying under pol
+// (and triggering a shared-path failover when starved), and returns
+// nil once the sink has verified the stripe's whole range.
+func (s *System) stripeWorker(sp *stripePath, si, di int, id wire.SessionID, tid wire.TraceID, k, count int, rng stripeRange, pol RecoveryPolicy, results <-chan deliverResult) error {
 	r := s.cfg.Metrics
-	si := path[0]
 	acked := rng.start // absolute offset the sink has verified up to
 	var lastErr error
+	noProgress := 0
 	for attempt := 0; attempt < pol.Retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			r.Counter(MetricStripeRetries).Inc()
-			s.emitRecovery(id.String(), si, obs.KindRetry, obs.Event{
-				Stripe: k,
+			s.emitRecovery(id.String(), tid, si, obs.KindRetry, obs.Event{
+				Stripe: obs.StripeOf(k),
 				Bytes:  acked,
 				Detail: fmt.Sprintf("%s: %v", retry.Classify(lastErr), lastErr),
 			})
@@ -184,7 +229,8 @@ func (s *System) stripeWorker(path []int, id wire.SessionID, k, count int, rng s
 				r.Counter(MetricResumedBytes).Add(acked - rng.start)
 			}
 		}
-		got, aerr := s.stripeAttempt(path, id, k, count, acked, rng.end, pol.AttemptTimeout, results)
+		path, gen := sp.get()
+		got, aerr := s.stripeAttempt(path, id, tid, k, count, acked, rng.end, pol.AttemptTimeout, results)
 		acked += got
 		if aerr == nil && acked == rng.end {
 			return nil
@@ -197,6 +243,17 @@ func (s *System) stripeWorker(path []int, id wire.SessionID, k, count int, rng s
 			r.Counter(MetricRecoveryFatal).Inc()
 			return fmt.Errorf("core: fatal: %w", aerr)
 		}
+		if got > 0 {
+			noProgress = 0
+		} else {
+			noProgress++
+		}
+		if pol.Failover && noProgress >= pol.FailoverAfter && len(path) > 2 {
+			sp.failover(gen, func(cur []int) []int {
+				return s.failoverPath(si, di, cur, id.String(), tid)
+			})
+			noProgress = 0
+		}
 	}
 	return fmt.Errorf("core: %w after %d attempts: %w", retry.ErrExhausted, pol.Retry.MaxAttempts, lastErr)
 }
@@ -207,14 +264,14 @@ func (s *System) stripeWorker(path []int, id wire.SessionID, k, count int, rng s
 // routed channel; a late report from an earlier torn attempt only ever
 // increases the acked prefix (its range starts no deeper than from), so
 // progress is the maximum of offset+bytes over the reports seen.
-func (s *System) stripeAttempt(path []int, id wire.SessionID, k, count int, from, end int64, timeout time.Duration, results <-chan deliverResult) (int64, error) {
+func (s *System) stripeAttempt(path []int, id wire.SessionID, tid wire.TraceID, k, count int, from, end int64, timeout time.Duration, results <-chan deliverResult) (int64, error) {
 	src, dst := path[0], path[len(path)-1]
 	route := make([]wire.Endpoint, 0, len(path)-2)
 	for _, h := range path[1 : len(path)-1] {
 		route = append(route, s.endpoints[h])
 	}
 	dial := lsl.TimeoutDialer(s.dialerFor(src), timeout)
-	sess, err := lsl.OpenStripe(dial, s.endpoints[src], s.endpoints[dst], route, id, k, count, from)
+	sess, err := lsl.OpenStripe(dial, s.endpoints[src], s.endpoints[dst], route, id, k, count, from, traceOpt(tid)...)
 	if err != nil {
 		return 0, err
 	}
@@ -222,15 +279,15 @@ func (s *System) stripeAttempt(path []int, id wire.SessionID, k, count int, from
 	if len(path) > 2 {
 		first = path[1]
 	}
-	s.emitHop0(sess.ID(), src, obs.KindConnect, obs.Event{Peer: s.endpoints[first].String(), Bytes: from, Stripe: k})
+	s.emitHop0(sess.ID(), tid, src, obs.KindConnect, obs.Event{Peer: s.endpoints[first].String(), Bytes: from, Stripe: obs.StripeOf(k)})
 
 	deadline := time.Now().Add(timeout)
 	_ = sess.SetWriteDeadline(deadline)
-	s.emitHop0(sess.ID(), src, obs.KindFirstByte, obs.Event{Stripe: k})
+	s.emitHop0(sess.ID(), tid, src, obs.KindFirstByte, obs.Event{Stripe: obs.StripeOf(k)})
 	werr := writeSessionPatternFrom(sess, from, end)
 	sess.Close()
 	if werr == nil {
-		s.emitHop0(sess.ID(), src, obs.KindLastByte, obs.Event{Bytes: end - from, Stripe: k})
+		s.emitHop0(sess.ID(), tid, src, obs.KindLastByte, obs.Event{Bytes: end - from, Stripe: obs.StripeOf(k)})
 	}
 
 	// Wait for the sink's report, mirroring attemptResumable: a clean

@@ -77,10 +77,11 @@ func TestStripedTransferDelivers(t *testing.T) {
 	hop0 := map[int]bool{}
 	depotStriped := false
 	for _, e := range mem.Events() {
-		if e.Kind == obs.KindConnect && e.Hop == 0 {
-			hop0[e.Stripe] = true
+		k, striped := e.StripeIndex()
+		if e.Kind == obs.KindConnect && e.Hop == 0 && striped {
+			hop0[k] = true
 		}
-		if e.Hop > 0 && e.Stripe > 0 {
+		if e.Hop > 0 && striped && k > 0 {
 			depotStriped = true
 		}
 	}
@@ -138,7 +139,9 @@ func TestStripedKillOneStripeMidTransfer(t *testing.T) {
 		}
 		switch e.Kind {
 		case obs.KindConnect:
-			connects[e.Stripe]++
+			if k, ok := e.StripeIndex(); ok {
+				connects[k]++
+			}
 		case obs.KindRetry:
 			sawStripeRetry = true
 		}

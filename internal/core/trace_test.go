@@ -1,0 +1,245 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/obs"
+)
+
+// oneTrace asserts every trace-stamped event shares a single trace id
+// and returns it.
+func oneTrace(t *testing.T, events []obs.Event) string {
+	t.Helper()
+	ids := map[string]bool{}
+	for _, e := range events {
+		if e.Trace != "" {
+			ids[e.Trace] = true
+		}
+	}
+	if len(ids) != 1 {
+		t.Fatalf("want exactly one trace id, got %d: %v", len(ids), ids)
+	}
+	for id := range ids {
+		return id
+	}
+	return ""
+}
+
+// TestTraceIDSpansRetryAndFailover: the wire-propagated trace id is the
+// correlation key that survives what session ids do not. A reliable
+// transfer whose depot dies mid-stream retries, fails over to the spare
+// route, and resumes — at least two sessions, two paths — yet every
+// event of the whole story must carry the one id minted at hop 0.
+func TestTraceIDSpansRetryAndFailover(t *testing.T) {
+	reg := obs.NewRegistry()
+	var (
+		sys      *System
+		killOnce sync.Once
+	)
+	sys, mem := chainSystem(t, reg, sinkFunc(func(e obs.Event) {
+		if e.Kind == obs.KindRetry && e.Hop == 0 {
+			killOnce.Do(func() { _ = sys.KillDepot("relay-b") })
+		}
+	}))
+
+	f, err := sys.Fault("relay-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.DropAfter(96 << 10)
+
+	const size = 256 << 10
+	res, err := sys.TransferReliable("src", "dst", size, RecoveryPolicy{
+		Retry: fastPolicy(6), Failover: true, FailoverAfter: 1, AttemptTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != size {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, size)
+	}
+	assertPath(t, res.Path, "src", "spare", "dst")
+
+	events := mem.Events()
+	tid := oneTrace(t, events)
+
+	// Events of interest must all be stamped: the first attempt's chain,
+	// the recovery markers, and the rerouted continuation's depot hops.
+	sessions := map[string]bool{}
+	var sawRetry, sawFailover, sawResume, sawDepotHop bool
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindRetry:
+			sawRetry = true
+		case obs.KindFailover:
+			sawFailover = true
+		case obs.KindResume:
+			sawResume = true
+		}
+		if e.Kind == obs.KindSample {
+			continue
+		}
+		if e.Trace != tid {
+			t.Fatalf("event missing the trace id: %+v", e)
+		}
+		if e.Session != "" {
+			sessions[e.Session] = true
+		}
+		if e.Hop > 0 {
+			sawDepotHop = true
+		}
+	}
+	if !sawRetry || !sawFailover || !sawResume {
+		t.Fatalf("recovery events incomplete: retry=%v failover=%v resume=%v",
+			sawRetry, sawFailover, sawResume)
+	}
+	if !sawDepotHop {
+		t.Fatal("no depot-side event carried the trace: wire propagation broken")
+	}
+	if len(sessions) < 2 {
+		t.Fatalf("expected the continuation to be a new session, saw %v", sessions)
+	}
+}
+
+// TestTraceStripedKillAssemblesOneTimeline is the tracing acceptance
+// scenario: a striped multi-hop transfer has a depot killed mid-stream,
+// so one generation fails over to the spare route and the dead
+// stripes resume. Fed through the collector, the wreckage must
+// assemble into ONE trace whose timeline has causally ordered spans
+// for every hop of every stripe, including the rerouted continuation.
+func TestTraceStripedKillAssemblesOneTimeline(t *testing.T) {
+	reg := obs.NewRegistry()
+	var (
+		sys      *System
+		killOnce sync.Once
+	)
+	sys, mem := chainSystem(t, reg, sinkFunc(func(e obs.Event) {
+		if e.Kind == obs.KindRetry && e.Hop == 0 {
+			killOnce.Do(func() { _ = sys.KillDepot("relay-b") })
+		}
+	}))
+
+	f, err := sys.Fault("relay-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.DropAfter(96 << 10)
+
+	const size, stripes = 256 << 10, 4
+	res, err := sys.TransferStriped("src", "dst", size, stripes, RecoveryPolicy{
+		Retry: fastPolicy(6), Failover: true, FailoverAfter: 1, AttemptTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != size {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, size)
+	}
+	assertPath(t, res.Path, "src", "spare", "dst")
+
+	events := mem.Events()
+	tid := oneTrace(t, events)
+
+	// Every stripe's initiator leg must be stamped, and so must the
+	// depot hops the wire carried the id to — including the spare.
+	spareIdx, _ := sys.Topo.HostIndex("spare")
+	spareEP := sys.Endpoint(spareIdx).String()
+	hop0 := map[int]bool{}
+	var sawSpare bool
+	for _, e := range events {
+		if e.Trace != tid && e.Kind != obs.KindSample {
+			t.Fatalf("event missing the trace id: %+v", e)
+		}
+		if k, ok := e.StripeIndex(); ok && e.Hop == 0 && e.Kind == obs.KindConnect {
+			hop0[k] = true
+		}
+		if e.Hop > 0 && e.Node == spareEP {
+			sawSpare = true
+		}
+	}
+	for k := 0; k < stripes; k++ {
+		if !hop0[k] {
+			t.Fatalf("stripe %d's hop-0 connect is not trace-stamped: %v", k, hop0)
+		}
+	}
+	if !sawSpare {
+		t.Fatal("rerouted continuation never reported from the spare depot")
+	}
+
+	// Collector assembly: one timeline, causally ordered, with spans for
+	// every stripe.
+	col := obs.NewCollector(0)
+	defer col.Close()
+	for _, e := range events {
+		col.Emit(e)
+	}
+	col.Sync()
+	sums := col.Summaries()
+	if len(sums) != 1 {
+		t.Fatalf("collector assembled %d traces, want 1: %+v", len(sums), sums)
+	}
+	tl, ok := col.Timeline(tid)
+	if !ok {
+		t.Fatalf("trace %s not assembled", tid)
+	}
+	// Striping resumes under the SAME session id (a stripe's retry is a
+	// continuation, not a new session) — exactly why the trace id, not
+	// the session id, is the correlation key the collector needs.
+	if tl.Summary.Stripes != stripes || tl.Summary.Retries < 1 || tl.Summary.Failovers < 1 {
+		t.Fatalf("summary = %+v", tl.Summary)
+	}
+	for i := 1; i < len(tl.Events); i++ {
+		if tl.Events[i].Time.Before(tl.Events[i-1].Time) {
+			t.Fatalf("timeline not time-ordered at %d", i)
+		}
+	}
+	stripesSeen := map[int]bool{}
+	for _, sp := range tl.Spans {
+		if k, ok := stripeOf(sp.Stripe); ok {
+			stripesSeen[k] = true
+		}
+		// Within a span the lifecycle must be causal.
+		if !sp.Connect.IsZero() && !sp.First.IsZero() && sp.First.Before(sp.Connect) {
+			t.Fatalf("span first-byte precedes connect: %+v", sp)
+		}
+		if !sp.First.IsZero() && !sp.Last.IsZero() && sp.Last.Before(sp.First) {
+			t.Fatalf("span last-byte precedes first-byte: %+v", sp)
+		}
+	}
+	if len(stripesSeen) != stripes {
+		t.Fatalf("spans cover %d stripes, want %d", len(stripesSeen), stripes)
+	}
+}
+
+// stripeOf unpacks a HopSpan stripe pointer.
+func stripeOf(p *int) (int, bool) {
+	if p == nil {
+		return 0, false
+	}
+	return *p, true
+}
+
+// TestTraceIDsAreDistinctAcrossTransfers: each logical transfer mints
+// its own id, so concurrent transfers never collapse into one timeline
+// in the collector.
+func TestTraceIDsAreDistinctAcrossTransfers(t *testing.T) {
+	reg := obs.NewRegistry()
+	sys, mem := chainSystem(t, reg, nil)
+
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Transfer("src", "dst", 32<<10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := map[string]bool{}
+	for _, e := range mem.Events() {
+		if e.Trace != "" {
+			ids[e.Trace] = true
+		}
+	}
+	if len(ids) != 3 {
+		t.Fatalf("3 transfers minted %d trace ids: %v", len(ids), ids)
+	}
+}

@@ -39,13 +39,39 @@ func (s *System) observeTransfer(res TransferResult, err error) {
 	r.Histogram(MetricTransferMbps, obs.ExpBuckets(1, 2, 15)).Observe(res.Bandwidth * 8 / 1e6)
 }
 
-// emitHop0 reports an initiator-side (hop 0) trace event.
-func (s *System) emitHop0(id wire.SessionID, src int, kind string, e obs.Event) {
+// emitHop0 reports an initiator-side (hop 0) trace event. tid is the
+// end-to-end trace identifier the logical transfer minted; a zero id
+// (tracing unavailable) leaves the event uncorrelated.
+func (s *System) emitHop0(id wire.SessionID, tid wire.TraceID, src int, kind string, e obs.Event) {
 	e.Kind = kind
 	e.Session = id.String()
+	if !tid.IsZero() {
+		e.Trace = tid.String()
+	}
 	e.Hop = 0
 	e.Node = s.endpoints[src].String()
 	obs.Emit(s.cfg.Trace, e)
+}
+
+// mintTrace draws the end-to-end trace identifier of one logical
+// transfer. Tracing is best-effort: an entropy failure yields the zero
+// id (no correlation key) rather than failing the transfer.
+func mintTrace() wire.TraceID {
+	tid, err := wire.NewTraceID()
+	if err != nil {
+		return wire.TraceID{}
+	}
+	return tid
+}
+
+// traceOpt renders tid as the extra header options an initiator passes
+// to the lsl Open family: empty for a zero id, so untraced transfers
+// put nothing on the wire.
+func traceOpt(tid wire.TraceID) []wire.Option {
+	if tid.IsZero() {
+		return nil
+	}
+	return []wire.Option{wire.TraceIDOption(tid)}
 }
 
 func graphNode(i int) graph.NodeID { return graph.NodeID(i) }
@@ -154,7 +180,8 @@ func (s *System) transferAlong(path []int, size int64) (TransferResult, error) {
 	}
 
 	start := time.Now()
-	sess, err := lsl.Open(s.dialerFor(src), s.endpoints[src], s.endpoints[dst], route)
+	tid := mintTrace()
+	sess, err := lsl.Open(s.dialerFor(src), s.endpoints[src], s.endpoints[dst], route, traceOpt(tid)...)
 	if err != nil {
 		s.observeTransfer(TransferResult{}, err)
 		return TransferResult{}, err
@@ -163,18 +190,18 @@ func (s *System) transferAlong(path []int, size int64) (TransferResult, error) {
 	if len(path) > 2 {
 		first = path[1]
 	}
-	s.emitHop0(sess.ID(), src, obs.KindConnect, obs.Event{Peer: s.endpoints[first].String()})
+	s.emitHop0(sess.ID(), tid, src, obs.KindConnect, obs.Event{Peer: s.endpoints[first].String()})
 	ch := s.registerWaiter(sess.ID())
 	defer s.dropWaiter(sess.ID())
 
-	s.emitHop0(sess.ID(), src, obs.KindFirstByte, obs.Event{})
+	s.emitHop0(sess.ID(), tid, src, obs.KindFirstByte, obs.Event{})
 	werr := writeSessionPattern(sess, size)
 	sess.Close()
 	if werr != nil {
 		s.observeTransfer(TransferResult{}, werr)
 		return TransferResult{}, fmt.Errorf("core: send: %w", werr)
 	}
-	s.emitHop0(sess.ID(), src, obs.KindLastByte, obs.Event{Bytes: size})
+	s.emitHop0(sess.ID(), tid, src, obs.KindLastByte, obs.Event{Bytes: size})
 
 	select {
 	case res := <-ch:
@@ -244,23 +271,24 @@ func (s *System) TransferHopByHop(srcHost, dstHost string, size int64) (Transfer
 	if err != nil {
 		return TransferResult{}, err
 	}
-	sess, err := lsl.Wrap(conn, s.endpoints[si], s.endpoints[di])
+	tid := mintTrace()
+	sess, err := lsl.Wrap(conn, s.endpoints[si], s.endpoints[di], traceOpt(tid)...)
 	if err != nil {
 		s.observeTransfer(TransferResult{}, err)
 		return TransferResult{}, err
 	}
-	s.emitHop0(sess.ID(), si, obs.KindConnect, obs.Event{Peer: s.endpoints[first].String()})
+	s.emitHop0(sess.ID(), tid, si, obs.KindConnect, obs.Event{Peer: s.endpoints[first].String()})
 	ch := s.registerWaiter(sess.ID())
 	defer s.dropWaiter(sess.ID())
 
-	s.emitHop0(sess.ID(), si, obs.KindFirstByte, obs.Event{})
+	s.emitHop0(sess.ID(), tid, si, obs.KindFirstByte, obs.Event{})
 	if err := writeSessionPattern(sess, size); err != nil {
 		sess.Close()
 		s.observeTransfer(TransferResult{}, err)
 		return TransferResult{}, fmt.Errorf("core: hop-by-hop send: %w", err)
 	}
 	sess.Close()
-	s.emitHop0(sess.ID(), si, obs.KindLastByte, obs.Event{Bytes: size})
+	s.emitHop0(sess.ID(), tid, si, obs.KindLastByte, obs.Event{Bytes: size})
 
 	select {
 	case res := <-ch:
@@ -373,23 +401,24 @@ func (s *System) Multicast(srcHost string, dstHosts []string, size int64) (Multi
 	}
 
 	start := time.Now()
-	sess, err := lsl.OpenMulticast(s.dialerFor(si), s.endpoints[si], s.endpoints[si], root)
+	tid := mintTrace()
+	sess, err := lsl.OpenMulticast(s.dialerFor(si), s.endpoints[si], s.endpoints[si], root, traceOpt(tid)...)
 	if err != nil {
 		s.observeTransfer(TransferResult{}, err)
 		return MulticastResult{}, err
 	}
-	s.emitHop0(sess.ID(), si, obs.KindConnect, obs.Event{Peer: root.Addr.String()})
+	s.emitHop0(sess.ID(), tid, si, obs.KindConnect, obs.Event{Peer: root.Addr.String()})
 	ch := s.registerWaiter(sess.ID())
 	defer s.dropWaiter(sess.ID())
 
-	s.emitHop0(sess.ID(), si, obs.KindFirstByte, obs.Event{})
+	s.emitHop0(sess.ID(), tid, si, obs.KindFirstByte, obs.Event{})
 	if err := writeSessionPattern(sess, size); err != nil {
 		sess.Close()
 		s.observeTransfer(TransferResult{}, err)
 		return MulticastResult{}, fmt.Errorf("core: multicast send: %w", err)
 	}
 	sess.Close()
-	s.emitHop0(sess.ID(), si, obs.KindLastByte, obs.Event{Bytes: size})
+	s.emitHop0(sess.ID(), tid, si, obs.KindLastByte, obs.Event{Bytes: size})
 
 	leaves := root.Leaves()
 	var delivered int64

@@ -471,7 +471,14 @@ func (c *Controller) wireProbe(src, dst string) (float64, error) {
 		return 0, err
 	}
 	start := time.Now()
-	sess, err := lsl.OpenGenerate(c.cfg.Dial, c.cfg.Self, da, []wire.Endpoint{sa}, c.cfg.ProbeBytes)
+	// Each probe is its own traced transfer: the depot-side events it
+	// provokes correlate under one id, distinguishable from data
+	// traffic when timelines are assembled.
+	var extra []wire.Option
+	if tid, terr := wire.NewTraceID(); terr == nil {
+		extra = append(extra, wire.TraceIDOption(tid))
+	}
+	sess, err := lsl.OpenGenerate(c.cfg.Dial, c.cfg.Self, da, []wire.Endpoint{sa}, c.cfg.ProbeBytes, extra...)
 	if err != nil {
 		return 0, err
 	}

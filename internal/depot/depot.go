@@ -320,6 +320,7 @@ func (s *Server) logf(format string, args ...any) {
 type flow struct {
 	srv     *Server
 	id      string
+	trace   string // hex end-to-end trace id ("" when the header carried none)
 	hop     int
 	stripe  int               // 0-based stripe index (0 when unstriped)
 	stripes int               // header stripe count (1 when unstriped)
@@ -333,9 +334,10 @@ func (f *flow) emit(kind string, e obs.Event) {
 	}
 	e.Kind = kind
 	e.Session = f.id
+	e.Trace = f.trace
 	e.Hop = f.hop
 	if f.stripes > 1 {
-		e.Stripe = f.stripe
+		e.Stripe = obs.StripeOf(f.stripe)
 	}
 	e.Node = f.srv.cfg.Self.String()
 	obs.Emit(f.srv.cfg.Trace, e)
@@ -349,6 +351,7 @@ func (s *Server) track(f *flow, h *wire.Header, typ string, next wire.Endpoint) 
 	}
 	entry := &obs.SessionEntry{
 		ID:      h.Session.String(),
+		Trace:   f.trace,
 		Type:    typ,
 		Src:     h.Src.String(),
 		Dst:     h.Dst.String(),
@@ -438,6 +441,9 @@ func (s *Server) Handle(conn net.Conn) {
 	}
 	f := &flow{srv: s, id: h.Session.String(), hop: h.HopIndex() + 1,
 		stripe: h.StripeIndex(), stripes: h.StripeCount()}
+	if tid, ok := h.TraceID(); ok {
+		f.trace = tid.String()
+	}
 	if h.Type == wire.TypeControl {
 		// Control pushes bypass the load gate: a depot refusing data
 		// sessions under load must still be reachable by its controller,
@@ -650,6 +656,11 @@ func (s *Server) handleData(sess *lsl.Session, f *flow) error {
 func (s *Server) deliver(sess *lsl.Session, f *flow) error {
 	cc := &countedConn{Conn: sess.Conn, srv: s, f: f}
 	inner := &lsl.Session{Conn: cc, Header: sess.Header}
+	if off := sess.Header.ResumeOffset(); off > 0 {
+		// A continuation session lands mid-object: record where it
+		// resumes so the trace timeline shows the stitch point.
+		f.emit(obs.KindResume, obs.Event{Bytes: off})
+	}
 	var err error
 	if s.cfg.Local != nil {
 		err = s.cfg.Local(inner)

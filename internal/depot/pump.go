@@ -197,6 +197,10 @@ func (s *Server) handleMulticast(sess *lsl.Session, f *flow) error {
 			Dst:     child.Addr,
 			Options: []wire.Option{childOpt, wire.HopIndexOption(uint16(f.hopIndex()))},
 		}
+		if topt, ok := sess.Header.Option(wire.OptTraceID); ok {
+			// The trace id rides every branch of the staging tree.
+			fh.AddOption(topt)
+		}
 		if err := wire.WriteHeader(out, fh); err != nil {
 			return err
 		}
@@ -213,7 +217,7 @@ func (s *Server) handleMulticast(sess *lsl.Session, f *flow) error {
 		inner := &lsl.Session{Conn: pipeConn{PipeReader: pr}, Header: sess.Header}
 		// The pump already records this flow's progress; give delivery
 		// an entry-less clone so session-table bytes aren't doubled.
-		fd := &flow{srv: s, id: f.id, hop: f.hopIndex()}
+		fd := &flow{srv: s, id: f.id, trace: f.trace, hop: f.hopIndex()}
 		go func() { localDone <- s.deliver(inner, fd) }()
 		writers = append(writers, pw)
 	}

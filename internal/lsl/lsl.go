@@ -77,8 +77,23 @@ func (s *Session) ID() wire.SessionID { return s.Header.Session }
 // dials the first hop, writes the session header carrying the remaining
 // route, and returns the session ready for payload writes. Closing the
 // session propagates end-of-stream down the chain.
-func Open(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint) (*Session, error) {
-	return open(d, src, dst, route, wire.TypeData, nil)
+//
+// Extra options (here and on the whole Open family) are appended to the
+// header verbatim — the hook initiators thread end-to-end metadata such
+// as wire.TraceIDOption through without the session layer knowing it.
+func Open(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, extra ...wire.Option) (*Session, error) {
+	return open(d, src, dst, route, wire.TypeData, cloneOpts(nil, extra))
+}
+
+// cloneOpts appends extra to a fresh copy of opts, so the variadic
+// slice a caller may reuse is never aliased into a header.
+func cloneOpts(opts, extra []wire.Option) []wire.Option {
+	if len(extra) == 0 {
+		return opts
+	}
+	out := make([]wire.Option, 0, len(opts)+len(extra))
+	out = append(out, opts...)
+	return append(out, extra...)
 }
 
 // OpenAt is Open for a resumed transfer: the session header carries a
@@ -86,7 +101,7 @@ func Open(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint) (*Session, er
 // given absolute byte offset. Depots forward the option untouched; the
 // sink appends from that offset instead of restarting. An offset of 0
 // is identical to Open.
-func OpenAt(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, offset int64) (*Session, error) {
+func OpenAt(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, offset int64, extra ...wire.Option) (*Session, error) {
 	if offset < 0 {
 		return nil, fmt.Errorf("lsl: negative resume offset %d", offset)
 	}
@@ -94,7 +109,7 @@ func OpenAt(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, offset int6
 	if offset > 0 {
 		opts = []wire.Option{wire.ResumeOffsetOption(uint64(offset))}
 	}
-	return open(d, src, dst, route, wire.TypeData, opts)
+	return open(d, src, dst, route, wire.TypeData, cloneOpts(opts, extra))
 }
 
 // OpenStripe opens one stripe of a striped transfer: stripe index of
@@ -105,7 +120,7 @@ func OpenAt(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, offset int6
 // with exactly the machinery of a resumed transfer and reassemble by
 // absolute offset. A failed stripe is reopened with the same id and
 // index and a deeper offset; its siblings are untouched.
-func OpenStripe(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, id wire.SessionID, index, count int, offset int64) (*Session, error) {
+func OpenStripe(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, id wire.SessionID, index, count int, offset int64, extra ...wire.Option) (*Session, error) {
 	if count < 1 || index < 0 || index >= count {
 		return nil, fmt.Errorf("lsl: stripe %d of %d out of range", index, count)
 	}
@@ -122,7 +137,7 @@ func OpenStripe(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, id wire
 	if offset > 0 {
 		opts = append(opts, wire.ResumeOffsetOption(uint64(offset)))
 	}
-	return openWithID(d, id, src, dst, route, wire.TypeData, opts)
+	return openWithID(d, id, src, dst, route, wire.TypeData, cloneOpts(opts, extra))
 }
 
 // TimeoutDialer bounds each Dial through d to the given timeout,
@@ -162,9 +177,9 @@ func TimeoutDialer(d Dialer, timeout time.Duration) Dialer {
 // the paper's "mechanism that requests a depot to generate some amount
 // of arbitrary data". The returned session carries no payload from the
 // initiator; it reads the depot's completion close.
-func OpenGenerate(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, size uint64) (*Session, error) {
+func OpenGenerate(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, size uint64, extra ...wire.Option) (*Session, error) {
 	gen := wire.GenerateOption(size)
-	return open(d, src, dst, route, wire.TypeGenerate, []wire.Option{gen})
+	return open(d, src, dst, route, wire.TypeGenerate, cloneOpts([]wire.Option{gen}, extra))
 }
 
 // OpenChecked is Open followed by a short listen for a refusal: the
@@ -173,8 +188,8 @@ func OpenGenerate(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, size 
 // given grace period for a TypeRefuse response before streaming.
 // ErrRefused is returned when the depot declined; a quiet wire means
 // the session is accepted.
-func OpenChecked(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, grace time.Duration) (*Session, error) {
-	sess, err := Open(d, src, dst, route)
+func OpenChecked(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, grace time.Duration, extra ...wire.Option) (*Session, error) {
+	sess, err := Open(d, src, dst, route, extra...)
 	if err != nil {
 		return nil, err
 	}
@@ -200,8 +215,8 @@ func OpenChecked(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, grace 
 // the route but the final depot (dst) holds it instead of delivering,
 // keyed by the returned session's id. A receiver that learns the id
 // retrieves it with Fetch — the paper's asynchronous mode.
-func OpenStore(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint) (*Session, error) {
-	return open(d, src, dst, route, wire.TypeStore, nil)
+func OpenStore(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, extra ...wire.Option) (*Session, error) {
+	return open(d, src, dst, route, wire.TypeStore, cloneOpts(nil, extra))
 }
 
 // Fetch retrieves the payload stored under id at the given depot. It
@@ -240,7 +255,7 @@ func Fetch(d Dialer, self, depotAddr wire.Endpoint, id wire.SessionID) (*Session
 // out to every leaf of the tree. The tree's root must be the first hop
 // to dial; dst conventionally names the initiator's primary sink and is
 // informational for multicast sessions.
-func OpenMulticast(d Dialer, src, dst wire.Endpoint, tree *wire.TreeNode) (*Session, error) {
+func OpenMulticast(d Dialer, src, dst wire.Endpoint, tree *wire.TreeNode, extra ...wire.Option) (*Session, error) {
 	opt, err := wire.MulticastTreeOption(tree)
 	if err != nil {
 		return nil, fmt.Errorf("lsl: %w", err)
@@ -250,7 +265,7 @@ func OpenMulticast(d Dialer, src, dst wire.Endpoint, tree *wire.TreeNode) (*Sess
 	if err != nil {
 		return nil, fmt.Errorf("lsl: dial %s: %w", tree.Addr, err)
 	}
-	sess, err := start(conn, src, dst, wire.TypeMulticast, []wire.Option{opt})
+	sess, err := start(conn, src, dst, wire.TypeMulticast, cloneOpts([]wire.Option{opt}, extra))
 	if err == nil {
 		observeSetup(t0)
 	}
@@ -309,12 +324,12 @@ func openWithID(d Dialer, id wire.SessionID, src, dst wire.Endpoint, route []wir
 // connection with no source route: the header names only src and dst,
 // leaving every forwarding decision to depot route tables (the paper's
 // hop-by-hop mode).
-func Wrap(conn net.Conn, src, dst wire.Endpoint) (*Session, error) {
+func Wrap(conn net.Conn, src, dst wire.Endpoint, extra ...wire.Option) (*Session, error) {
 	if dst.IsZero() {
 		conn.Close()
 		return nil, errors.New("lsl: zero destination endpoint")
 	}
-	return start(conn, src, dst, wire.TypeData, nil)
+	return start(conn, src, dst, wire.TypeData, cloneOpts(nil, extra))
 }
 
 func start(conn net.Conn, src, dst wire.Endpoint, typ uint16, opts []wire.Option) (*Session, error) {

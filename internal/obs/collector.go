@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Collector assembles per-trace timelines from events pushed by depots
+// and initiators — the central end of the distributed tracing path.
+// Events arrive through Emit (it is a Sink, so it can sit directly in a
+// MultiSink next to a JSON file) or through Ingest (the HTTP POST body
+// of a depot's PushSink batch). A bounded queue decouples ingestion
+// from assembly: when the queue is full Emit drops and counts instead
+// of blocking, so a slow collector can never stall a depot pump.
+//
+// Events are correlated by their Trace field; events without one (from
+// senders predating trace propagation) fall back to the session id, so
+// they still group per session rather than vanishing.
+type Collector struct {
+	ch    chan Event
+	flush chan chan struct{}
+	done  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+
+	drops atomic.Int64
+	dropC atomic.Pointer[Counter]
+
+	mu     sync.Mutex
+	traces map[string]*traceRec
+}
+
+// traceRec accumulates one trace's events in arrival order.
+type traceRec struct {
+	events []Event
+}
+
+// DefaultCollectorQueue is the event queue depth a Collector uses when
+// NewCollector is given a non-positive size.
+const DefaultCollectorQueue = 4096
+
+// NewCollector returns a running collector whose ingestion queue holds
+// queue events (DefaultCollectorQueue when <= 0). Close releases its
+// worker.
+func NewCollector(queue int) *Collector {
+	if queue <= 0 {
+		queue = DefaultCollectorQueue
+	}
+	c := &Collector{
+		ch:     make(chan Event, queue),
+		flush:  make(chan chan struct{}),
+		done:   make(chan struct{}),
+		traces: make(map[string]*traceRec),
+	}
+	c.wg.Add(1)
+	go c.run()
+	return c
+}
+
+// CountDrops mirrors queue-overflow drops into ctr (typically
+// Registry.Counter(MetricTraceDrops)) and returns the collector for
+// chaining.
+func (c *Collector) CountDrops(ctr *Counter) *Collector {
+	c.dropC.Store(ctr)
+	return c
+}
+
+// Drops returns the number of events lost to queue overflow.
+func (c *Collector) Drops() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.drops.Load()
+}
+
+// Emit implements Sink: the event is queued for assembly, or dropped
+// and counted when the queue is full. It never blocks.
+func (c *Collector) Emit(e Event) {
+	if c == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	select {
+	case c.ch <- e:
+	default:
+		c.drops.Add(1)
+		c.dropC.Load().Inc()
+	}
+}
+
+// Ingest reads JSON-encoded events from r — one object per line, the
+// JSONSink/PushSink wire format — and queues each for assembly. It
+// returns the number of events read; a malformed line aborts with an
+// error (events before it are already queued).
+func (c *Collector) Ingest(r io.Reader) (int, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	n := 0
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return n, nil
+		} else if err != nil {
+			return n, fmt.Errorf("obs: ingest event %d: %w", n+1, err)
+		}
+		c.Emit(e)
+		n++
+	}
+}
+
+// Sync blocks until every event queued before the call is assembled —
+// the determinism hook tests and scrapes use before reading timelines.
+func (c *Collector) Sync() {
+	if c == nil {
+		return
+	}
+	ack := make(chan struct{})
+	select {
+	case c.flush <- ack:
+		<-ack
+	case <-c.done:
+	}
+}
+
+// Close stops the assembly worker. Queued events are drained first;
+// Emit after Close drops silently.
+func (c *Collector) Close() {
+	c.once.Do(func() { close(c.done) })
+	c.wg.Wait()
+}
+
+// run is the assembly worker: it owns all map writes.
+func (c *Collector) run() {
+	defer c.wg.Done()
+	for {
+		select {
+		case e := <-c.ch:
+			c.ingest(e)
+		case ack := <-c.flush:
+			c.drain()
+			close(ack)
+		case <-c.done:
+			c.drain()
+			return
+		}
+	}
+}
+
+// drain absorbs everything currently queued without blocking.
+func (c *Collector) drain() {
+	for {
+		select {
+		case e := <-c.ch:
+			c.ingest(e)
+		default:
+			return
+		}
+	}
+}
+
+// key returns the correlation key events group under.
+func key(e Event) string {
+	if e.Trace != "" {
+		return e.Trace
+	}
+	return e.Session
+}
+
+func (c *Collector) ingest(e Event) {
+	k := key(e)
+	if k == "" {
+		return // no correlation key at all: nothing to assemble under
+	}
+	c.mu.Lock()
+	rec := c.traces[k]
+	if rec == nil {
+		rec = &traceRec{}
+		c.traces[k] = rec
+	}
+	rec.events = append(rec.events, e)
+	c.mu.Unlock()
+}
+
+// TraceSummary is the /traces list entry for one assembled trace.
+type TraceSummary struct {
+	// Trace is the correlation key (the trace id, or the session id for
+	// events that carried none).
+	Trace string `json:"trace"`
+	// Events counts the events assembled so far.
+	Events int `json:"events"`
+	// Sessions counts the distinct session ids seen — 1 for a clean
+	// transfer, more when retries or failover reroutes spawned
+	// continuation sessions.
+	Sessions int `json:"sessions"`
+	// Hops is the deepest hop index seen.
+	Hops int `json:"hops"`
+	// Stripes counts distinct stripe indices (0 when unstriped).
+	Stripes int `json:"stripes"`
+	// Retries and Failovers count recovery events in the timeline.
+	Retries   int `json:"retries"`
+	Failovers int `json:"failovers"`
+	// Errors counts error and refused events.
+	Errors int `json:"errors"`
+	// Bytes is the largest delivered byte count reported at the sink,
+	// or, when the timeline has no deliver event (e.g. a sender-only
+	// trace file), the largest last-byte count.
+	Bytes int64 `json:"bytes"`
+	// Start and End bound the timeline in wall-clock time.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// Summaries lists every assembled trace, most recent first. Call Sync
+// first for a read that includes everything already emitted.
+func (c *Collector) Summaries() []TraceSummary {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	out := make([]TraceSummary, 0, len(c.traces))
+	for k, rec := range c.traces {
+		out = append(out, summarize(k, rec.events))
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.After(out[j].Start)
+		}
+		return out[i].Trace < out[j].Trace
+	})
+	return out
+}
+
+func summarize(k string, events []Event) TraceSummary {
+	s := TraceSummary{Trace: k, Events: len(events)}
+	sessions := map[string]bool{}
+	stripes := map[int]bool{}
+	var delivered, lastByte int64
+	for _, e := range events {
+		if e.Session != "" {
+			sessions[e.Session] = true
+		}
+		if e.Hop > s.Hops {
+			s.Hops = e.Hop
+		}
+		if idx, ok := e.StripeIndex(); ok {
+			stripes[idx] = true
+		}
+		switch e.Kind {
+		case KindRetry:
+			s.Retries++
+		case KindFailover:
+			s.Failovers++
+		case KindError, KindRefused:
+			s.Errors++
+		case KindDeliver:
+			if e.Bytes > delivered {
+				delivered = e.Bytes
+			}
+		case KindLastByte:
+			if e.Bytes > lastByte {
+				lastByte = e.Bytes
+			}
+		}
+		if s.Start.IsZero() || e.Time.Before(s.Start) {
+			s.Start = e.Time
+		}
+		if e.Time.After(s.End) {
+			s.End = e.Time
+		}
+	}
+	s.Bytes = delivered
+	if delivered == 0 {
+		s.Bytes = lastByte
+	}
+	s.Sessions = len(sessions)
+	s.Stripes = len(stripes)
+	return s
+}
+
+// TraceTimeline is the /traces/{id} view: the causally ordered events
+// of one logical transfer plus the per-hop span breakdown.
+type TraceTimeline struct {
+	// Summary aggregates the timeline.
+	Summary TraceSummary `json:"summary"`
+	// Events is the full event list ordered by time (ties keep arrival
+	// order, which preserves causality within one emitter).
+	Events []Event `json:"events"`
+	// Spans is the per-sublink breakdown, ordered by stripe then hop.
+	Spans []HopSpan `json:"spans"`
+}
+
+// Timeline assembles the ordered timeline of one trace. The boolean
+// reports whether the collector has seen the trace at all. Call Sync
+// first for a read that includes everything already emitted.
+func (c *Collector) Timeline(trace string) (TraceTimeline, bool) {
+	if c == nil {
+		return TraceTimeline{}, false
+	}
+	c.mu.Lock()
+	rec := c.traces[trace]
+	var events []Event
+	if rec != nil {
+		events = append([]Event(nil), rec.events...)
+	}
+	c.mu.Unlock()
+	if events == nil {
+		return TraceTimeline{}, false
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+	return TraceTimeline{
+		Summary: summarize(trace, events),
+		Events:  events,
+		Spans:   Spans(events),
+	}, true
+}

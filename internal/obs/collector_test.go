@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCollectorAssemblesByTraceAcrossSessions(t *testing.T) {
+	c := NewCollector(0)
+	defer c.Close()
+	base := time.Date(2004, 11, 6, 0, 0, 0, 0, time.UTC)
+
+	// One logical transfer: session s1 dies, continuation s2 resumes —
+	// both carry the same trace id.
+	c.Emit(Event{Time: base, Trace: "t1", Session: "s1", Hop: 0, Kind: KindConnect})
+	c.Emit(Event{Time: base.Add(time.Second), Trace: "t1", Session: "s1", Hop: 0, Kind: KindRetry})
+	c.Emit(Event{Time: base.Add(2 * time.Second), Trace: "t1", Session: "s2", Hop: 0, Kind: KindConnect})
+	c.Emit(Event{Time: base.Add(3 * time.Second), Trace: "t1", Session: "s2", Hop: 1, Kind: KindDeliver, Bytes: 4096})
+	// An unrelated untraced event groups under its session id.
+	c.Emit(Event{Time: base, Session: "legacy", Kind: KindAccept})
+	c.Sync()
+
+	sums := c.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	tl, ok := c.Timeline("t1")
+	if !ok {
+		t.Fatal("trace t1 not found")
+	}
+	s := tl.Summary
+	if s.Events != 4 || s.Sessions != 2 || s.Retries != 1 || s.Bytes != 4096 || s.Hops != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	for i := 1; i < len(tl.Events); i++ {
+		if tl.Events[i].Time.Before(tl.Events[i-1].Time) {
+			t.Fatalf("timeline out of order at %d: %+v", i, tl.Events)
+		}
+	}
+	if _, ok := c.Timeline("legacy"); !ok {
+		t.Fatal("untraced events lost their session-keyed timeline")
+	}
+	if _, ok := c.Timeline("nope"); ok {
+		t.Fatal("unknown trace reported found")
+	}
+}
+
+func TestCollectorOverflowDropsAndCounts(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(1).CountDrops(reg.Counter(MetricTraceDrops))
+	// Stall the worker with a flush so queued events pile up: fill the
+	// 1-slot queue, then overflow it.
+	c.mu.Lock() // block ingest inside the worker
+	c.Emit(Event{Trace: "t", Kind: KindAccept})
+	for i := 0; i < 50; i++ {
+		c.Emit(Event{Trace: "t", Kind: KindSample})
+	}
+	c.mu.Unlock()
+	c.Close()
+	if c.Drops() == 0 {
+		t.Fatal("overflow never dropped")
+	}
+	if got := reg.Counter(MetricTraceDrops).Value(); got != c.Drops() {
+		t.Fatalf("counter = %d, drops = %d", got, c.Drops())
+	}
+	// Nothing vanished silently: kept + dropped = emitted.
+	tl, _ := c.Timeline("t")
+	if int64(tl.Summary.Events)+c.Drops() != 51 {
+		t.Fatalf("kept %d + dropped %d != emitted 51", tl.Summary.Events, c.Drops())
+	}
+}
+
+func TestCollectorIngestJSONL(t *testing.T) {
+	c := NewCollector(0)
+	defer c.Close()
+	in := `{"t":"2004-11-06T00:00:00Z","session":"s","trace":"t9","hop":1,"kind":"accept"}
+{"t":"2004-11-06T00:00:01Z","session":"s","trace":"t9","hop":1,"kind":"deliver","bytes":77}
+`
+	n, err := c.Ingest(strings.NewReader(in))
+	if err != nil || n != 2 {
+		t.Fatalf("Ingest = %d, %v", n, err)
+	}
+	c.Sync()
+	tl, ok := c.Timeline("t9")
+	if !ok || tl.Summary.Bytes != 77 {
+		t.Fatalf("timeline = %+v, ok = %v", tl, ok)
+	}
+
+	if _, err := c.Ingest(strings.NewReader("{not json}")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestCollectorNilSafe(t *testing.T) {
+	var c *Collector
+	c.Emit(Event{Kind: KindAccept}) // must not panic
+	c.Sync()
+	if c.Drops() != 0 || c.Summaries() != nil {
+		t.Fatal("nil collector not inert")
+	}
+	if _, ok := c.Timeline("x"); ok {
+		t.Fatal("nil collector found a trace")
+	}
+}
+
+func TestCollectorSyncIsDeterministic(t *testing.T) {
+	c := NewCollector(0)
+	defer c.Close()
+	for i := 0; i < 1000; i++ {
+		c.Emit(Event{Trace: "t", Kind: KindSample})
+	}
+	c.Sync()
+	tl, _ := c.Timeline("t")
+	if tl.Summary.Events != 1000 {
+		t.Fatalf("after Sync, %d of 1000 events assembled", tl.Summary.Events)
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get fetches a path with optional Accept header and returns status,
+// content type, and body.
+func get(t *testing.T, srv *httptest.Server, path, accept string) (int, string, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestHandlerMetricsContentNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("negotiated_total").Add(9)
+	srv := httptest.NewServer(NewHandler(HandlerConfig{Registry: reg}))
+	defer srv.Close()
+
+	// Query parameter wins and is exclusive: format=prom with a JSON
+	// Accept header still returns Prometheus text.
+	cases := []struct {
+		path, accept string
+		wantType     string
+		wantBody     string
+	}{
+		{"/metrics", "", "text/plain", "negotiated_total 9"},
+		{"/metrics?format=json", "", "application/json", `"negotiated_total": 9`},
+		{"/metrics?format=prom", "application/json", "version=0.0.4", "# TYPE negotiated_total counter"},
+		{"/metrics", "application/json", "application/json", `"negotiated_total": 9`},
+		{"/metrics", "application/openmetrics-text", "version=0.0.4", "# TYPE negotiated_total counter"},
+		{"/metrics", "text/plain; version=0.0.4", "version=0.0.4", "negotiated_total 9"},
+		{"/metrics?format=text", "application/json", "text/plain", "negotiated_total 9"},
+	}
+	for _, tc := range cases {
+		status, ctype, body := get(t, srv, tc.path, tc.accept)
+		if status != 200 {
+			t.Fatalf("GET %s (Accept %q): status %d", tc.path, tc.accept, status)
+		}
+		if !strings.Contains(ctype, tc.wantType) {
+			t.Fatalf("GET %s (Accept %q): content type %q, want %q", tc.path, tc.accept, ctype, tc.wantType)
+		}
+		if !strings.Contains(body, tc.wantBody) {
+			t.Fatalf("GET %s (Accept %q): body %q missing %q", tc.path, tc.accept, body, tc.wantBody)
+		}
+	}
+}
+
+func TestHandlerTraceRoutes(t *testing.T) {
+	col := NewCollector(0)
+	defer col.Close()
+	srv := httptest.NewServer(NewHandler(HandlerConfig{Collector: col}))
+	defer srv.Close()
+
+	// Ingest a two-event trace through the POST route.
+	body := `{"t":"2004-11-06T00:00:00Z","session":"s","trace":"tid1","hop":0,"kind":"connect"}
+{"t":"2004-11-06T00:00:02Z","session":"s","trace":"tid1","hop":1,"kind":"deliver","bytes":512}
+`
+	resp, err := srv.Client().Post(srv.URL+"/traces/ingest", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+
+	status, _, listBody := get(t, srv, "/traces", "")
+	var sums []TraceSummary
+	if status != 200 {
+		t.Fatalf("/traces status = %d", status)
+	}
+	if err := json.Unmarshal([]byte(listBody), &sums); err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 || sums[0].Trace != "tid1" || sums[0].Events != 2 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+
+	status, _, tlBody := get(t, srv, "/traces/tid1", "")
+	if status != 200 {
+		t.Fatalf("/traces/tid1 status = %d", status)
+	}
+	var tl TraceTimeline
+	if err := json.Unmarshal([]byte(tlBody), &tl); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Summary.Bytes != 512 || len(tl.Events) != 2 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+
+	if status, _, _ := get(t, srv, "/traces/absent", ""); status != 404 {
+		t.Fatalf("unknown trace status = %d", status)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/traces/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET ingest status = %d", resp.StatusCode)
+	}
+	resp, err = srv.Client().Post(srv.URL+"/traces/ingest", "application/x-ndjson", strings.NewReader("{bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad ingest status = %d", resp.StatusCode)
+	}
+}
+
+func TestHandlerTracesAbsentWithoutCollector(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(HandlerConfig{}))
+	defer srv.Close()
+	if status, _, _ := get(t, srv, "/traces", ""); status != 404 {
+		t.Fatalf("/traces without collector: status %d", status)
+	}
+	if status, _, _ := get(t, srv, "/traces/x", ""); status != 404 {
+		t.Fatalf("/traces/x without collector: status %d", status)
+	}
+}
+
+func TestHandlerPprofOptIn(t *testing.T) {
+	off := httptest.NewServer(NewHandler(HandlerConfig{}))
+	defer off.Close()
+	if status, _, _ := get(t, off, "/debug/pprof/", ""); status != 404 {
+		t.Fatalf("pprof served without opt-in: status %d", status)
+	}
+
+	on := httptest.NewServer(NewHandler(HandlerConfig{Pprof: true}))
+	defer on.Close()
+	status, _, body := get(t, on, "/debug/pprof/", "")
+	if status != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d, body %q", status, body)
+	}
+}
+
+func TestHandlerIndexListsConfiguredRoutes(t *testing.T) {
+	col := NewCollector(0)
+	defer col.Close()
+	srv := httptest.NewServer(NewHandler(HandlerConfig{Collector: col, Pprof: true}))
+	defer srv.Close()
+	_, _, body := get(t, srv, "/", "")
+	for _, want := range []string{"/metrics?format=prom", "/traces", "/debug/pprof/"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("index missing %q:\n%s", want, body)
+		}
+	}
+}

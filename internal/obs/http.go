@@ -3,55 +3,172 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 )
 
-// Handler serves the debug endpoints over the given registry and
-// session table (either may be nil):
+// HandlerConfig selects what the debug handler exposes. Any field may
+// be nil/false; the corresponding routes then answer 404 (or, for
+// /metrics and /sessions, serve empty views).
+type HandlerConfig struct {
+	// Registry backs /metrics.
+	Registry *Registry
+	// Sessions backs /sessions.
+	Sessions *SessionTable
+	// Collector backs the trace routes: GET /traces, GET /traces/{id},
+	// and POST /traces/ingest (the PushSink target).
+	Collector *Collector
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true. Off by
+	// default: profiling endpoints are opt-in even on a debug listener.
+	Pprof bool
+}
+
+// NewHandler serves the debug endpoints for the configured components:
 //
-//	GET /metrics               flat text, one metric per line
-//	GET /metrics?format=json   full Snapshot as JSON
-//	GET /sessions              in-flight session table as JSON
-//	GET /                      plain-text index
+//	GET  /metrics                 flat text, one metric per line
+//	GET  /metrics?format=json     full Snapshot as JSON
+//	GET  /metrics?format=prom     Prometheus text exposition
+//	GET  /sessions                in-flight session table as JSON
+//	GET  /traces                  assembled trace summaries as JSON
+//	GET  /traces/{id}             one trace's timeline + hop spans
+//	POST /traces/ingest           NDJSON event batch (PushSink target)
+//	GET  /debug/pprof/...         runtime profiles (when Pprof is set)
+//	GET  /                        plain-text index
 //
-// It is intended for a loopback or operations network; it exposes no
-// mutating routes.
-func Handler(reg *Registry, sessions *SessionTable) http.Handler {
+// Format negotiation accepts either the ?format= query parameter or the
+// Accept header ("application/json", or "application/openmetrics-text"
+// / "text/plain; version=0.0.4" for the Prometheus form). It is
+// intended for a loopback or operations network; /traces/ingest is the
+// only mutating route.
+func NewHandler(cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		snap := reg.Snapshot()
-		if wantsJSON(r) {
+		snap := cfg.Registry.Snapshot()
+		switch {
+		case wantsJSON(r):
 			w.Header().Set("Content-Type", "application/json")
 			_ = snap.WriteJSON(w)
-			return
+		case wantsProm(r):
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = snap.WriteProm(w)
+		default:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = snap.WriteText(w)
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_ = snap.WriteText(w)
 	})
 	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		infos := sessions.Snapshot()
+		infos := cfg.Sessions.Snapshot()
 		if infos == nil {
 			infos = []SessionInfo{}
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(infos)
+		writeJSON(w, infos)
 	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Collector == nil {
+			http.NotFound(w, r)
+			return
+		}
+		cfg.Collector.Sync()
+		sums := cfg.Collector.Summaries()
+		if sums == nil {
+			sums = []TraceSummary{}
+		}
+		writeJSON(w, sums)
+	})
+	mux.HandleFunc("/traces/", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Collector == nil {
+			http.NotFound(w, r)
+			return
+		}
+		rest := strings.TrimPrefix(r.URL.Path, "/traces/")
+		if rest == "ingest" {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			n, err := cfg.Collector.Ingest(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, map[string]int{"ingested": n})
+			return
+		}
+		if rest == "" || strings.Contains(rest, "/") {
+			http.NotFound(w, r)
+			return
+		}
+		cfg.Collector.Sync()
+		tl, ok := cfg.Collector.Timeline(rest)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, tl)
+	})
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("lsl debug endpoints:\n  /metrics\n  /metrics?format=json\n  /sessions\n"))
+		index := "lsl debug endpoints:\n  /metrics\n  /metrics?format=json\n  /metrics?format=prom\n  /sessions\n"
+		if cfg.Collector != nil {
+			index += "  /traces\n  /traces/{id}\n  /traces/ingest (POST)\n"
+		}
+		if cfg.Pprof {
+			index += "  /debug/pprof/\n"
+		}
+		_, _ = w.Write([]byte(index))
 	})
 	return mux
 }
 
+// Handler serves the classic metrics + sessions endpoints — it is
+// NewHandler without trace collection or profiling, kept for callers
+// predating those.
+func Handler(reg *Registry, sessions *SessionTable) http.Handler {
+	return NewHandler(HandlerConfig{Registry: reg, Sessions: sessions})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// wantsJSON reports whether the request asked for JSON, by query
+// parameter (?format=json) or Accept header.
 func wantsJSON(r *http.Request) bool {
 	if r.URL.Query().Get("format") == "json" {
 		return true
 	}
+	if r.URL.Query().Get("format") != "" {
+		return false
+	}
 	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
+// wantsProm reports whether the request asked for the Prometheus text
+// exposition, by query parameter (?format=prom) or Accept header (the
+// OpenMetrics type, or text/plain with the 0.0.4 version parameter a
+// Prometheus scraper sends).
+func wantsProm(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prom" {
+		return true
+	}
+	if r.URL.Query().Get("format") != "" {
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/openmetrics-text") ||
+		(strings.Contains(accept, "text/plain") && strings.Contains(accept, "version=0.0.4"))
 }

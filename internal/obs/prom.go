@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): `# TYPE` metadata per family, counters and
+// gauges as bare samples, histograms as cumulative `_bucket{le=...}`
+// series ending in `+Inf` plus `_sum` and `_count`. Metric names are
+// sanitized to the Prometheus grammar (invalid runes become `_`), so
+// the output scrapes cleanly regardless of registry naming.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		// Prometheus buckets are cumulative; the snapshot's are
+		// per-bucket, so accumulate while writing.
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = promFloat(b.UpperBound)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a registry metric name onto the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*, replacing anything else with `_`.
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float the way Prometheus expects (shortest
+// round-trip representation; infinities as +Inf/-Inf).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWritePromFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("depot_sessions_total").Add(7)
+	reg.Gauge("depot_occupancy_bytes").Set(-3)
+	h := reg.Histogram("chunk_seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := reg.Snapshot().WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE depot_sessions_total counter",
+		"depot_sessions_total 7",
+		"# TYPE depot_occupancy_bytes gauge",
+		"depot_occupancy_bytes -3",
+		"# TYPE chunk_seconds histogram",
+		`chunk_seconds_bucket{le="+Inf"} 3`,
+		"chunk_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Buckets must be cumulative and monotonically non-decreasing, with
+	// +Inf equal to the total count.
+	var last int64 = -1
+	var infCount int64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "chunk_seconds_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		n, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("buckets not cumulative: %q after %d", line, last)
+		}
+		last = n
+		if strings.Contains(line, "+Inf") {
+			infCount = n
+		}
+	}
+	if infCount != 3 {
+		t.Fatalf("+Inf bucket = %d, want total 3", infCount)
+	}
+
+	// Every non-comment line must be `name{labels} value` with a valid
+	// Prometheus metric name — the grammar a scraper enforces.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unclosed label set in %q", line)
+			}
+			name = name[:i]
+		}
+		if promName(name) != name {
+			t.Fatalf("invalid metric name %q", name)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"depot_bytes_total": "depot_bytes_total",
+		"weird-name.1":      "weird_name_1",
+		"1starts_digit":     "_starts_digit",
+		"":                  "_",
+		"ns:metric":         "ns:metric",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PushConfig configures a PushSink.
+type PushConfig struct {
+	// URL is the collector ingest endpoint (e.g.
+	// http://ctl-host:7500/traces/ingest). Required.
+	URL string
+	// BatchSize is the number of events per POST (DefaultPushBatch when
+	// <= 0). A batch is also flushed when FlushInterval elapses with
+	// events pending, so a trickle of events still arrives promptly.
+	BatchSize int
+	// FlushInterval bounds how long a partial batch waits
+	// (DefaultPushFlush when <= 0).
+	FlushInterval time.Duration
+	// Queue is the sink's buffered-event capacity (DefaultPushQueue when
+	// <= 0). Emit drops and counts when it is full: a dead collector
+	// must never stall the depot data path.
+	Queue int
+	// Client is the HTTP client to POST with (http.DefaultClient when
+	// nil).
+	Client *http.Client
+}
+
+// Defaults for PushConfig's tunables.
+const (
+	DefaultPushBatch = 64
+	DefaultPushFlush = time.Second
+	DefaultPushQueue = 1024
+)
+
+// PushSink ships trace events to a remote Collector as batched
+// newline-delimited JSON POSTs — the depot-side half of distributed
+// tracing. Emit enqueues without blocking (full queue → drop and
+// count); a background worker batches and POSTs. Failed POSTs drop the
+// batch and count each event: the collector is best-effort by design,
+// and the local JSONSink (when configured) remains the lossless record.
+type PushSink struct {
+	cfg   PushConfig
+	ch    chan Event
+	done  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+	drops atomic.Int64
+	dropC atomic.Pointer[Counter]
+}
+
+// NewPushSink starts a push sink for the given config.
+func NewPushSink(cfg PushConfig) *PushSink {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultPushBatch
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = DefaultPushFlush
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = DefaultPushQueue
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	s := &PushSink{
+		cfg:  cfg,
+		ch:   make(chan Event, cfg.Queue),
+		done: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.run()
+	return s
+}
+
+// CountDrops mirrors dropped events into ctr (typically
+// Registry.Counter(MetricTraceDrops)) and returns the sink for
+// chaining.
+func (s *PushSink) CountDrops(ctr *Counter) *PushSink {
+	s.dropC.Store(ctr)
+	return s
+}
+
+// Drops returns the number of events lost to queue overflow or failed
+// POSTs.
+func (s *PushSink) Drops() int64 { return s.drops.Load() }
+
+// Emit implements Sink: enqueue without blocking, drop and count on a
+// full queue.
+func (s *PushSink) Emit(e Event) {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	select {
+	case s.ch <- e:
+	default:
+		s.drop(1)
+	}
+}
+
+// Close flushes pending events and stops the worker. Emit after Close
+// drops silently.
+func (s *PushSink) Close() {
+	s.once.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+func (s *PushSink) drop(n int64) {
+	s.drops.Add(n)
+	s.dropC.Load().Add(n)
+}
+
+func (s *PushSink) run() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.FlushInterval)
+	defer ticker.Stop()
+	batch := make([]Event, 0, s.cfg.BatchSize)
+	flush := func() {
+		if len(batch) > 0 {
+			s.post(batch)
+			batch = batch[:0]
+		}
+	}
+	for {
+		select {
+		case e := <-s.ch:
+			batch = append(batch, e)
+			if len(batch) >= s.cfg.BatchSize {
+				flush()
+			}
+		case <-ticker.C:
+			flush()
+		case <-s.done:
+			// Drain what is already queued, then ship the final batch.
+			for {
+				select {
+				case e := <-s.ch:
+					batch = append(batch, e)
+					if len(batch) >= s.cfg.BatchSize {
+						flush()
+					}
+					continue
+				default:
+				}
+				break
+			}
+			flush()
+			return
+		}
+	}
+}
+
+// post ships one batch as NDJSON. Errors drop the batch, counted.
+func (s *PushSink) post(batch []Event) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, e := range batch {
+		if err := enc.Encode(e); err != nil {
+			s.drop(int64(len(batch)))
+			return
+		}
+	}
+	resp, err := s.cfg.Client.Post(s.cfg.URL, "application/x-ndjson", &buf)
+	if err != nil {
+		s.drop(int64(len(batch)))
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		s.drop(int64(len(batch)))
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestPushSinkDeliversToCollectorIngest(t *testing.T) {
+	col := NewCollector(0)
+	defer col.Close()
+	srv := httptest.NewServer(NewHandler(HandlerConfig{Collector: col}))
+	defer srv.Close()
+
+	push := NewPushSink(PushConfig{
+		URL:           srv.URL + "/traces/ingest",
+		BatchSize:     4,
+		FlushInterval: 10 * time.Millisecond,
+		Client:        srv.Client(),
+	})
+	for i := 0; i < 10; i++ {
+		push.Emit(Event{Trace: "t-push", Session: "s", Hop: 1, Kind: KindSample})
+	}
+	push.Close() // flushes the final partial batch
+	col.Sync()
+
+	tl, ok := col.Timeline("t-push")
+	if !ok || tl.Summary.Events != 10 {
+		t.Fatalf("collector got %d of 10 events (ok=%v, drops=%d)",
+			tl.Summary.Events, ok, push.Drops())
+	}
+	if push.Drops() != 0 {
+		t.Fatalf("drops = %d on a healthy collector", push.Drops())
+	}
+}
+
+func TestPushSinkDropsOnDeadCollector(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	push := NewPushSink(PushConfig{
+		URL:       srv.URL,
+		BatchSize: 2,
+		Client:    srv.Client(),
+	}).CountDrops(reg.Counter(MetricTraceDrops))
+	for i := 0; i < 6; i++ {
+		push.Emit(Event{Trace: "t", Kind: KindSample})
+	}
+	push.Close()
+
+	if push.Drops() != 6 {
+		t.Fatalf("drops = %d, want all 6", push.Drops())
+	}
+	if got := reg.Counter(MetricTraceDrops).Value(); got != 6 {
+		t.Fatalf("%s = %d, want 6", MetricTraceDrops, got)
+	}
+}
+
+func TestPushSinkQueueOverflowNeverBlocks(t *testing.T) {
+	// An unreachable URL with a tiny queue: Emit must return immediately
+	// and shed load rather than stall the caller.
+	push := NewPushSink(PushConfig{
+		URL:           "http://127.0.0.1:1/ingest",
+		Queue:         2,
+		FlushInterval: time.Hour, // no timer flush during the test
+	})
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			push.Emit(Event{Kind: KindSample})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Emit blocked on a full queue")
+	}
+	push.Close()
+	if push.Drops() == 0 {
+		t.Fatal("no drops despite unreachable collector")
+	}
+}

@@ -12,6 +12,7 @@ import (
 // queue counters are updated atomically from the data path.
 type SessionEntry struct {
 	ID      string // hex session id
+	Trace   string // hex end-to-end trace id ("" when the header carried none)
 	Type    string // "data", "generate", "multicast", "store", "fetch"
 	Src     string // header source endpoint
 	Dst     string // header destination endpoint
@@ -51,6 +52,7 @@ func (e *SessionEntry) Bytes() int64 {
 // SessionInfo is the exported snapshot of a SessionEntry.
 type SessionInfo struct {
 	ID          string        `json:"session"`
+	Trace       string        `json:"trace,omitempty"`
 	Type        string        `json:"type"`
 	Src         string        `json:"src"`
 	Dst         string        `json:"dst"`
@@ -125,6 +127,7 @@ func (t *SessionTable) Snapshot() []SessionInfo {
 	for _, e := range entries {
 		out = append(out, SessionInfo{
 			ID:          e.ID,
+			Trace:       e.Trace,
 			Type:        e.Type,
 			Src:         e.Src,
 			Dst:         e.Dst,

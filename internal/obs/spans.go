@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// HopSpan is the per-sublink breakdown of one hop of one (possibly
+// striped) session: the accept→connect→first-byte→last-byte lifecycle
+// of a single depot-to-depot sublink, distilled from that sublink's
+// raw events. It is the unit the Figure 4/5 timeline renders — one row
+// per span, with the store-and-forward vs cut-through question answered
+// by how much the span overlaps its upstream hop.
+type HopSpan struct {
+	// Session is the wire session the sublink belonged to. A retried or
+	// rerouted transfer has spans from several sessions under one trace.
+	Session string `json:"session"`
+	// Hop is the sublink's position in the chain (0 = initiator's leg).
+	Hop int `json:"hop"`
+	// Stripe is the stripe index for striped sessions, nil otherwise
+	// (same convention as Event.Stripe).
+	Stripe *int `json:"stripe,omitempty"`
+	// Node is the endpoint that reported the span (the accepting depot,
+	// or the initiator for hop 0).
+	Node string `json:"node,omitempty"`
+	// Peer is the remote endpoint of the onward sublink.
+	Peer string `json:"peer,omitempty"`
+
+	// Accept, Connect, First and Last are the lifecycle instants; a zero
+	// time means the event was never observed (e.g. the sublink died
+	// before its first byte). Deliver is set on the final hop only.
+	Accept  time.Time `json:"accept,omitempty"`
+	Connect time.Time `json:"connect,omitempty"`
+	First   time.Time `json:"first,omitempty"`
+	Last    time.Time `json:"last,omitempty"`
+	Deliver time.Time `json:"deliver,omitempty"`
+
+	// Bytes is the payload total the sublink reported at last-byte (or
+	// deliver, whichever is larger).
+	Bytes int64 `json:"bytes,omitempty"`
+	// Retries is the connection attempts beyond the first, summed from
+	// the sublink's events.
+	Retries int `json:"retries,omitempty"`
+	// Errors counts error/refused events attributed to the sublink.
+	Errors int `json:"errors,omitempty"`
+
+	// Overlap is the fraction of this span's streaming window
+	// [First,Last] spent concurrently with its upstream hop's window —
+	// 1.0 is perfect cut-through pipelining, 0.0 is pure
+	// store-and-forward (the upstream hop finished before this one
+	// started). Hop-0 spans and spans with unmeasurable windows report 0.
+	Overlap float64 `json:"overlap,omitempty"`
+}
+
+// Streaming returns the span's [First,Last] streaming window duration,
+// or 0 when either endpoint is missing.
+func (s HopSpan) Streaming() time.Duration {
+	if s.First.IsZero() || s.Last.IsZero() || s.Last.Before(s.First) {
+		return 0
+	}
+	return s.Last.Sub(s.First)
+}
+
+// spanKey names one sublink: one hop of one stripe of one session, as
+// reported by one node.
+type spanKey struct {
+	session string
+	hop     int
+	stripe  int // -1 for unstriped
+	node    string
+}
+
+// Spans distills per-sublink HopSpans from a trace's raw events. The
+// result is ordered by session, stripe, then hop, so a chain reads
+// top-to-bottom and a striped transfer groups its stripes. Events that
+// carry no lifecycle information (samples, routes) are ignored.
+func Spans(events []Event) []HopSpan {
+	acc := map[spanKey]*HopSpan{}
+	var order []spanKey
+	get := func(e Event) *HopSpan {
+		k := spanKey{session: e.Session, hop: e.Hop, stripe: -1, node: e.Node}
+		if idx, ok := e.StripeIndex(); ok {
+			k.stripe = idx
+		}
+		if sp := acc[k]; sp != nil {
+			return sp
+		}
+		sp := &HopSpan{Session: e.Session, Hop: e.Hop, Stripe: e.Stripe, Node: e.Node}
+		acc[k] = sp
+		order = append(order, k)
+		return sp
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindAccept:
+			sp := get(e)
+			if sp.Accept.IsZero() || e.Time.Before(sp.Accept) {
+				sp.Accept = e.Time
+			}
+			if sp.Peer == "" {
+				sp.Peer = e.Peer
+			}
+		case KindConnect:
+			sp := get(e)
+			if sp.Connect.IsZero() || e.Time.Before(sp.Connect) {
+				sp.Connect = e.Time
+			}
+			sp.Peer = e.Peer
+			sp.Retries += e.Retries
+		case KindFirstByte:
+			sp := get(e)
+			if sp.First.IsZero() || e.Time.Before(sp.First) {
+				sp.First = e.Time
+			}
+		case KindLastByte:
+			sp := get(e)
+			if e.Time.After(sp.Last) {
+				sp.Last = e.Time
+			}
+			if e.Bytes > sp.Bytes {
+				sp.Bytes = e.Bytes
+			}
+		case KindDeliver:
+			sp := get(e)
+			if e.Time.After(sp.Deliver) {
+				sp.Deliver = e.Time
+			}
+			if e.Bytes > sp.Bytes {
+				sp.Bytes = e.Bytes
+			}
+		case KindRetry:
+			sp := get(e)
+			sp.Retries++
+		case KindError, KindRefused:
+			sp := get(e)
+			sp.Errors++
+		}
+	}
+
+	out := make([]HopSpan, 0, len(order))
+	for _, k := range order {
+		out = append(out, *acc[k])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Session != b.Session {
+			return a.Session < b.Session
+		}
+		ai, bi := stripeOrd(a.Stripe), stripeOrd(b.Stripe)
+		if ai != bi {
+			return ai < bi
+		}
+		return a.Hop < b.Hop
+	})
+
+	// Pipelining ratio: each hop against the same session/stripe's
+	// previous hop. Overlap of the two streaming windows divided by this
+	// hop's window — 1.0 means cut-through, 0.0 store-and-forward.
+	prev := map[spanKey]*HopSpan{}
+	for i := range out {
+		sp := &out[i]
+		k := spanKey{session: sp.Session, hop: sp.Hop, stripe: stripeOrd(sp.Stripe)}
+		up := prev[spanKey{session: k.session, hop: k.hop - 1, stripe: k.stripe}]
+		if up == nil && k.stripe >= 0 {
+			// Hop 0 (the initiator leg) reports unstriped peers in some
+			// paths; fall back to the unstriped upstream.
+			up = prev[spanKey{session: k.session, hop: k.hop - 1, stripe: -1}]
+		}
+		if up != nil {
+			sp.Overlap = overlapRatio(up.First, up.Last, sp.First, sp.Last)
+		}
+		prev[k] = sp
+	}
+	return out
+}
+
+// stripeOrd maps a Stripe field to a sortable ordinal: -1 for
+// unstriped, the index otherwise.
+func stripeOrd(p *int) int {
+	if p == nil {
+		return -1
+	}
+	return *p
+}
+
+// overlapRatio returns the overlap of [aF,aL] and [bF,bL] as a fraction
+// of the second window, clamped to [0,1]; 0 when either window is
+// unmeasurable.
+func overlapRatio(aF, aL, bF, bL time.Time) float64 {
+	if aF.IsZero() || aL.IsZero() || bF.IsZero() || bL.IsZero() {
+		return 0
+	}
+	dur := bL.Sub(bF)
+	if dur <= 0 {
+		return 0
+	}
+	lo := bF
+	if aF.After(lo) {
+		lo = aF
+	}
+	hi := bL
+	if aL.Before(hi) {
+		hi = aL
+	}
+	if !hi.After(lo) {
+		return 0
+	}
+	r := float64(hi.Sub(lo)) / float64(dur)
+	if r > 1 {
+		r = 1
+	}
+	return r
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// chainEvents builds the events of a 2-hop pipelined transfer: the
+// depot (hop 1) starts streaming halfway through the initiator's
+// (hop 0) window and keeps going after it closes.
+func chainEvents(base time.Time) []Event {
+	sec := func(n int) time.Time { return base.Add(time.Duration(n) * time.Second) }
+	return []Event{
+		{Time: sec(0), Session: "s", Hop: 0, Kind: KindConnect, Node: "src", Peer: "d1"},
+		{Time: sec(1), Session: "s", Hop: 0, Kind: KindFirstByte, Node: "src"},
+		{Time: sec(9), Session: "s", Hop: 0, Kind: KindLastByte, Node: "src", Bytes: 1 << 20},
+		{Time: sec(2), Session: "s", Hop: 1, Kind: KindAccept, Node: "d1", Peer: "src"},
+		{Time: sec(3), Session: "s", Hop: 1, Kind: KindConnect, Node: "d1", Peer: "dst"},
+		{Time: sec(5), Session: "s", Hop: 1, Kind: KindFirstByte, Node: "d1"},
+		{Time: sec(13), Session: "s", Hop: 1, Kind: KindLastByte, Node: "d1", Bytes: 1 << 20},
+		{Time: sec(13), Session: "s", Hop: 1, Kind: KindDeliver, Node: "d1", Bytes: 1 << 20},
+	}
+}
+
+func TestSpansLifecycleAndOverlap(t *testing.T) {
+	base := time.Date(2004, 11, 6, 0, 0, 0, 0, time.UTC)
+	spans := Spans(chainEvents(base))
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	h0, h1 := spans[0], spans[1]
+	if h0.Hop != 0 || h1.Hop != 1 {
+		t.Fatalf("span order: %+v", spans)
+	}
+	if h0.Streaming() != 8*time.Second {
+		t.Fatalf("hop 0 streaming = %v", h0.Streaming())
+	}
+	if h1.Accept.IsZero() || h1.Connect.IsZero() || h1.Deliver.IsZero() {
+		t.Fatalf("hop 1 lifecycle incomplete: %+v", h1)
+	}
+	if h1.Bytes != 1<<20 {
+		t.Fatalf("hop 1 bytes = %d", h1.Bytes)
+	}
+	// Hop 1 streams seconds 5..13, hop 0 streams 1..9: 4 of hop 1's 8
+	// seconds overlap — 50% cut-through.
+	if h1.Overlap < 0.49 || h1.Overlap > 0.51 {
+		t.Fatalf("hop 1 overlap = %v, want 0.5", h1.Overlap)
+	}
+	if h0.Overlap != 0 {
+		t.Fatalf("hop 0 has no upstream, overlap = %v", h0.Overlap)
+	}
+}
+
+func TestSpansStoreAndForwardHasZeroOverlap(t *testing.T) {
+	base := time.Now()
+	sec := func(n int) time.Time { return base.Add(time.Duration(n) * time.Second) }
+	spans := Spans([]Event{
+		{Time: sec(0), Session: "s", Hop: 0, Kind: KindFirstByte, Node: "a"},
+		{Time: sec(2), Session: "s", Hop: 0, Kind: KindLastByte, Node: "a"},
+		// The depot buffers the whole object before forwarding.
+		{Time: sec(3), Session: "s", Hop: 1, Kind: KindFirstByte, Node: "b"},
+		{Time: sec(5), Session: "s", Hop: 1, Kind: KindLastByte, Node: "b"},
+	})
+	if spans[1].Overlap != 0 {
+		t.Fatalf("store-and-forward overlap = %v, want 0", spans[1].Overlap)
+	}
+}
+
+func TestSpansSeparateStripesAndCountRecovery(t *testing.T) {
+	base := time.Now()
+	spans := Spans([]Event{
+		{Time: base, Session: "s", Hop: 0, Kind: KindConnect, Stripe: StripeOf(0)},
+		{Time: base, Session: "s", Hop: 0, Kind: KindConnect, Stripe: StripeOf(1)},
+		{Time: base, Session: "s", Hop: 0, Kind: KindRetry, Stripe: StripeOf(1)},
+		{Time: base, Session: "s", Hop: 0, Kind: KindError, Stripe: StripeOf(1)},
+		{Time: base, Session: "s", Hop: 0, Kind: KindConnect}, // unstriped sibling
+	})
+	if len(spans) != 3 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	// Unstriped sorts first, then stripes ascending.
+	if spans[0].Stripe != nil {
+		t.Fatalf("first span should be unstriped, got stripe %d", *spans[0].Stripe)
+	}
+	if k1, k2 := stripeOrd(spans[1].Stripe), stripeOrd(spans[2].Stripe); k1 != 0 || k2 != 1 {
+		t.Fatalf("stripe order: %d, %d", k1, k2)
+	}
+	if spans[2].Retries != 1 || spans[2].Errors != 1 {
+		t.Fatalf("stripe 1 recovery counts: %+v", spans[2])
+	}
+}
+
+func TestOverlapRatioEdges(t *testing.T) {
+	base := time.Now()
+	sec := func(n int) time.Time { return base.Add(time.Duration(n) * time.Second) }
+	if r := overlapRatio(time.Time{}, sec(1), sec(0), sec(2)); r != 0 {
+		t.Fatalf("zero-time window overlap = %v", r)
+	}
+	if r := overlapRatio(sec(0), sec(10), sec(2), sec(4)); r != 1 {
+		t.Fatalf("contained window overlap = %v, want 1", r)
+	}
+	if r := overlapRatio(sec(0), sec(1), sec(1), sec(1)); r != 0 {
+		t.Fatalf("empty window overlap = %v", r)
+	}
+}

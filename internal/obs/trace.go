@@ -4,8 +4,15 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// MetricTraceDrops is the registry counter name for trace events lost
+// to sink failures or overflow (JSONSink encode errors, Collector and
+// PushSink queue overflow). Tracing never stalls the data path; this
+// counter is how that lossiness stays visible.
+const MetricTraceDrops = "trace_drops_total"
 
 // Event kinds emitted along the data path. Per hop, a forwarding depot
 // emits Accept (header parsed) → Connect (onward transport dialed) →
@@ -45,6 +52,13 @@ type Event struct {
 	Time time.Time `json:"t"`
 	// Session is the hex session identifier.
 	Session string `json:"session"`
+	// Trace is the hex end-to-end trace identifier minted by the
+	// transfer's initiator and carried in the wire header's OptTraceID.
+	// Unlike Session it survives retries, resumes, failover reroutes,
+	// and striping: every event of one logical transfer shares it, so it
+	// is the correlation key the trace collector assembles timelines by.
+	// Empty when the session carried no trace id.
+	Trace string `json:"trace,omitempty"`
 	// Hop is the position in the depot chain: 0 is the initiator, 1 the
 	// first depot, and so on.
 	Hop int `json:"hop"`
@@ -59,14 +73,31 @@ type Event struct {
 	// (LastByte, Deliver, Sample).
 	Bytes int64 `json:"bytes,omitempty"`
 	// Stripe is the 0-based stripe index for events of a striped
-	// session's sublink chains; unstriped sessions omit it. Together
-	// with Session and Hop it uniquely names one sublink of one stripe.
-	Stripe int `json:"stripe,omitempty"`
+	// session's sublink chains; unstriped sessions leave it nil, so
+	// stripe 0 of a striped session remains distinguishable from an
+	// unstriped one. Together with Session and Hop it uniquely names
+	// one sublink of one stripe. Use StripeOf to build it and
+	// StripeIndex to read it.
+	Stripe *int `json:"stripe,omitempty"`
 	// Retries counts connection attempts before success, when the
 	// emitter retries.
 	Retries int `json:"retries,omitempty"`
 	// Detail carries an error message or free-form annotation.
 	Detail string `json:"detail,omitempty"`
+}
+
+// StripeOf returns a Stripe field value naming the given 0-based
+// stripe index. The pointer distinguishes "stripe 0 of a striped
+// session" from "not striped" (a nil field).
+func StripeOf(k int) *int { return &k }
+
+// StripeIndex returns the event's stripe index and whether the event
+// belongs to a striped session at all.
+func (e Event) StripeIndex() (int, bool) {
+	if e.Stripe == nil {
+		return 0, false
+	}
+	return *e.Stripe, true
 }
 
 // Sink consumes trace events. Implementations must be safe for
@@ -88,10 +119,16 @@ func Emit(sink Sink, e Event) {
 }
 
 // JSONSink writes events as JSON lines to an io.Writer, serialized
-// under a mutex so concurrent sessions interleave whole lines.
+// under a mutex so concurrent sessions interleave whole lines. Encode
+// failures never propagate to the data path (a broken trace file must
+// not break the transfer), but they are counted: Drops reports them,
+// and CountDrops mirrors them into a registry counter so a silently
+// failing trace file is at least visible on /metrics.
 type JSONSink struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	mu    sync.Mutex
+	enc   *json.Encoder
+	drops atomic.Int64
+	dropC *Counter
 }
 
 // NewJSONSink returns a sink writing one JSON object per line to w.
@@ -99,11 +136,27 @@ func NewJSONSink(w io.Writer) *JSONSink {
 	return &JSONSink{enc: json.NewEncoder(w)}
 }
 
+// CountDrops mirrors encode failures into c (typically
+// Registry.Counter(MetricTraceDrops)) and returns the sink for
+// chaining.
+func (s *JSONSink) CountDrops(c *Counter) *JSONSink {
+	s.mu.Lock()
+	s.dropC = c
+	s.mu.Unlock()
+	return s
+}
+
+// Drops returns the number of events lost to encode failures.
+func (s *JSONSink) Drops() int64 { return s.drops.Load() }
+
 // Emit implements Sink.
 func (s *JSONSink) Emit(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_ = s.enc.Encode(e) // a broken trace file must not break the transfer
+	if err := s.enc.Encode(e); err != nil {
+		s.drops.Add(1)
+		s.dropC.Inc()
+	}
 }
 
 // MemorySink accumulates events in order of arrival, for tests and

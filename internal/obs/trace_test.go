@@ -3,6 +3,8 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -76,4 +78,83 @@ func TestMultiSink(t *testing.T) {
 	if len(a.Events()) != 1 || len(b.Events()) != 1 {
 		t.Fatal("multi sink did not fan out")
 	}
+}
+
+func TestStripeOfRoundTrips(t *testing.T) {
+	e := Event{Stripe: StripeOf(0)}
+	if k, ok := e.StripeIndex(); !ok || k != 0 {
+		t.Fatalf("StripeIndex = %d, %v — stripe 0 must stay distinguishable from unstriped", k, ok)
+	}
+	if _, ok := (Event{}).StripeIndex(); ok {
+		t.Fatal("unstriped event reported a stripe")
+	}
+	data, err := json.Marshal(Event{Session: "s", Kind: KindConnect, Stripe: StripeOf(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"stripe":0`) {
+		t.Fatalf("stripe 0 omitted from JSON: %s", data)
+	}
+	data, _ = json.Marshal(Event{Session: "s", Kind: KindConnect})
+	if strings.Contains(string(data), "stripe") {
+		t.Fatalf("unstriped event serialized a stripe: %s", data)
+	}
+}
+
+// errWriter fails every write, simulating a full disk under -trace-out.
+type errWriter struct{}
+
+func (errWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestJSONSinkCountsEncodeDrops(t *testing.T) {
+	reg := NewRegistry()
+	sink := NewJSONSink(errWriter{}).CountDrops(reg.Counter(MetricTraceDrops))
+	for i := 0; i < 3; i++ {
+		sink.Emit(Event{Session: "s", Kind: KindSample}) // must not panic or propagate
+	}
+	if sink.Drops() != 3 {
+		t.Fatalf("drops = %d, want 3", sink.Drops())
+	}
+	if got := reg.Counter(MetricTraceDrops).Value(); got != 3 {
+		t.Fatalf("%s = %d, want 3", MetricTraceDrops, got)
+	}
+}
+
+// TestEmitDisabledIsZeroAlloc guards the instrumentation's off switch:
+// with no sink configured, an Emit on the data path must cost nothing.
+func TestEmitDisabledIsZeroAlloc(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		Emit(nil, Event{Session: "s", Hop: 1, Kind: KindFirstByte})
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit(nil, ...) allocates %v per call", allocs)
+	}
+}
+
+func BenchmarkEmit(b *testing.B) {
+	b.Run("nil", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Emit(nil, Event{Session: "s", Hop: 1, Kind: KindFirstByte})
+		}
+	})
+	b.Run("json", func(b *testing.B) {
+		sink := NewJSONSink(io.Discard)
+		e := Event{Time: time.Now(), Session: "s", Hop: 1, Kind: KindFirstByte}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Emit(sink, e)
+		}
+	})
+	b.Run("collector", func(b *testing.B) {
+		c := NewCollector(b.N + 1)
+		defer c.Close()
+		e := Event{Time: time.Now(), Trace: "t", Session: "s", Kind: KindSample}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Emit(e)
+		}
+	})
 }

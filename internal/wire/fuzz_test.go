@@ -19,6 +19,7 @@ func FuzzParseOptions(f *testing.F) {
 	f.Add(uint16(OptStripeCount), StripeCountOption(4).Data)
 	f.Add(uint16(OptStripeIndex), StripeIndexOption(1).Data)
 	f.Add(uint16(OptTableEpoch), TableEpochOption(7).Data)
+	f.Add(uint16(OptTraceID), TraceIDOption(TraceID{1, 2, 3}).Data)
 	if rt, err := RouteTableOptions([]RouteEntry{{Dst: MustEndpoint("10.0.0.2:1"), Next: MustEndpoint("10.0.0.3:1")}}); err == nil {
 		f.Add(uint16(OptRouteTable), rt[0].Data)
 	}
@@ -69,6 +70,7 @@ func FuzzParseOptions(f *testing.F) {
 		_, _ = ParseStripeCount(o)
 		_, _ = ParseStripeIndex(o)
 		_, _ = ParseTableEpoch(o)
+		_, _ = ParseTraceID(o)
 
 		// The nil-safe header accessors must degrade, never panic.
 		h := &Header{Options: []Option{o}}
@@ -77,6 +79,7 @@ func FuzzParseOptions(f *testing.F) {
 		_ = h.ResumeOffset()
 		_ = h.HopIndex()
 		_ = h.TableEpoch()
+		_, _ = h.TraceID()
 	})
 }
 

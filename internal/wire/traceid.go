@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+)
+
+// OptTraceID carries the 128-bit end-to-end trace identifier of the
+// logical transfer this session belongs to. The initiator mints it
+// once; depots forward it untouched; retry, resume, and failover
+// continuation sessions — and every stripe of a striped transfer —
+// reuse the original value, so the trace id is the correlation key
+// that stitches all obs.Events of one logical transfer into a single
+// causally ordered timeline, even across fresh session identifiers.
+const OptTraceID uint16 = 12
+
+// TraceID is the 128-bit end-to-end transfer trace identifier.
+type TraceID [16]byte
+
+// NewTraceID draws a random trace identifier.
+func NewTraceID() (TraceID, error) {
+	var id TraceID
+	if _, err := rand.Read(id[:]); err != nil {
+		return id, fmt.Errorf("wire: trace id: %w", err)
+	}
+	return id, nil
+}
+
+// String renders the id as hex.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the id is unset.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// TraceIDOption carries a trace identifier in a session header.
+func TraceIDOption(id TraceID) Option {
+	return Option{Kind: OptTraceID, Data: append([]byte(nil), id[:]...)}
+}
+
+// ParseTraceID decodes a trace-id option.
+func ParseTraceID(o Option) (TraceID, error) {
+	var id TraceID
+	if o.Kind != OptTraceID || len(o.Data) != len(id) {
+		return id, fmt.Errorf("%w: bad trace id", ErrBadOption)
+	}
+	copy(id[:], o.Data)
+	return id, nil
+}
+
+// TraceID returns the trace identifier the header carries and whether
+// one was present and well-formed. A malformed option reads as absent:
+// an unreadable trace id must not make a depot refuse a session it can
+// still forward.
+func (h *Header) TraceID() (TraceID, bool) {
+	opt, ok := h.Option(OptTraceID)
+	if !ok {
+		return TraceID{}, false
+	}
+	id, err := ParseTraceID(opt)
+	if err != nil {
+		return TraceID{}, false
+	}
+	return id, true
+}

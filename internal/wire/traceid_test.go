@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id, err := NewTraceID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.IsZero() {
+		t.Fatal("NewTraceID returned the zero id")
+	}
+	opt := TraceIDOption(id)
+	got, err := ParseTraceID(opt)
+	if err != nil {
+		t.Fatalf("ParseTraceID: %v", err)
+	}
+	if got != id {
+		t.Fatalf("round trip mismatch: %v != %v", got, id)
+	}
+	if s := id.String(); len(s) != 32 || strings.ToLower(s) != s {
+		t.Fatalf("String() = %q, want 32 lowercase hex chars", s)
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 64; i++ {
+		id, err := NewTraceID()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestParseTraceIDErrors(t *testing.T) {
+	cases := []Option{
+		{Kind: OptHopIndex, Data: make([]byte, 16)},
+		{Kind: OptTraceID, Data: make([]byte, 15)},
+		{Kind: OptTraceID, Data: make([]byte, 17)},
+		{Kind: OptTraceID},
+	}
+	for _, o := range cases {
+		if _, err := ParseTraceID(o); err == nil {
+			t.Errorf("ParseTraceID accepted kind=%d len=%d", o.Kind, len(o.Data))
+		}
+	}
+}
+
+func TestHeaderTraceID(t *testing.T) {
+	h := &Header{Version: Version1, Type: TypeData}
+	if _, ok := h.TraceID(); ok {
+		t.Fatal("TraceID present on a header without the option")
+	}
+	id := TraceID{0xAA, 1, 2, 3}
+	h.AddOption(TraceIDOption(id))
+	got, ok := h.TraceID()
+	if !ok || got != id {
+		t.Fatalf("TraceID() = %v, %v; want %v, true", got, ok, id)
+	}
+
+	// A malformed option reads as absent, never as a bogus id.
+	bad := &Header{Version: Version1, Type: TypeData,
+		Options: []Option{{Kind: OptTraceID, Data: []byte{1, 2, 3}}}}
+	if _, ok := bad.TraceID(); ok {
+		t.Fatal("TraceID parsed a malformed option")
+	}
+}
+
+func TestTraceIDSurvivesHeaderRoundTrip(t *testing.T) {
+	id, err := NewTraceID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &Header{
+		Version: Version1,
+		Type:    TypeData,
+		Src:     MustEndpoint("10.0.0.1:7411"),
+		Dst:     MustEndpoint("10.0.0.9:7411"),
+		Options: []Option{TraceIDOption(id), HopIndexOption(2)},
+	}
+	buf, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Header
+	if err := back.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := back.TraceID()
+	if !ok || got != id {
+		t.Fatalf("trace id lost in header round trip: %v, %v", got, ok)
+	}
+}
