@@ -1,13 +1,13 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet fmt fmt-check lint vulncheck fuzz-smoke race verify bench experiments docs-check clean
+.PHONY: build test vet fmt fmt-check lint vulncheck fuzz-smoke race verify bench bench-guarded experiments docs-check clean
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -61,6 +61,18 @@ verify: fmt-check build vet test race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# The guarded benchmark set behind CI's perf-regression gate: repeated
+# runs of the hot-path benchmarks, appended to $(BENCH_OUT) for
+# benchstat and cmd/benchgate to compare across commits. Fixed
+# -benchtime iteration counts keep base and head doing identical work.
+BENCH_COUNT ?= 6
+BENCH_OUT ?= bench.txt
+bench-guarded:
+	: > $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'BenchmarkPump$$|BenchmarkFairShare$$' -benchtime 100x -count $(BENCH_COUNT) ./internal/depot/ | tee -a $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'BenchmarkEmit$$' -count $(BENCH_COUNT) ./internal/obs/ | tee -a $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'BenchmarkStriping$$' -benchtime 1x -count $(BENCH_COUNT) . | tee -a $(BENCH_OUT)
 
 # Regenerate the canonical experiment log that EXPERIMENTS.md quotes
 # (seed 1, paper iteration counts). Rerun after changing anything under

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: github.com/netlogistics/lsl/internal/depot
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPump-4      	     939	   1246676 ns/op	6729.16 MB/s	 4268204 B/op	     271 allocs/op
+BenchmarkPump-4      	     964	   1230579 ns/op	6817.19 MB/s	 4268101 B/op	     270 allocs/op
+BenchmarkFairShare   	     500	   2384086 ns/op	3518.58 MB/s
+PASS
+ok  	github.com/netlogistics/lsl/internal/depot	2.310s
+`
+	got, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["BenchmarkPump"]) != 2 || got["BenchmarkPump"][0] != 1246676 {
+		t.Fatalf("BenchmarkPump samples = %v", got["BenchmarkPump"])
+	}
+	if len(got["BenchmarkFairShare"]) != 1 {
+		t.Fatalf("BenchmarkFairShare samples = %v", got["BenchmarkFairShare"])
+	}
+}
+
+// TestMannWhitneyExact checks the exact test against known anchors.
+func TestMannWhitneyExact(t *testing.T) {
+	// Complete separation at n=6,6: U=0, exact two-sided p = 2/C(12,6)
+	// ≈ 0.00216.
+	a := []float64{1, 2, 3, 4, 5, 6}
+	b := []float64{10, 11, 12, 13, 14, 15}
+	if p := mannWhitneyP(a, b); math.Abs(p-2.0/924) > 1e-9 {
+		t.Fatalf("separated samples p = %v, want %v", p, 2.0/924)
+	}
+	// Identical samples: maximally tied, p must not reject.
+	c := []float64{5, 5, 5}
+	if p := mannWhitneyP(c, c); p < 0.99 {
+		t.Fatalf("identical samples p = %v, want ≈1", p)
+	}
+}
+
+// bench renders n runs of one benchmark at the given ns/op values.
+func bench(name string, ns ...float64) string {
+	var sb strings.Builder
+	for _, v := range ns {
+		fmt.Fprintf(&sb, "%s-4\t100\t%.0f ns/op\n", name, v)
+	}
+	return sb.String()
+}
+
+func samples(t *testing.T, out string) map[string][]float64 {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestGateFailsOnPumpSlowdown is the gate's acceptance case: a
+// consistent 20% pump slowdown with realistic run-to-run jitter must
+// be flagged as a regression.
+func TestGateFailsOnPumpSlowdown(t *testing.T) {
+	base := samples(t, bench("BenchmarkPump", 1000, 1010, 990, 1005, 995, 1002))
+	head := samples(t, bench("BenchmarkPump", 1200, 1215, 1190, 1205, 1195, 1210))
+	res := compare(base, head, 0.10, 0.05)
+	if len(res) != 1 || !res[0].Regression {
+		t.Fatalf("20%% slowdown not flagged: %+v", res)
+	}
+	if res[0].Status != "regression" {
+		t.Fatalf("status = %q", res[0].Status)
+	}
+}
+
+// TestGatePassesOnNoise: jitter within the threshold must pass even
+// when medians differ a little.
+func TestGatePassesOnNoise(t *testing.T) {
+	base := samples(t, bench("BenchmarkPump", 1000, 1020, 980, 1010, 990, 1000))
+	head := samples(t, bench("BenchmarkPump", 1030, 1010, 1050, 990, 1020, 1040))
+	res := compare(base, head, 0.10, 0.05)
+	if res[0].Regression {
+		t.Fatalf("3%% drift flagged as regression: %+v", res[0])
+	}
+}
+
+// TestGateIgnoresLargeButInsignificantSlowdown: one wild head sample
+// should not fail the gate when the runs are statistically
+// indistinguishable.
+func TestGateIgnoresLargeButInsignificantSlowdown(t *testing.T) {
+	base := samples(t, bench("BenchmarkPump", 1000, 1400))
+	head := samples(t, bench("BenchmarkPump", 1500, 1100))
+	res := compare(base, head, 0.10, 0.05)
+	if res[0].Regression {
+		t.Fatalf("two overlapping samples flagged: %+v", res[0])
+	}
+}
+
+// TestGateToleratesNewAndRemovedBenchmarks: a benchmark only the head
+// has (freshly added) or only the base has (deleted) is recorded but
+// never fails the gate.
+func TestGateToleratesNewAndRemovedBenchmarks(t *testing.T) {
+	base := samples(t, bench("BenchmarkOld", 1000, 1000, 1000))
+	head := samples(t, bench("BenchmarkNew", 999, 1001, 1000))
+	res := compare(base, head, 0.10, 0.05)
+	if len(res) != 2 {
+		t.Fatalf("results = %+v", res)
+	}
+	for _, r := range res {
+		if r.Regression {
+			t.Fatalf("one-sided benchmark failed the gate: %+v", r)
+		}
+	}
+	byName := map[string]string{}
+	for _, r := range res {
+		byName[r.Name] = r.Status
+	}
+	if byName["BenchmarkNew"] != "head-only" || byName["BenchmarkOld"] != "base-only" {
+		t.Fatalf("statuses = %v", byName)
+	}
+}
+
+// TestGateReportsImprovement: a significant speedup is labelled, not
+// just silently passed.
+func TestGateReportsImprovement(t *testing.T) {
+	base := samples(t, bench("BenchmarkPump", 1200, 1215, 1190, 1205, 1195, 1210))
+	head := samples(t, bench("BenchmarkPump", 1000, 1010, 990, 1005, 995, 1002))
+	res := compare(base, head, 0.10, 0.05)
+	if res[0].Status != "improvement" || res[0].Regression {
+		t.Fatalf("speedup labelled %q", res[0].Status)
+	}
+}
+
+func TestRender(t *testing.T) {
+	base := samples(t, bench("BenchmarkPump", 1000, 1000, 1000))
+	head := samples(t, bench("BenchmarkPump", 1001, 1001, 1001))
+	out := render(compare(base, head, 0.10, 0.05), 0.10, 0.05)
+	for _, want := range []string{"BenchmarkPump", "ratio", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -6,9 +6,21 @@
 //
 //	lsl-depot -listen 0.0.0.0:7411 -self 198.51.100.7:7411 \
 //	          [-routes routes.txt] [-pipeline 32] [-max-sessions 64] \
+//	          [-queue-depth 16] [-queue-timeout 10s] \
+//	          [-fair-share] [-trunk-rate 0] \
 //	          [-retries 3] [-retry-backoff 100ms] [-failover] \
 //	          [-ctl] [-table-driven] [-max-hops 16] \
 //	          [-debug-addr 127.0.0.1:7412]
+//
+// With -max-sessions alone, over-limit sessions are refused outright;
+// adding -queue-depth holds up to that many arrivals in a bounded
+// admission queue until a slot frees or -queue-timeout elapses
+// (depot_admission_queued_total / depot_admission_timeouts_total count
+// both outcomes, and admitted waits appear as "queued" trace events).
+// -fair-share arbitrates concurrent forwarded sessions with a weighted
+// deficit-round-robin scheduler keyed by each session's carried weight
+// option; -trunk-rate additionally paces their aggregate to a fixed
+// byte rate (0 keeps the scheduler work-conserving).
 //
 // With -retries the depot re-dials a failed onward connection with
 // exponential backoff before giving up on a session; -failover makes it
@@ -59,6 +71,7 @@ import (
 	"time"
 
 	"github.com/netlogistics/lsl/internal/depot"
+	"github.com/netlogistics/lsl/internal/fairshare"
 	"github.com/netlogistics/lsl/internal/lsl"
 	"github.com/netlogistics/lsl/internal/obs"
 	"github.com/netlogistics/lsl/internal/retry"
@@ -66,23 +79,27 @@ import (
 )
 
 var (
-	listenAddr  = flag.String("listen", "0.0.0.0:7411", "TCP listen address")
-	selfAddr    = flag.String("self", "", "this depot's public ip:port (required)")
-	routesPath  = flag.String("routes", "", "optional route table file")
-	pipelineMB  = flag.Int("pipeline", 32, "per-session pipeline buffering in MB")
-	maxSessions = flag.Int("max-sessions", 0, "refuse sessions beyond this concurrency (0 = unlimited)")
-	dialTimeout = flag.Duration("dial-timeout", 10*time.Second, "onward connection timeout")
-	retries     = flag.Int("retries", 0, "retry a failed onward dial this many times with backoff (0 = dial once)")
-	backoff     = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before the first onward-dial retry (doubles each retry)")
-	failover    = flag.Bool("failover", false, "dial a session's final destination directly when its next hop stays unreachable after retries")
-	acceptCtl   = flag.Bool("ctl", false, "accept control sessions that push route tables")
-	tableDriven = flag.Bool("table-driven", false, "route unrouted sessions only by the pushed table (miss = refuse)")
-	maxHops     = flag.Int("max-hops", 16, "refuse sessions whose hop index reaches this limit (0 = unlimited)")
-	debugAddr   = flag.String("debug-addr", "", "serve /metrics and /sessions on this ip:port (empty = off)")
-	pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof on the debug listener (needs -debug-addr)")
-	traceOut    = flag.String("trace-out", "", "append hop trace events as JSON lines to this file (empty = off)")
-	tracePush   = flag.String("trace-push", "", "POST batched trace events to this collector ingest URL, e.g. http://ctl:7502/traces/ingest (empty = off)")
-	verbose     = flag.Bool("v", false, "log per-session diagnostics")
+	listenAddr   = flag.String("listen", "0.0.0.0:7411", "TCP listen address")
+	selfAddr     = flag.String("self", "", "this depot's public ip:port (required)")
+	routesPath   = flag.String("routes", "", "optional route table file")
+	pipelineMB   = flag.Int("pipeline", 32, "per-session pipeline buffering in MB")
+	maxSessions  = flag.Int("max-sessions", 0, "refuse sessions beyond this concurrency (0 = unlimited)")
+	queueDepth   = flag.Int("queue-depth", 0, "queue up to this many over-limit sessions for admission instead of refusing them (0 = refuse immediately)")
+	queueTimeout = flag.Duration("queue-timeout", depot.DefaultQueueTimeout, "refuse a queued session not admitted within this wait")
+	fairShare    = flag.Bool("fair-share", false, "schedule concurrent forwarded sessions by their carried weights (weighted DRR over the downstream trunk)")
+	trunkRate    = flag.Float64("trunk-rate", 0, "with -fair-share, pace aggregate forwarding to this many bytes/s (0 = work-conserving)")
+	dialTimeout  = flag.Duration("dial-timeout", 10*time.Second, "onward connection timeout")
+	retries      = flag.Int("retries", 0, "retry a failed onward dial this many times with backoff (0 = dial once)")
+	backoff      = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before the first onward-dial retry (doubles each retry)")
+	failover     = flag.Bool("failover", false, "dial a session's final destination directly when its next hop stays unreachable after retries")
+	acceptCtl    = flag.Bool("ctl", false, "accept control sessions that push route tables")
+	tableDriven  = flag.Bool("table-driven", false, "route unrouted sessions only by the pushed table (miss = refuse)")
+	maxHops      = flag.Int("max-hops", 16, "refuse sessions whose hop index reaches this limit (0 = unlimited)")
+	debugAddr    = flag.String("debug-addr", "", "serve /metrics and /sessions on this ip:port (empty = off)")
+	pprofOn      = flag.Bool("pprof", false, "mount /debug/pprof on the debug listener (needs -debug-addr)")
+	traceOut     = flag.String("trace-out", "", "append hop trace events as JSON lines to this file (empty = off)")
+	tracePush    = flag.String("trace-push", "", "POST batched trace events to this collector ingest URL, e.g. http://ctl:7502/traces/ingest (empty = off)")
+	verbose      = flag.Bool("v", false, "log per-session diagnostics")
 )
 
 func main() {
@@ -149,6 +166,8 @@ func run() error {
 		Routes:         routes,
 		PipelineBytes:  *pipelineMB << 20,
 		MaxSessions:    *maxSessions,
+		QueueDepth:     *queueDepth,
+		QueueTimeout:   *queueTimeout,
 		FailoverDirect: *failover,
 		AcceptControl:  *acceptCtl,
 		TableDriven:    *tableDriven,
@@ -159,6 +178,9 @@ func run() error {
 	}
 	if *retries > 0 {
 		cfg.ForwardRetry = retry.Policy{MaxAttempts: *retries + 1, BaseDelay: *backoff}
+	}
+	if *fairShare {
+		cfg.FairShare = fairshare.New(fairshare.Config{Rate: *trunkRate})
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

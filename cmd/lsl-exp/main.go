@@ -16,6 +16,8 @@
 //	fig9      Figures 9-10 + percentile table + 26% statistic
 //	fig11     Figure 11: core-depot box statistics
 //	striping  parallel-sublink throughput sweep (1..N stripes)
+//	fairness  weighted fair-sharing split through one scheduled depot
+//	loadgen   mesh load/soak harness: concurrent mixed-weight sessions
 //	ablate    all ablation sweeps (ε, buffer, loss, freshness, baseline)
 //	all       everything above
 package main
@@ -24,9 +26,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"github.com/netlogistics/lsl/internal/experiments"
+	"github.com/netlogistics/lsl/internal/workload"
 )
 
 var (
@@ -36,7 +41,54 @@ var (
 	epsilon      = flag.Float64("epsilon", 0.1, "edge-equivalence for the tree comparison")
 	stripes      = flag.Int("stripes", 8, "largest stripe count for the striping sweep (doubling from 1)")
 	format       = flag.String("format", "table", "output format for figures: table or csv")
+	sessions     = flag.Int("sessions", 0, "session count for fairness/loadgen (0 = experiment default)")
+	arrival      = flag.String("arrival", "", "loadgen arrival process: poisson:<rate/s>, uniform:<gap>, burst:<n>:<gap>, or empty for all-at-once")
+	reliable     = flag.Bool("reliable", false, "loadgen soak mode: route transfers through retry + failover")
+	maxSessions  = flag.Int("max-sessions", 32, "loadgen per-depot concurrent session cap (0 = unlimited)")
+	queueDepth   = flag.Int("queue-depth", 64, "loadgen per-depot admission queue depth")
 )
+
+// parseArrival decodes the -arrival flag.
+func parseArrival(s string) (workload.ArrivalProcess, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ":")
+	switch parts[0] {
+	case "poisson":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("arrival: want poisson:<rate/s>")
+		}
+		rate, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("arrival: %w", err)
+		}
+		return workload.PoissonArrivals{Rate: rate}, nil
+	case "uniform":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("arrival: want uniform:<gap>")
+		}
+		gap, err := time.ParseDuration(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("arrival: %w", err)
+		}
+		return workload.UniformArrivals{Every: gap}, nil
+	case "burst":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("arrival: want burst:<n>:<gap>")
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("arrival: %w", err)
+		}
+		gap, err := time.ParseDuration(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("arrival: %w", err)
+		}
+		return workload.BurstArrivals{Size: n, Gap: gap}, nil
+	}
+	return nil, fmt.Errorf("arrival: unknown process %q", parts[0])
+}
 
 // emit prints a figure result in the chosen format.
 func emit(table fmt.Stringer, csv func() string) {
@@ -49,7 +101,7 @@ func emit(table fmt.Stringer, csv func() string) {
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lsl-exp [flags] <rtts|fig2|fig3|fig4|fig5|trees|fig9|fig11|striping|matrix[-twopath|-planetlab|-abilene]|ablate|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: lsl-exp [flags] <rtts|fig2|fig3|fig4|fig5|trees|fig9|fig11|striping|fairness|loadgen|matrix[-twopath|-planetlab|-abilene]|ablate|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -153,6 +205,34 @@ func run(name string) error {
 			return err
 		}
 		fmt.Printf("scheduler suggests %d stripes (forecast %.2f Mbit/s)\n\n", n, bw)
+	case "fairness":
+		cfg := experiments.DefaultFairness()
+		cfg.Seed = *seed
+		if *sessions > 0 {
+			cfg.Sessions = *sessions
+		}
+		r, err := experiments.Fairness(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFairness(r))
+	case "loadgen":
+		arr, err := parseArrival(*arrival)
+		if err != nil {
+			return err
+		}
+		out, err := experiments.Loadgen(experiments.LoadgenConfig{
+			Seed:        *seed,
+			Sessions:    *sessions,
+			Arrival:     arr,
+			Reliable:    *reliable,
+			MaxSessions: *maxSessions,
+			QueueDepth:  *queueDepth,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
 	case "robustness":
 		rows, err := experiments.Robustness(nil, *measurements/5)
 		if err != nil {
@@ -162,7 +242,7 @@ func run(name string) error {
 	case "ablate":
 		return ablate()
 	case "all":
-		for _, n := range []string{"rtts", "trees", "fig2", "fig3", "fig4", "fig5", "fig9", "fig11", "striping", "robustness", "ablate"} {
+		for _, n := range []string{"rtts", "trees", "fig2", "fig3", "fig4", "fig5", "fig9", "fig11", "striping", "fairness", "robustness", "ablate"} {
 			if err := run(n); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

@@ -35,6 +35,14 @@
 //
 //	lsl-xfer -to sink:7411 -via mydepot:7411 -size 16M -table-driven
 //
+// Fair sharing: -weight N stamps the session with a fair-share weight
+// option; depots running the weighted scheduler (lsl-depot -fair-share)
+// grant the session N× a weight-1 competitor's bandwidth at their
+// downstream trunk. Depots without the scheduler forward the option
+// untouched:
+//
+//	lsl-xfer -to sink:7411 -via depot:7411 -size 64M -weight 4
+//
 // Sink mode accepts sessions, verifies the payload pattern, and prints
 // per-session throughput:
 //
@@ -90,10 +98,14 @@ var (
 	failover  = flag.Bool("failover", false, "on retry, abandon the -via depot route and dial -to directly")
 	stripesN  = flag.Int("stripes", 1, "send over this many parallel sublinks sharing one session id (plain send mode only)")
 	tableMode = flag.Bool("table-driven", false, "send with no source route through one -via entry depot; depots route by controller-pushed tables")
+	weight    = flag.Int("weight", 1, "fair-share weight (1..65535) carried in the session header; fair-share depots grant bandwidth in proportion")
 )
 
 func main() {
 	flag.Parse()
+	if *weight < 1 || *weight > 65535 {
+		log.Fatalf("lsl-xfer: -weight %d out of range 1..65535", *weight)
+	}
 	var err error
 	switch {
 	case *sink:
@@ -151,13 +163,19 @@ func mintTrace() {
 	}
 }
 
-// traceOpts returns the wire options carrying the minted trace id, or
-// nil when untraced.
-func traceOpts() []wire.Option {
-	if xferTrace.IsZero() {
-		return nil
+// sessionOpts returns the wire options every attempt of this
+// invocation carries: the minted trace id (when tracing succeeded) and
+// the fair-share weight (when above the default, so unweighted sends
+// put nothing extra on the wire).
+func sessionOpts() []wire.Option {
+	var opts []wire.Option
+	if !xferTrace.IsZero() {
+		opts = append(opts, wire.TraceIDOption(xferTrace))
 	}
-	return []wire.Option{wire.TraceIDOption(xferTrace)}
+	if *weight > int(wire.DefaultSessionWeight) {
+		opts = append(opts, wire.SessionWeightOption(uint16(*weight)))
+	}
+	return opts
 }
 
 // newSampler starts the -sample byte sampler, or returns nil when off.
@@ -368,7 +386,7 @@ func runSend() error {
 	start := time.Now()
 	var sess *lsl.Session
 	if *store {
-		sess, err = lsl.OpenStore(dial, srcEP, dst, route, traceOpts()...)
+		sess, err = lsl.OpenStore(dial, srcEP, dst, route, sessionOpts()...)
 		if err != nil {
 			return err
 		}
@@ -393,7 +411,7 @@ func runSend() error {
 		if len(route) == 0 {
 			return fmt.Errorf("-generate needs at least one -via depot to do the generating")
 		}
-		sess, err = lsl.OpenGenerate(dial, srcEP, dst, route, uint64(size), traceOpts()...)
+		sess, err = lsl.OpenGenerate(dial, srcEP, dst, route, uint64(size), sessionOpts()...)
 		if err != nil {
 			return err
 		}
@@ -421,7 +439,7 @@ func runSend() error {
 			if len(attemptRoute) > 0 {
 				hop = attemptRoute[0]
 			}
-			s2, oerr := lsl.Open(dial, srcEP, dst, attemptRoute, traceOpts()...)
+			s2, oerr := lsl.Open(dial, srcEP, dst, attemptRoute, sessionOpts()...)
 			if oerr != nil {
 				return oerr
 			}
@@ -464,7 +482,7 @@ func runTableDrivenSend(dial lsl.Dialer, srcEP, dst, entry wire.Endpoint, size i
 	if err != nil {
 		return err
 	}
-	sess, err := lsl.Wrap(conn, srcEP, dst, traceOpts()...)
+	sess, err := lsl.Wrap(conn, srcEP, dst, sessionOpts()...)
 	if err != nil {
 		return err
 	}
@@ -523,7 +541,7 @@ func runStripedSend(dial lsl.Dialer, srcEP, dst wire.Endpoint, route []wire.Endp
 				if attempt > 0 {
 					log.Printf("stripe %d: retry %d of %d", k, attempt, *retries)
 				}
-				sess, oerr := lsl.OpenStripe(dial, srcEP, dst, route, id, k, n, from, traceOpts()...)
+				sess, oerr := lsl.OpenStripe(dial, srcEP, dst, route, id, k, n, from, sessionOpts()...)
 				if oerr != nil {
 					return oerr
 				}

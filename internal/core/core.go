@@ -23,6 +23,7 @@ import (
 	"github.com/netlogistics/lsl/internal/ctl"
 	"github.com/netlogistics/lsl/internal/depot"
 	"github.com/netlogistics/lsl/internal/emu"
+	"github.com/netlogistics/lsl/internal/fairshare"
 	"github.com/netlogistics/lsl/internal/lsl"
 	"github.com/netlogistics/lsl/internal/obs"
 	"github.com/netlogistics/lsl/internal/schedule"
@@ -72,6 +73,19 @@ type Config struct {
 	// Sessions, when non-nil, tracks in-flight sessions across every
 	// depot for live inspection.
 	Sessions *obs.SessionTable
+	// FairShare, when non-nil, attaches a weighted fair-share chunk
+	// scheduler to every depot in the system. Each depot gets its own
+	// scheduler (its downstream trunk is an independent resource), so
+	// concurrent sessions through one depot split that depot's
+	// forwarding capacity by their carried weights. A zero Rate keeps
+	// every scheduler work-conserving: arbitration without shaping.
+	FairShare *fairshare.Config
+	// MaxSessions caps concurrent sessions per depot (0 = unlimited),
+	// and QueueDepth/QueueTimeout configure each depot's bounded
+	// admission queue, exactly as in depot.Config.
+	MaxSessions  int
+	QueueDepth   int
+	QueueTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -195,6 +209,12 @@ func NewSystem(t *topo.Topology, cfg Config) (*System, error) {
 			Trace:         cfg.Trace,
 			Sessions:      cfg.Sessions,
 			Faults:        s.faults[i],
+			MaxSessions:   cfg.MaxSessions,
+			QueueDepth:    cfg.QueueDepth,
+			QueueTimeout:  cfg.QueueTimeout,
+		}
+		if cfg.FairShare != nil {
+			dcfg.FairShare = fairshare.New(*cfg.FairShare)
 		}
 		if cfg.ControlPlane {
 			// Controller-owned routing: no live planner access, no direct

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/netlogistics/lsl/internal/fairshare"
 	"github.com/netlogistics/lsl/internal/topo"
 )
 
@@ -51,6 +52,32 @@ func TestDirectTransferDelivers(t *testing.T) {
 	}
 	if len(res.Path) != 2 {
 		t.Fatalf("path = %v", res.Path)
+	}
+}
+
+// TestTransferWeighted: a deployment with fair sharing enabled on
+// every depot still delivers a weighted transfer end to end — the
+// weight option rides the header through forwarding depots and the
+// work-conserving schedulers cost a sole session nothing.
+func TestTransferWeighted(t *testing.T) {
+	sys, err := NewSystem(topo.TwoPath(), Config{
+		TimeScale: 0.0005,
+		Seed:      1,
+		FairShare: &fairshare.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	res, err := sys.TransferWeighted(topo.UCSB, topo.UIUC, 256<<10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 256<<10 {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+	if res.Bandwidth <= 0 {
+		t.Fatalf("result = %+v", res)
 	}
 }
 

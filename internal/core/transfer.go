@@ -127,6 +127,29 @@ func (s *System) Transfer(srcHost, dstHost string, size int64) (TransferResult, 
 	return s.transferAlong(path, size)
 }
 
+// TransferWeighted is Transfer with an explicit fair-share weight: the
+// session carries wire.OptSessionWeight, so every scheduled depot on
+// the path grants it weight× the per-round credit of a weight-1
+// session. On an unscheduled deployment the option rides along inert.
+func (s *System) TransferWeighted(srcHost, dstHost string, size int64, weight uint16) (TransferResult, error) {
+	si, err := s.resolve(srcHost)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	di, err := s.resolve(dstHost)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	path, err := s.Planner.Path(si, di)
+	if err != nil {
+		return TransferResult{}, err
+	}
+	if path == nil {
+		return TransferResult{}, fmt.Errorf("core: no route %s → %s", srcHost, dstHost)
+	}
+	return s.transferAlong(path, size, wire.SessionWeightOption(weight))
+}
+
 // DirectTransfer bypasses the scheduler and moves the bytes over the
 // single end-to-end connection, the baseline of every comparison.
 func (s *System) DirectTransfer(srcHost, dstHost string, size int64) (TransferResult, error) {
@@ -166,7 +189,10 @@ func (s *System) hostNames(path []int) []string {
 	return names
 }
 
-func (s *System) transferAlong(path []int, size int64) (TransferResult, error) {
+// transferAlong runs one transfer over an explicit host-index path.
+// extra options (trace ids are added here; weights arrive from the
+// caller) ride the session header end to end.
+func (s *System) transferAlong(path []int, size int64, extra ...wire.Option) (TransferResult, error) {
 	if size <= 0 {
 		return TransferResult{}, fmt.Errorf("core: transfer size %d must be positive", size)
 	}
@@ -181,7 +207,8 @@ func (s *System) transferAlong(path []int, size int64) (TransferResult, error) {
 
 	start := time.Now()
 	tid := mintTrace()
-	sess, err := lsl.Open(s.dialerFor(src), s.endpoints[src], s.endpoints[dst], route, traceOpt(tid)...)
+	opts := append(traceOpt(tid), extra...)
+	sess, err := lsl.Open(s.dialerFor(src), s.endpoints[src], s.endpoints[dst], route, opts...)
 	if err != nil {
 		s.observeTransfer(TransferResult{}, err)
 		return TransferResult{}, err

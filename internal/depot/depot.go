@@ -26,6 +26,7 @@ import (
 	"context"
 
 	"github.com/netlogistics/lsl/internal/bufpool"
+	"github.com/netlogistics/lsl/internal/fairshare"
 	"github.com/netlogistics/lsl/internal/lsl"
 	"github.com/netlogistics/lsl/internal/obs"
 	"github.com/netlogistics/lsl/internal/retry"
@@ -35,6 +36,12 @@ import (
 // DefaultPipelineBytes matches the paper's 32 MB depot pipeline
 // (8 MB kernel send + 8 MB kernel receive + matching user buffers).
 const DefaultPipelineBytes = 32 << 20
+
+// DefaultQueueTimeout bounds an admission-queue wait when
+// Config.QueueTimeout is zero: long enough to ride out a typical
+// session draining, short enough that an initiator's retry policy —
+// not the queue — owns multi-second recovery.
+const DefaultQueueTimeout = 10 * time.Second
 
 // chunkSize is the unit of the forwarding pipeline. It equals the
 // pooled buffer size so every hot loop draws from one shared pool.
@@ -89,6 +96,22 @@ type Config struct {
 	// beyond this concurrency — the load-based session negotiation the
 	// paper proposes for future work.
 	MaxSessions int
+	// QueueDepth, when positive alongside MaxSessions, admits up to this
+	// many over-limit sessions into a bounded wait queue instead of
+	// refusing them outright: transient bursts ride out a slot becoming
+	// free, and only sustained overload (queue full, or QueueTimeout
+	// exceeded) is refused. Zero keeps the legacy immediate refusal.
+	QueueDepth int
+	// QueueTimeout bounds how long a queued session waits for a slot
+	// before being refused (0 selects DefaultQueueTimeout).
+	QueueTimeout time.Duration
+	// FairShare, when non-nil, makes every data-path pump acquire credit
+	// from this weighted DRR scheduler before forwarding each chunk, so
+	// concurrent sessions share the depot's downstream bandwidth in
+	// proportion to the weight carried in their OptSessionWeight. One
+	// scheduler models one contended trunk; sharing it across depots
+	// models a shared sublink.
+	FairShare *fairshare.Scheduler
 	// ForwardRetry retries a failed onward dial with backoff before
 	// giving up on a session. The zero policy dials exactly once.
 	ForwardRetry retry.Policy
@@ -141,6 +164,8 @@ type Stats struct {
 	TableHits      int64
 	TableMisses    int64
 	HopLimited     int64
+	Queued         int64
+	QueueTimeouts  int64
 }
 
 // stat holds the Stats fields as atomics, so hot-path accounting never
@@ -166,6 +191,8 @@ type stat struct {
 	tableHits      atomic.Int64
 	tableMisses    atomic.Int64
 	hopLimited     atomic.Int64
+	queued         atomic.Int64
+	queueTimeouts  atomic.Int64
 }
 
 // metrics are the depot's shared-registry instruments, resolved once at
@@ -185,6 +212,8 @@ type metrics struct {
 	tableHits   *obs.Counter
 	tableMisses *obs.Counter
 	hopLimited  *obs.Counter
+	queued      *obs.Counter
+	queueTOs    *obs.Counter
 	tableEpoch  *obs.Gauge
 	occupancy   *obs.Gauge
 	active      *obs.Gauge
@@ -217,6 +246,8 @@ const (
 	MetricTableHits         = "depot_table_hits_total"
 	MetricTableMisses       = "depot_table_misses_total"
 	MetricHopLimited        = "depot_hop_limit_refused_total"
+	MetricAdmissionQueued   = "depot_admission_queued_total"
+	MetricAdmissionTimeouts = "depot_admission_timeouts_total"
 )
 
 func newMetrics(r *obs.Registry) metrics {
@@ -235,6 +266,8 @@ func newMetrics(r *obs.Registry) metrics {
 		tableHits:   r.Counter(MetricTableHits),
 		tableMisses: r.Counter(MetricTableMisses),
 		hopLimited:  r.Counter(MetricHopLimited),
+		queued:      r.Counter(MetricAdmissionQueued),
+		queueTOs:    r.Counter(MetricAdmissionTimeouts),
 		tableEpoch:  r.Gauge(MetricTableEpoch),
 		occupancy:   r.Gauge(MetricPipelineOccupancy),
 		active:      r.Gauge(MetricActiveSessions),
@@ -252,9 +285,15 @@ func newMetrics(r *obs.Registry) metrics {
 type Server struct {
 	cfg    Config
 	active atomic.Int64
-	store  *sessionStore
-	routes atomic.Pointer[routeTable]
-	wg     sync.WaitGroup
+	// admit is the MaxSessions slot semaphore (nil when unlimited):
+	// reserving a slot and counting it are one channel send, so
+	// concurrent arrivals can never both pass a load check that only
+	// one of them fits under.
+	admit   chan struct{}
+	waiting atomic.Int64 // sessions currently in the admission queue
+	store   *sessionStore
+	routes  atomic.Pointer[routeTable]
+	wg      sync.WaitGroup
 
 	st  stat
 	met metrics
@@ -273,11 +312,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.PipelineBytes <= 0 {
 		cfg.PipelineBytes = DefaultPipelineBytes
 	}
-	return &Server{
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = DefaultQueueTimeout
+	}
+	srv := &Server{
 		cfg:   cfg,
 		store: newSessionStore(cfg.StoreBytes),
 		met:   newMetrics(cfg.Metrics),
-	}, nil
+	}
+	if cfg.MaxSessions > 0 {
+		srv.admit = make(chan struct{}, cfg.MaxSessions)
+	}
+	return srv, nil
 }
 
 // Stats returns a snapshot of the counters. Each field is read
@@ -304,6 +350,8 @@ func (s *Server) Stats() Stats {
 		TableHits:      s.st.tableHits.Load(),
 		TableMisses:    s.st.tableMisses.Load(),
 		HopLimited:     s.st.hopLimited.Load(),
+		Queued:         s.st.queued.Load(),
+		QueueTimeouts:  s.st.queueTimeouts.Load(),
 	}
 }
 
@@ -325,6 +373,7 @@ type flow struct {
 	stripe  int               // 0-based stripe index (0 when unstriped)
 	stripes int               // header stripe count (1 when unstriped)
 	entry   *obs.SessionEntry // may be nil
+	fs      *fairshare.Flow   // chunk-credit handle; nil when unscheduled
 	first   atomic.Bool       // first payload chunk seen
 }
 
@@ -459,14 +508,16 @@ func (s *Server) Handle(conn net.Conn) {
 		}
 		return
 	}
-	if s.cfg.MaxSessions > 0 && s.active.Load() >= int64(s.cfg.MaxSessions) {
+	release, refusal := s.admitSession(f, h)
+	if refusal != "" {
 		s.st.refused.Add(1)
 		s.met.refused.Inc()
-		f.emit(obs.KindRefused, obs.Event{Peer: h.Src.String(), Detail: "load"})
-		s.logf("depot %s: refusing session %s (load)", s.cfg.Self, h.Session)
+		f.emit(obs.KindRefused, obs.Event{Peer: h.Src.String(), Detail: refusal})
+		s.logf("depot %s: refusing session %s (%s)", s.cfg.Self, h.Session, refusal)
 		_ = lsl.Refuse(conn, h)
 		return
 	}
+	defer release()
 	s.active.Add(1)
 	s.met.active.Add(1)
 	if f.stripes > 1 {
@@ -485,6 +536,12 @@ func (s *Server) Handle(conn net.Conn) {
 	s.st.accepted.Add(1)
 	s.met.accepted.Inc()
 	f.emit(obs.KindAccept, obs.Event{Peer: h.Src.String()})
+
+	// Under fair sharing, the session's pumps draw chunk credit at the
+	// weight its initiator asked for. Join is nil-safe: without a
+	// scheduler f.fs stays nil and the pump path costs nothing.
+	f.fs = s.cfg.FairShare.Join(h.SessionWeight())
+	defer f.fs.Leave()
 
 	sess := &lsl.Session{Conn: s.cfg.Faults.wrap(conn, s.met.faults), Header: h}
 	switch h.Type {
@@ -507,6 +564,49 @@ func (s *Server) Handle(conn net.Conn) {
 		s.met.errors.Inc()
 		f.emit(obs.KindError, obs.Event{Detail: err.Error()})
 		s.logf("depot %s: session %s: %v", s.cfg.Self, h.Session, err)
+	}
+}
+
+// admitSession reserves a MaxSessions slot for the session, waiting in
+// the bounded admission queue when one is configured. It returns a
+// release function and an empty refusal reason on success; a non-empty
+// refusal ("load" — no slot and no queue room — or "queue timeout")
+// means the session must be refused. Reserving a slot is a single
+// channel send, so concurrent arrivals can never both clear a limit
+// that only has room for one of them.
+func (s *Server) admitSession(f *flow, h *wire.Header) (release func(), refusal string) {
+	if s.admit == nil {
+		return func() {}, ""
+	}
+	release = func() { <-s.admit }
+	select {
+	case s.admit <- struct{}{}:
+		return release, ""
+	default:
+	}
+	if s.cfg.QueueDepth <= 0 {
+		return nil, "load"
+	}
+	if s.waiting.Add(1) > int64(s.cfg.QueueDepth) {
+		s.waiting.Add(-1)
+		return nil, "load"
+	}
+	defer s.waiting.Add(-1)
+	t0 := time.Now()
+	timer := time.NewTimer(s.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case s.admit <- struct{}{}:
+		wait := time.Since(t0)
+		s.st.queued.Add(1)
+		s.met.queued.Inc()
+		f.emit(obs.KindQueued, obs.Event{Peer: h.Src.String(),
+			Detail: fmt.Sprintf("admission wait %s", wait.Round(time.Millisecond))})
+		return release, ""
+	case <-timer.C:
+		s.st.queueTimeouts.Add(1)
+		s.met.queueTOs.Inc()
+		return nil, "queue timeout"
 	}
 }
 

@@ -32,6 +32,15 @@ func (f *flow) firstByte() bool {
 	return f != nil && f.first.CompareAndSwap(false, true)
 }
 
+// acquire blocks until the flow holds fair-share credit for n bytes.
+// Free for a nil flow or an unscheduled depot, so bare pumps and
+// depots without a scheduler pay nothing.
+func (f *flow) acquire(n int) {
+	if f != nil {
+		f.fs.Acquire(n)
+	}
+}
+
 // pump moves the session payload from src to dst through a bounded
 // pipeline of PipelineBytes: a reader goroutine fills chunks into a
 // channel whose total capacity is the pipeline size, and the writer
@@ -125,6 +134,10 @@ func (s *Server) pump(dst io.Writer, src io.Reader, f *flow) (int64, error) {
 		if f.firstByte() {
 			f.emit(obs.KindFirstByte, obs.Event{})
 		}
+		// Fair sharing gates the write, not the read: upstream bytes
+		// still land in the pipeline at full speed, but the contended
+		// resource — the downstream sublink — is granted by weight.
+		f.acquire(len(it.data))
 		t0 := time.Now()
 		n, err := dst.Write(it.data)
 		s.met.chunkWrite.Observe(time.Since(t0).Seconds())

@@ -6,6 +6,7 @@ import (
 	"net"
 	"testing"
 
+	"github.com/netlogistics/lsl/internal/fairshare"
 	"github.com/netlogistics/lsl/internal/lsl"
 	"github.com/netlogistics/lsl/internal/wire"
 )
@@ -37,6 +38,27 @@ func BenchmarkPump(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		src := bytes.NewReader(payload)
 		if _, err := srv.pump(io.Discard, src, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFairShare measures the same 8 MB pump with a fair-share
+// flow attached to a work-conserving scheduler: the per-chunk cost of
+// the credit gate on the write path. The delta against BenchmarkPump
+// is the scheduling tax an unloaded depot pays for multi-tenancy.
+func BenchmarkFairShare(b *testing.B) {
+	srv := benchServer(b)
+	sched := fairshare.New(fairshare.Config{})
+	f := &flow{srv: srv, fs: sched.Join(1)}
+	defer f.fs.Leave()
+	payload := make([]byte, 8<<20)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := bytes.NewReader(payload)
+		if _, err := srv.pump(io.Discard, src, f); err != nil {
 			b.Fatal(err)
 		}
 	}

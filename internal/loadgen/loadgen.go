@@ -1,0 +1,241 @@
+// Package loadgen is the mesh load and soak harness: it drives many
+// concurrent transfers through a core.System deployment — mixed sizes,
+// mixed fair-share weights, a configurable arrival process — and
+// reports the distributional figures a multi-tenant evaluation needs:
+// per-session throughput, Jain's fairness index, and completion-latency
+// percentiles.
+//
+// The harness composes with the rest of the testbed rather than
+// duplicating it: the System under load may run fair-share schedulers,
+// admission queues, or armed depot.FaultInjector instances, and a soak
+// run can use the reliable (retry + failover) transfer path so injected
+// faults are survived and counted instead of aborting the run.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/core"
+	"github.com/netlogistics/lsl/internal/stats"
+	"github.com/netlogistics/lsl/internal/workload"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Sessions is the number of transfers to launch (default 32).
+	Sessions int
+	// Sizes is cycled across sessions (default 256 KiB, 1 MiB, 4 MiB).
+	Sizes []int64
+	// Weights is cycled across sessions (default all weight 1). With a
+	// fair-share deployment, weight k earns k× the per-round credit of
+	// weight 1 at every scheduled depot on the path.
+	Weights []uint16
+	// Pairs is the (source, destination) host-name pool, drawn uniformly
+	// per session. Empty selects all ordered pairs of the topology.
+	Pairs [][2]string
+	// Arrival paces session launches; nil releases everything at once
+	// (the closed load).
+	Arrival workload.ArrivalProcess
+	// Reliable routes each transfer through the retry + failover path
+	// with the default recovery policy, the soak mode that survives
+	// armed fault injectors.
+	Reliable bool
+	// Seed drives pair selection and the arrival process.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sessions <= 0 {
+		c.Sessions = 32
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int64{256 << 10, 1 << 20, 4 << 20}
+	}
+	if len(c.Weights) == 0 {
+		c.Weights = []uint16{1}
+	}
+	return c
+}
+
+// Session is the outcome of one generated transfer.
+type Session struct {
+	Index    int
+	Src, Dst string
+	Size     int64
+	Weight   uint16
+	// Elapsed and Bandwidth are in emulated time, like
+	// core.TransferResult.
+	Elapsed   time.Duration
+	Bandwidth float64
+	Err       error
+}
+
+// Report aggregates a completed run.
+type Report struct {
+	Sessions []Session
+	// Completed and Failed partition the sessions.
+	Completed int
+	Failed    int
+	// Bytes is the total delivered by completed sessions.
+	Bytes int64
+	// Wall is the real time the whole run took.
+	Wall time.Duration
+	// Jain is Jain's fairness index over completed sessions' bandwidth
+	// (NaN when nothing completed).
+	Jain float64
+	// P50, P95 and P99 are completion-latency percentiles over
+	// completed sessions, in emulated time.
+	P50, P95, P99 time.Duration
+}
+
+// Run launches the configured load against sys and blocks until every
+// session has finished, successfully or not. Individual transfer
+// failures are recorded, not fatal: a soak run reports its casualties.
+func Run(sys *core.System, cfg Config) Report {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pairs := cfg.Pairs
+	if len(pairs) == 0 {
+		pairs = allPairs(sys)
+	}
+
+	sessions := make([]Session, cfg.Sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Sessions; i++ {
+		if cfg.Arrival != nil {
+			if d := cfg.Arrival.Delay(i, rng); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		p := pairs[rng.Intn(len(pairs))]
+		s := Session{
+			Index:  i,
+			Src:    p[0],
+			Dst:    p[1],
+			Size:   cfg.Sizes[i%len(cfg.Sizes)],
+			Weight: cfg.Weights[i%len(cfg.Weights)],
+		}
+		wg.Add(1)
+		go func(i int, s Session) {
+			defer wg.Done()
+			var res core.TransferResult
+			var err error
+			if cfg.Reliable {
+				res, err = sys.TransferReliable(s.Src, s.Dst, s.Size, core.DefaultRecovery())
+			} else {
+				res, err = sys.TransferWeighted(s.Src, s.Dst, s.Size, s.Weight)
+			}
+			s.Elapsed = res.Elapsed
+			s.Bandwidth = res.Bandwidth
+			s.Err = err
+			sessions[i] = s
+		}(i, s)
+	}
+	wg.Wait()
+	return summarize(sessions, time.Since(start))
+}
+
+// allPairs enumerates every ordered host pair of the deployment.
+func allPairs(sys *core.System) [][2]string {
+	n := sys.Topo.N()
+	pairs := make([][2]string, 0, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			pairs = append(pairs, [2]string{sys.Topo.Hosts[i].Name, sys.Topo.Hosts[j].Name})
+		}
+	}
+	return pairs
+}
+
+// summarize folds per-session outcomes into the report figures.
+func summarize(sessions []Session, wall time.Duration) Report {
+	r := Report{Sessions: sessions, Wall: wall}
+	var rates, lats []float64
+	for _, s := range sessions {
+		if s.Err != nil {
+			r.Failed++
+			continue
+		}
+		r.Completed++
+		r.Bytes += s.Size
+		rates = append(rates, s.Bandwidth)
+		lats = append(lats, s.Elapsed.Seconds())
+	}
+	r.Jain = stats.JainIndex(rates)
+	sort.Float64s(lats)
+	r.P50 = secs(stats.Percentile(lats, 50))
+	r.P95 = secs(stats.Percentile(lats, 95))
+	r.P99 = secs(stats.Percentile(lats, 99))
+	return r
+}
+
+func secs(s float64) time.Duration {
+	if s != s { // NaN: nothing completed
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+// ByWeight groups completed sessions' mean bandwidth by their weight,
+// the figure a fairness table is built from.
+func (r Report) ByWeight() map[uint16]float64 {
+	sums := map[uint16]float64{}
+	counts := map[uint16]int{}
+	for _, s := range r.Sessions {
+		if s.Err != nil {
+			continue
+		}
+		sums[s.Weight] += s.Bandwidth
+		counts[s.Weight]++
+	}
+	out := make(map[uint16]float64, len(sums))
+	for w, sum := range sums {
+		out[w] = sum / float64(counts[w])
+	}
+	return out
+}
+
+// String renders the report as the summary block lsl-exp prints.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sessions %d (%d completed, %d failed), %.1f MB delivered in %v wall\n",
+		len(r.Sessions), r.Completed, r.Failed, float64(r.Bytes)/1e6, r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "completion latency (emulated): p50 %v  p95 %v  p99 %v\n",
+		r.P50.Round(time.Millisecond), r.P95.Round(time.Millisecond), r.P99.Round(time.Millisecond))
+	fmt.Fprintf(&b, "fairness: Jain index %.3f over per-session throughput\n", r.Jain)
+	weights := r.ByWeight()
+	if len(weights) > 1 {
+		ws := make([]int, 0, len(weights))
+		for w := range weights {
+			ws = append(ws, int(w))
+		}
+		sort.Ints(ws)
+		for _, w := range ws {
+			fmt.Fprintf(&b, "  weight %d: mean %s\n", w, formatRate(weights[uint16(w)]))
+		}
+	}
+	return b.String()
+}
+
+// formatRate renders bytes/s in the largest unit that keeps two
+// significant decimals, so slow emulated sessions don't all print as
+// 0.00 MB/s.
+func formatRate(bps float64) string {
+	switch {
+	case bps >= 1e6:
+		return fmt.Sprintf("%.2f MB/s", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.2f KB/s", bps/1e3)
+	default:
+		return fmt.Sprintf("%.0f B/s", bps)
+	}
+}

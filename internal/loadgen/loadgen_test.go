@@ -1,0 +1,194 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/core"
+	"github.com/netlogistics/lsl/internal/fairshare"
+	"github.com/netlogistics/lsl/internal/topo"
+	"github.com/netlogistics/lsl/internal/workload"
+)
+
+// testSystem builds a fast scheduled deployment for load runs.
+func testSystem(t *testing.T, cfg core.Config) *core.System {
+	t.Helper()
+	cfg.TimeScale = 0.0005
+	cfg.Seed = 1
+	sys, err := core.NewSystem(topo.TwoPath(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	return sys
+}
+
+// TestRunCompletes: a small closed load over a fair-share deployment
+// completes every session and reports coherent figures.
+func TestRunCompletes(t *testing.T) {
+	sys := testSystem(t, core.Config{FairShare: &fairshare.Config{}})
+	rep := Run(sys, Config{
+		Sessions: 9,
+		Sizes:    []int64{64 << 10, 128 << 10},
+		Weights:  []uint16{2, 1},
+		Seed:     7,
+	})
+	if rep.Failed != 0 || rep.Completed != 9 {
+		t.Fatalf("completed %d failed %d, want 9/0: %+v", rep.Completed, rep.Failed, rep.Sessions)
+	}
+	var want int64
+	for _, s := range rep.Sessions {
+		want += s.Size
+	}
+	if rep.Bytes != want {
+		t.Fatalf("bytes %d, want %d", rep.Bytes, want)
+	}
+	if rep.Jain <= 0 || rep.Jain > 1 {
+		t.Fatalf("Jain index %v out of (0,1]", rep.Jain)
+	}
+	if rep.P50 <= 0 || rep.P95 < rep.P50 || rep.P99 < rep.P95 {
+		t.Fatalf("disordered percentiles: p50 %v p95 %v p99 %v", rep.P50, rep.P95, rep.P99)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report rendering")
+	}
+}
+
+// TestRunPacedArrivals: a paced open load launches sessions over time
+// and still completes; the wall clock reflects the pacing.
+func TestRunPacedArrivals(t *testing.T) {
+	sys := testSystem(t, core.Config{})
+	rep := Run(sys, Config{
+		Sessions: 4,
+		Sizes:    []int64{64 << 10},
+		Arrival:  workload.UniformArrivals{Every: 10 * time.Millisecond},
+		Seed:     3,
+	})
+	if rep.Completed != 4 {
+		t.Fatalf("completed %d of 4", rep.Completed)
+	}
+	if rep.Wall < 30*time.Millisecond {
+		t.Fatalf("wall %v, want ≥30ms of arrival pacing", rep.Wall)
+	}
+}
+
+// directPair finds a host pair whose planned route is the direct
+// connection and whose destination is a non-depot leaf, so killing
+// that destination fails its own sessions at dial time without
+// severing anyone else's relay.
+func directPair(t *testing.T, sys *core.System) [2]string {
+	t.Helper()
+	for i := 0; i < sys.Topo.N(); i++ {
+		for j := 0; j < sys.Topo.N(); j++ {
+			if i == j || sys.Topo.Hosts[j].Depot {
+				continue
+			}
+			a, b := sys.Topo.Hosts[i].Name, sys.Topo.Hosts[j].Name
+			if p, err := sys.PlannedPath(a, b); err == nil && len(p) == 2 {
+				return [2]string{a, b}
+			}
+		}
+	}
+	t.Fatal("no directly-planned pair to a leaf host in the topology")
+	return [2]string{}
+}
+
+// pairAvoiding finds a pair whose planned route never touches the
+// given host.
+func pairAvoiding(t *testing.T, sys *core.System, host string) [2]string {
+	t.Helper()
+	for i := 0; i < sys.Topo.N(); i++ {
+		for j := 0; j < sys.Topo.N(); j++ {
+			a, b := sys.Topo.Hosts[i].Name, sys.Topo.Hosts[j].Name
+			if i == j || a == host || b == host {
+				continue
+			}
+			p, err := sys.PlannedPath(a, b)
+			if err != nil {
+				continue
+			}
+			clean := true
+			for _, h := range p {
+				if h == host {
+					clean = false
+				}
+			}
+			if clean {
+				return [2]string{a, b}
+			}
+		}
+	}
+	t.Fatalf("every planned route touches %s", host)
+	return [2]string{}
+}
+
+// TestRunCountsFaultCasualties: with one depot dead, sessions routed
+// at it fail, sessions avoiding it complete, and the run reports both
+// instead of aborting.
+func TestRunCountsFaultCasualties(t *testing.T) {
+	sys := testSystem(t, core.Config{})
+	deadPair := directPair(t, sys)
+	dead := deadPair[1]
+	healthy := pairAvoiding(t, sys, dead)
+	if err := sys.KillDepot(dead); err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(sys, Config{
+		Sessions: 6,
+		Sizes:    []int64{64 << 10},
+		Pairs:    [][2]string{deadPair, healthy},
+		Seed:     5,
+	})
+	if rep.Failed == 0 {
+		t.Fatal("no failures recorded against a dead depot")
+	}
+	if rep.Completed == 0 {
+		t.Fatal("healthy pairs should still complete")
+	}
+	if rep.Completed+rep.Failed != 6 {
+		t.Fatalf("completed %d + failed %d != 6", rep.Completed, rep.Failed)
+	}
+}
+
+// TestRunSoakSurvivesInjectedFault: the soak mode composes with the
+// depot fault injector — a one-shot mid-stream drop at the sink depot
+// fires, the reliable path resumes, and the run still completes clean.
+func TestRunSoakSurvivesInjectedFault(t *testing.T) {
+	sys := testSystem(t, core.Config{})
+	pair := directPair(t, sys)
+	fi, err := sys.Fault(pair[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi.DropAfter(16 << 10)
+	rep := Run(sys, Config{
+		Sessions: 3,
+		Sizes:    []int64{64 << 10},
+		Pairs:    [][2]string{pair},
+		Reliable: true,
+		Seed:     11,
+	})
+	if rep.Completed != 3 || rep.Failed != 0 {
+		t.Fatalf("soak completed %d failed %d, want 3/0", rep.Completed, rep.Failed)
+	}
+	if fi.Injected() == 0 {
+		t.Fatal("armed fault never fired: the soak exercised nothing")
+	}
+}
+
+// TestByWeight groups mean throughput by session weight.
+func TestByWeight(t *testing.T) {
+	rep := summarize([]Session{
+		{Weight: 2, Bandwidth: 10},
+		{Weight: 2, Bandwidth: 20},
+		{Weight: 1, Bandwidth: 6},
+	}, time.Second)
+	bw := rep.ByWeight()
+	if bw[2] != 15 || bw[1] != 6 {
+		t.Fatalf("by-weight means = %v", bw)
+	}
+	if math.IsNaN(rep.Jain) {
+		t.Fatal("Jain index NaN for completed sessions")
+	}
+}

@@ -42,6 +42,10 @@ const (
 	// deciding a host's routes changed. Detail carries the epoch and
 	// entry count.
 	KindRoutes = "routes"
+	// KindQueued marks a session admitted after waiting in a depot's
+	// bounded admission queue; Detail carries the wait duration, so a
+	// timeline shows queue time separately from transfer time.
+	KindQueued = "queued"
 )
 
 // Event is one structured, per-session trace record — the JSON-lines
@@ -105,6 +109,13 @@ func (e Event) StripeIndex() (int, bool) {
 type Sink interface {
 	Emit(Event)
 }
+
+// SinkFunc adapts a plain function to the Sink interface. The function
+// must be safe for concurrent calls, as Sink requires.
+type SinkFunc func(Event)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(e Event) { f(e) }
 
 // Emit sends e to sink if it is non-nil, stamping Time when unset.
 // Instrumented code calls this instead of branching on configuration.

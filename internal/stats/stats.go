@@ -94,6 +94,30 @@ func percentileSorted(sorted []float64, p float64) float64 {
 // Median returns the 50th percentile of xs.
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
+// JainIndex returns Jain's fairness index of the shares xs:
+// (Σx)² / (n·Σx²). It is 1 when every share is equal and falls toward
+// 1/n as the allocation concentrates on one flow, so it summarizes how
+// fairly a depot split its trunk regardless of the absolute rates.
+// Empty or all-zero inputs yield NaN; negative shares are invalid and
+// also yield NaN.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < 0 {
+			return math.NaN()
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return math.NaN()
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
 // Box is a five-number summary plus the mean and count, matching the
 // box-and-whisker presentation of the paper's Figure 11.
 type Box struct {

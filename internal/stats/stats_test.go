@@ -215,3 +215,24 @@ func TestPercentileAgainstSortReference(t *testing.T) {
 		}
 	}
 }
+
+// TestJainIndex checks the fairness index at its anchor points: equal
+// shares score 1, a single hog among n flows scores 1/n, and weighted
+// shares land in between.
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal shares = %v, want 1", got)
+	}
+	if got := JainIndex([]float64{12, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("single hog of 4 = %v, want 0.25", got)
+	}
+	// 2:1 split of two flows: (3)²/(2·5) = 0.9.
+	if got := JainIndex([]float64{2, 1}); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("2:1 split = %v, want 0.9", got)
+	}
+	for _, bad := range [][]float64{nil, {}, {0, 0}, {1, -1}} {
+		if got := JainIndex(bad); !math.IsNaN(got) {
+			t.Fatalf("JainIndex(%v) = %v, want NaN", bad, got)
+		}
+	}
+}

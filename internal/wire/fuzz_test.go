@@ -20,6 +20,9 @@ func FuzzParseOptions(f *testing.F) {
 	f.Add(uint16(OptStripeIndex), StripeIndexOption(1).Data)
 	f.Add(uint16(OptTableEpoch), TableEpochOption(7).Data)
 	f.Add(uint16(OptTraceID), TraceIDOption(TraceID{1, 2, 3}).Data)
+	f.Add(uint16(OptSessionWeight), SessionWeightOption(2).Data)
+	f.Add(uint16(OptSessionWeight), SessionWeightOption(0).Data)
+	f.Add(uint16(OptSessionWeight), []byte{0xff})
 	if rt, err := RouteTableOptions([]RouteEntry{{Dst: MustEndpoint("10.0.0.2:1"), Next: MustEndpoint("10.0.0.3:1")}}); err == nil {
 		f.Add(uint16(OptRouteTable), rt[0].Data)
 	}
@@ -71,6 +74,11 @@ func FuzzParseOptions(f *testing.F) {
 		_, _ = ParseStripeIndex(o)
 		_, _ = ParseTableEpoch(o)
 		_, _ = ParseTraceID(o)
+		if w, err := ParseSessionWeight(o); err == nil {
+			if re := SessionWeightOption(w); !bytes.Equal(re.Data, data) {
+				t.Errorf("session weight round-trip mismatch: %x != %x", re.Data, data)
+			}
+		}
 
 		// The nil-safe header accessors must degrade, never panic.
 		h := &Header{Options: []Option{o}}
@@ -80,6 +88,9 @@ func FuzzParseOptions(f *testing.F) {
 		_ = h.HopIndex()
 		_ = h.TableEpoch()
 		_, _ = h.TraceID()
+		if w := h.SessionWeight(); w < 1 {
+			t.Errorf("SessionWeight() = %d, must never drop below 1", w)
+		}
 	})
 }
 

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// OptSessionWeight carries the session's fair-share weight: the
+// relative bandwidth share the initiator requests when the session
+// contends with others through a depot running the weighted
+// deficit-round-robin scheduler. Depots forward the option untouched;
+// a malformed or absent weight reads as 1 (an unreadable weight must
+// never make a depot drop a session it can still serve).
+const OptSessionWeight uint16 = 13
+
+// DefaultSessionWeight is the share of a session that carries no
+// weight option: every session is equal until an initiator asks for
+// more.
+const DefaultSessionWeight = 1
+
+// SessionWeightOption encodes a fair-share weight. A weight of zero is
+// promoted to DefaultSessionWeight at parse time, so initiators cannot
+// encode a session that would starve itself.
+func SessionWeightOption(weight uint16) Option {
+	var data [2]byte
+	binary.BigEndian.PutUint16(data[:], weight)
+	return Option{Kind: OptSessionWeight, Data: data[:]}
+}
+
+// ParseSessionWeight decodes a session-weight option body. A weight of
+// zero is malformed: the scheduler has no share to give a zero-weight
+// flow.
+func ParseSessionWeight(o Option) (uint16, error) {
+	if o.Kind != OptSessionWeight || len(o.Data) != 2 {
+		return 0, fmt.Errorf("%w: bad session weight", ErrBadOption)
+	}
+	w := binary.BigEndian.Uint16(o.Data)
+	if w == 0 {
+		return 0, fmt.Errorf("%w: session weight 0", ErrBadOption)
+	}
+	return w, nil
+}
+
+// SessionWeight returns the session's fair-share weight:
+// DefaultSessionWeight when the header carries no weight option or the
+// option is malformed, the carried weight otherwise.
+func (h *Header) SessionWeight() int {
+	if opt, ok := h.Option(OptSessionWeight); ok {
+		if w, err := ParseSessionWeight(opt); err == nil {
+			return int(w)
+		}
+	}
+	return DefaultSessionWeight
+}

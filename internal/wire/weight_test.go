@@ -1,0 +1,70 @@
+package wire
+
+import "testing"
+
+// TestSessionWeightRoundTrip drives the weight option through
+// encode/parse across the legal range.
+func TestSessionWeightRoundTrip(t *testing.T) {
+	for _, w := range []uint16{1, 2, 7, 255, 65535} {
+		o := SessionWeightOption(w)
+		got, err := ParseSessionWeight(o)
+		if err != nil {
+			t.Fatalf("weight %d: %v", w, err)
+		}
+		if got != w {
+			t.Fatalf("weight round trip: got %d want %d", got, w)
+		}
+	}
+}
+
+// TestSessionWeightMalformed covers the degrade-to-default contract:
+// parsers reject bad bodies, the header accessor reads them as 1.
+func TestSessionWeightMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Option
+	}{
+		{"zero weight", SessionWeightOption(0)},
+		{"short body", Option{Kind: OptSessionWeight, Data: []byte{1}}},
+		{"long body", Option{Kind: OptSessionWeight, Data: []byte{0, 1, 2}}},
+		{"empty body", Option{Kind: OptSessionWeight}},
+		{"wrong kind", Option{Kind: OptHopIndex, Data: []byte{0, 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseSessionWeight(tc.opt); err == nil {
+				t.Fatalf("parse accepted %v", tc.opt)
+			}
+			h := &Header{Options: []Option{tc.opt}}
+			if got := h.SessionWeight(); got != DefaultSessionWeight {
+				t.Fatalf("SessionWeight() = %d, want default %d", got, DefaultSessionWeight)
+			}
+		})
+	}
+}
+
+// TestSessionWeightHeaderAccessor covers the present/absent cases and
+// survival of a marshal/unmarshal round trip.
+func TestSessionWeightHeaderAccessor(t *testing.T) {
+	h := &Header{
+		Version: Version1,
+		Type:    TypeData,
+		Src:     MustEndpoint("10.0.0.1:7411"),
+		Dst:     MustEndpoint("10.0.0.2:7411"),
+	}
+	if got := h.SessionWeight(); got != DefaultSessionWeight {
+		t.Fatalf("absent option: weight %d, want %d", got, DefaultSessionWeight)
+	}
+	h.AddOption(SessionWeightOption(4))
+	buf, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Header
+	if err := back.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.SessionWeight(); got != 4 {
+		t.Fatalf("round-tripped weight %d, want 4", got)
+	}
+}

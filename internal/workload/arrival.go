@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ArrivalProcess produces the inter-arrival delay before each session
+// of a generated load. Sessions are indexed from 0; every process
+// releases session 0 immediately, so a run's first transfer never
+// waits. Implementations must be usable from a single launcher
+// goroutine (the rng is not shared).
+type ArrivalProcess interface {
+	// Delay returns how long the launcher waits before releasing
+	// session i, measured from the release of session i-1.
+	Delay(i int, rng *rand.Rand) time.Duration
+}
+
+// PoissonArrivals releases sessions as a Poisson process: delays are
+// exponentially distributed with mean 1/Rate. Rate is sessions per
+// second of wall time. A zero or negative rate degrades to releasing
+// everything at once — the "closed" load where all sessions contend
+// from the start — rather than dividing by zero or stalling forever.
+type PoissonArrivals struct {
+	Rate float64
+}
+
+// Delay implements ArrivalProcess.
+func (p PoissonArrivals) Delay(i int, rng *rand.Rand) time.Duration {
+	if i == 0 || p.Rate <= 0 {
+		return 0
+	}
+	return time.Duration(rng.ExpFloat64() / p.Rate * float64(time.Second))
+}
+
+// UniformArrivals spaces sessions a fixed interval apart — the paced
+// open load. A non-positive interval releases everything at once.
+type UniformArrivals struct {
+	Every time.Duration
+}
+
+// Delay implements ArrivalProcess.
+func (u UniformArrivals) Delay(i int, rng *rand.Rand) time.Duration {
+	if i == 0 || u.Every <= 0 {
+		return 0
+	}
+	return u.Every
+}
+
+// BurstArrivals releases sessions in back-to-back groups of Size
+// separated by Gap — the flash-crowd shape that stresses a depot's
+// admission queue. Size below 1 is treated as 1 (degenerating to
+// UniformArrivals), and a non-positive Gap releases everything at
+// once.
+type BurstArrivals struct {
+	Size int
+	Gap  time.Duration
+}
+
+// Delay implements ArrivalProcess.
+func (b BurstArrivals) Delay(i int, rng *rand.Rand) time.Duration {
+	if i == 0 || b.Gap <= 0 {
+		return 0
+	}
+	size := b.Size
+	if size < 1 {
+		size = 1
+	}
+	if i%size == 0 {
+		return b.Gap
+	}
+	return 0
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestArrivalFirstSessionImmediate: every process releases session 0
+// with no delay, so a load's first transfer starts at t=0.
+func TestArrivalFirstSessionImmediate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	procs := []ArrivalProcess{
+		PoissonArrivals{Rate: 10},
+		UniformArrivals{Every: time.Second},
+		BurstArrivals{Size: 4, Gap: time.Second},
+	}
+	for _, p := range procs {
+		if d := p.Delay(0, rng); d != 0 {
+			t.Fatalf("%T released session 0 after %v, want immediately", p, d)
+		}
+	}
+}
+
+// TestPoissonZeroRate: a zero (or negative) rate must degrade to the
+// all-at-once closed load, not divide by zero or stall.
+func TestPoissonZeroRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, rate := range []float64{0, -3} {
+		p := PoissonArrivals{Rate: rate}
+		for i := 0; i < 100; i++ {
+			if d := p.Delay(i, rng); d != 0 {
+				t.Fatalf("rate %.0f delayed session %d by %v", rate, i, d)
+			}
+		}
+	}
+}
+
+// TestPoissonMeanDelay: with a real rate the mean inter-arrival delay
+// must approximate 1/rate.
+func TestPoissonMeanDelay(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := PoissonArrivals{Rate: 100} // mean gap 10ms
+	const n = 5000
+	var sum time.Duration
+	for i := 1; i <= n; i++ {
+		sum += p.Delay(i, rng)
+	}
+	mean := sum / n
+	if mean < 8*time.Millisecond || mean > 12*time.Millisecond {
+		t.Fatalf("mean inter-arrival %v, want ≈10ms", mean)
+	}
+}
+
+// TestUniformSpacing: fixed spacing after the first session, and
+// non-positive intervals release at once.
+func TestUniformSpacing(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := UniformArrivals{Every: 50 * time.Millisecond}
+	for i := 1; i < 10; i++ {
+		if d := u.Delay(i, rng); d != 50*time.Millisecond {
+			t.Fatalf("session %d delay %v", i, d)
+		}
+	}
+	if d := (UniformArrivals{}).Delay(5, rng); d != 0 {
+		t.Fatalf("zero interval delayed by %v", d)
+	}
+}
+
+// TestBurstShape: back-to-back groups of Size separated by Gap; only
+// the first session of each later group waits.
+func TestBurstShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := BurstArrivals{Size: 3, Gap: time.Second}
+	want := []time.Duration{0, 0, 0, time.Second, 0, 0, time.Second, 0}
+	for i, w := range want {
+		if d := b.Delay(i, rng); d != w {
+			t.Fatalf("session %d delay %v, want %v", i, d, w)
+		}
+	}
+}
+
+// TestBurstDegenerate: a single-session burst is uniform pacing, and
+// size below 1 must not panic on the modulo.
+func TestBurstDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{1, 0, -2} {
+		b := BurstArrivals{Size: size, Gap: time.Second}
+		for i := 1; i < 5; i++ {
+			if d := b.Delay(i, rng); d != time.Second {
+				t.Fatalf("size %d session %d delay %v, want 1s", size, i, d)
+			}
+		}
+	}
+	// Zero gap releases everything at once regardless of size.
+	if d := (BurstArrivals{Size: 3}).Delay(3, rng); d != 0 {
+		t.Fatalf("zero-gap burst delayed by %v", d)
+	}
+}
+
+// TestSingleSessionLoad: a load of one session never waits under any
+// process — the single-session edge of every arrival shape.
+func TestSingleSessionLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	procs := []ArrivalProcess{
+		PoissonArrivals{Rate: 1},
+		UniformArrivals{Every: time.Hour},
+		BurstArrivals{Size: 1, Gap: time.Hour},
+	}
+	for _, p := range procs {
+		if d := p.Delay(0, rng); d != 0 {
+			t.Fatalf("%T delayed a single-session load by %v", p, d)
+		}
+	}
+}
