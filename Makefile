@@ -50,6 +50,7 @@ vulncheck:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseOptions -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzReadHeader -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzChunkFrames -fuzztime 10s ./internal/wire/
 
 # The data path is lock-free by design; prove it under the race
 # detector where the concurrency lives.
@@ -70,7 +71,7 @@ BENCH_COUNT ?= 6
 BENCH_OUT ?= bench.txt
 bench-guarded:
 	: > $(BENCH_OUT)
-	$(GO) test -run '^$$' -bench 'BenchmarkPump$$|BenchmarkFairShare$$' -benchtime 100x -count $(BENCH_COUNT) ./internal/depot/ | tee -a $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'BenchmarkPump$$|BenchmarkPumpChecksum$$|BenchmarkFairShare$$' -benchtime 100x -count $(BENCH_COUNT) ./internal/depot/ | tee -a $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench 'BenchmarkEmit$$' -count $(BENCH_COUNT) ./internal/obs/ | tee -a $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench 'BenchmarkStriping$$' -benchtime 1x -count $(BENCH_COUNT) . | tee -a $(BENCH_OUT)
 

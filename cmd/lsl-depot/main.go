@@ -8,6 +8,7 @@
 //	          [-routes routes.txt] [-pipeline 32] [-max-sessions 64] \
 //	          [-queue-depth 16] [-queue-timeout 10s] \
 //	          [-fair-share] [-trunk-rate 0] \
+//	          [-spool-dir /var/lib/lsl/spool] [-spool-bytes 1073741824] \
 //	          [-retries 3] [-retry-backoff 100ms] [-failover] \
 //	          [-ctl] [-table-driven] [-max-hops 16] \
 //	          [-debug-addr 127.0.0.1:7412]
@@ -21,6 +22,20 @@
 // deficit-round-robin scheduler keyed by each session's carried weight
 // option; -trunk-rate additionally paces their aggregate to a fixed
 // byte rate (0 keeps the scheduler work-conserving).
+//
+// With -spool-dir the depot's session store grows a durable disk tier:
+// when stored payloads overflow the memory budget, the coldest ones
+// spill to content-addressed files in that directory (named by their
+// SHA-256, written atomically) instead of being evicted, and a
+// restarted depot re-indexes the directory so async-stored sessions
+// survive a crash — torn writes and files damaged at rest are detected
+// by their digest and dropped, never served. -spool-bytes caps the disk
+// tier; beyond it the coldest spooled payload is evicted for good.
+// Sessions opened with the chunk-checksum option (lsl-xfer
+// -verify-integrity) are verified and re-stamped as they pass through;
+// a damaged chunk stops the forward, refuses the session upstream, and
+// counts in depot_checksum_errors_total, so the corrupting hop
+// identifies itself in /metrics and in "corrupt" trace events.
 //
 // With -retries the depot re-dials a failed onward connection with
 // exponential backoff before giving up on a session; -failover makes it
@@ -88,6 +103,9 @@ var (
 	queueTimeout = flag.Duration("queue-timeout", depot.DefaultQueueTimeout, "refuse a queued session not admitted within this wait")
 	fairShare    = flag.Bool("fair-share", false, "schedule concurrent forwarded sessions by their carried weights (weighted DRR over the downstream trunk)")
 	trunkRate    = flag.Float64("trunk-rate", 0, "with -fair-share, pace aggregate forwarding to this many bytes/s (0 = work-conserving)")
+	storeBytes   = flag.Int64("store-bytes", depot.DefaultStoreBytes, "memory budget for the async session store; overflow spills to -spool-dir (or evicts without one)")
+	spoolDir     = flag.String("spool-dir", "", "durable disk tier for the session store: spill cold payloads here as content-addressed files and re-index them on restart (empty = memory only)")
+	spoolBytes   = flag.Int64("spool-bytes", depot.DefaultSpoolBytes, "with -spool-dir, cap the disk tier at this many bytes (coldest spooled payload evicted beyond it)")
 	dialTimeout  = flag.Duration("dial-timeout", 10*time.Second, "onward connection timeout")
 	retries      = flag.Int("retries", 0, "retry a failed onward dial this many times with backoff (0 = dial once)")
 	backoff      = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before the first onward-dial retry (doubles each retry)")
@@ -168,6 +186,9 @@ func run() error {
 		MaxSessions:    *maxSessions,
 		QueueDepth:     *queueDepth,
 		QueueTimeout:   *queueTimeout,
+		StoreBytes:     *storeBytes,
+		SpoolDir:       *spoolDir,
+		SpoolBytes:     *spoolBytes,
 		FailoverDirect: *failover,
 		AcceptControl:  *acceptCtl,
 		TableDriven:    *tableDriven,
@@ -188,6 +209,12 @@ func run() error {
 	srv, err := depot.New(cfg)
 	if err != nil {
 		return err
+	}
+
+	if *spoolDir != "" {
+		diskBytes, _, recovered, _ := srv.SpoolUsage()
+		log.Printf("spool %s: recovered %d durable sessions (%d bytes), budget %d bytes",
+			*spoolDir, recovered, diskBytes, *spoolBytes)
 	}
 
 	ln, err := net.Listen("tcp", *listenAddr)
@@ -237,9 +264,9 @@ func run() error {
 
 // statsLine renders one depot stats snapshot as a log line.
 func statsLine(st depot.Stats) string {
-	return fmt.Sprintf("stats: accepted=%d forwarded=%d delivered=%d generated=%d refused=%d errors=%d bytes=%d",
+	return fmt.Sprintf("stats: accepted=%d forwarded=%d delivered=%d generated=%d refused=%d errors=%d checksum_errors=%d bytes=%d",
 		st.Accepted, st.Forwarded, st.Delivered, st.Generated, st.Refused, st.Errors,
-		st.BytesForwarded+st.BytesDelivered)
+		st.ChecksumErrors, st.BytesForwarded+st.BytesDelivered)
 }
 
 func loadRoutes(path string) (map[wire.Endpoint]wire.Endpoint, error) {

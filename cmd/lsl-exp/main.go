@@ -18,6 +18,7 @@
 //	striping  parallel-sublink throughput sweep (1..N stripes)
 //	fairness  weighted fair-sharing split through one scheduled depot
 //	loadgen   mesh load/soak harness: concurrent mixed-weight sessions
+//	integrity corruption inject-and-recover acceptance sweep
 //	ablate    all ablation sweeps (ε, buffer, loss, freshness, baseline)
 //	all       everything above
 package main
@@ -101,7 +102,7 @@ func emit(table fmt.Stringer, csv func() string) {
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lsl-exp [flags] <rtts|fig2|fig3|fig4|fig5|trees|fig9|fig11|striping|fairness|loadgen|matrix[-twopath|-planetlab|-abilene]|ablate|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: lsl-exp [flags] <rtts|fig2|fig3|fig4|fig5|trees|fig9|fig11|striping|fairness|loadgen|integrity|matrix[-twopath|-planetlab|-abilene]|ablate|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -239,6 +240,12 @@ func run(name string) error {
 			return err
 		}
 		fmt.Println(experiments.FormatRobustness(rows))
+	case "integrity":
+		rows, err := experiments.Integrity(experiments.IntegrityConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatIntegrity(rows))
 	case "ablate":
 		return ablate()
 	case "all":

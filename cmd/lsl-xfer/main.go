@@ -43,6 +43,17 @@
 //
 //	lsl-xfer -to sink:7411 -via depot:7411 -size 64M -weight 4
 //
+// Integrity: -verify-integrity arms end-to-end data integrity on any
+// send. The payload travels as CRC-32C-framed chunks that every depot
+// on the path verifies and re-stamps — a corrupting hop is caught at
+// the first depot after the damage, which refuses the session and
+// counts the error — and a plain (unstriped) send additionally carries
+// a whole-object SHA-256 digest the sink checks after the last byte.
+// The sink side needs no flag: it honors whatever integrity options the
+// session header carries:
+//
+//	lsl-xfer -to sink:7411 -via depot:7411 -size 64M -verify-integrity
+//
 // Sink mode accepts sessions, verifies the payload pattern, and prints
 // per-session throughput:
 //
@@ -59,9 +70,11 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"hash"
 	"io"
 	"log"
 	"net"
@@ -99,6 +112,7 @@ var (
 	stripesN  = flag.Int("stripes", 1, "send over this many parallel sublinks sharing one session id (plain send mode only)")
 	tableMode = flag.Bool("table-driven", false, "send with no source route through one -via entry depot; depots route by controller-pushed tables")
 	weight    = flag.Int("weight", 1, "fair-share weight (1..65535) carried in the session header; fair-share depots grant bandwidth in proportion")
+	verifyInt = flag.Bool("verify-integrity", false, "send CRC-32C-framed chunks every depot hop verifies; plain sends also carry a whole-object SHA-256 digest the sink checks")
 )
 
 func main() {
@@ -164,9 +178,10 @@ func mintTrace() {
 }
 
 // sessionOpts returns the wire options every attempt of this
-// invocation carries: the minted trace id (when tracing succeeded) and
-// the fair-share weight (when above the default, so unweighted sends
-// put nothing extra on the wire).
+// invocation carries: the minted trace id (when tracing succeeded), the
+// fair-share weight (when above the default, so unweighted sends put
+// nothing extra on the wire), and the chunk-checksum option when
+// -verify-integrity armed per-hop verification.
 func sessionOpts() []wire.Option {
 	var opts []wire.Option
 	if !xferTrace.IsZero() {
@@ -175,7 +190,25 @@ func sessionOpts() []wire.Option {
 	if *weight > int(wire.DefaultSessionWeight) {
 		opts = append(opts, wire.SessionWeightOption(uint16(*weight)))
 	}
+	if *verifyInt {
+		opts = append(opts, wire.ChunkChecksumOption())
+	}
 	return opts
+}
+
+// sendWriter wraps a session for sending: the byte sampler when
+// sampling is on, then the chunk framer when the session was opened
+// checksummed — so the sampler sees the framed bytes that actually hit
+// the socket.
+func sendWriter(sess *lsl.Session, sampler *obs.ByteSampler) io.Writer {
+	var w io.Writer = sess
+	if sampler != nil {
+		w = sampler.Writer(sess)
+	}
+	if sess.Header.Checksummed() {
+		w = wire.NewFrameWriter(w)
+	}
+	return w
 }
 
 // newSampler starts the -sample byte sampler, or returns nil when off.
@@ -392,10 +425,7 @@ func runSend() error {
 		}
 		emit0(tr, sess.ID(), obs.KindConnect, obs.Event{Peer: firstHop.String()})
 		sampler := newSampler("store " + sess.ID().String())
-		var w io.Writer = sess
-		if sampler != nil {
-			w = sampler.Writer(sess)
-		}
+		w := sendWriter(sess, sampler)
 		emit0(tr, sess.ID(), obs.KindFirstByte, obs.Event{})
 		written, werr := sendPattern(w, sess.ID(), size)
 		if werr != nil {
@@ -439,17 +469,33 @@ func runSend() error {
 			if len(attemptRoute) > 0 {
 				hop = attemptRoute[0]
 			}
-			s2, oerr := lsl.Open(dial, srcEP, dst, attemptRoute, sessionOpts()...)
+			opts := sessionOpts()
+			var (
+				s2   *lsl.Session
+				oerr error
+			)
+			if *verifyInt {
+				// The whole-object digest is keyed by the session id
+				// (the payload is the id-seeded pattern), so integrity
+				// sends mint the id before opening. Each attempt is
+				// still its own session — it restarts from byte zero,
+				// so its digest covers the whole object.
+				sid, merr := wire.NewSessionID()
+				if merr != nil {
+					return merr
+				}
+				opts = append(opts, wire.ContentDigestOption(depot.PatternDigest(sid, size)))
+				s2, oerr = lsl.OpenAtID(dial, sid, srcEP, dst, attemptRoute, 0, opts...)
+			} else {
+				s2, oerr = lsl.Open(dial, srcEP, dst, attemptRoute, opts...)
+			}
 			if oerr != nil {
 				return oerr
 			}
 			sess = s2
 			emit0(tr, sess.ID(), obs.KindConnect, obs.Event{Peer: hop.String(), Retries: attempt})
 			sampler := newSampler("send " + sess.ID().String())
-			var w io.Writer = sess
-			if sampler != nil {
-				w = sampler.Writer(sess)
-			}
+			w := sendWriter(sess, sampler)
 			emit0(tr, sess.ID(), obs.KindFirstByte, obs.Event{})
 			written, werr := sendPattern(w, sess.ID(), size)
 			if werr != nil {
@@ -488,10 +534,7 @@ func runTableDrivenSend(dial lsl.Dialer, srcEP, dst, entry wire.Endpoint, size i
 	}
 	emit0(tr, sess.ID(), obs.KindConnect, obs.Event{Peer: entry.String()})
 	sampler := newSampler("send " + sess.ID().String())
-	var w io.Writer = sess
-	if sampler != nil {
-		w = sampler.Writer(sess)
-	}
+	w := sendWriter(sess, sampler)
 	emit0(tr, sess.ID(), obs.KindFirstByte, obs.Event{})
 	written, werr := sendPattern(w, sess.ID(), size)
 	if werr != nil {
@@ -546,7 +589,7 @@ func runStripedSend(dial lsl.Dialer, srcEP, dst wire.Endpoint, route []wire.Endp
 					return oerr
 				}
 				emit0(tr, id, obs.KindConnect, obs.Event{Peer: firstHop.String(), Stripe: obs.StripeOf(k), Retries: attempt})
-				written, werr := sendPatternRange(sess, id, from, end)
+				written, werr := sendPatternRange(sendWriter(sess, nil), id, from, end)
 				sess.Close()
 				if werr != nil {
 					return fmt.Errorf("stripe %d after %d bytes: %w", k, written, werr)
@@ -617,13 +660,32 @@ func runSink() error {
 			// A resumed session's pattern continues at its carried
 			// offset rather than restarting at zero.
 			base := s.Header.ResumeOffset()
+			// The sink honors whatever integrity options the header
+			// carries: checksummed sessions are unframed (a chunk
+			// damaged on the final hop fails here, not silently), and a
+			// whole-object digest is checked once the last byte lands.
+			// Striped or resumed sessions skip the digest — their
+			// ranges do not cover the object from byte zero.
+			var in io.Reader = s
+			if s.Header.Checksummed() {
+				in = wire.NewFrameReader(s)
+			}
+			want, haveDigest := s.Header.ContentDigest()
+			haveDigest = haveDigest && s.Header.StripeCount() <= 1 && base == 0
+			var dg hash.Hash
+			if haveDigest {
+				dg = sha256.New()
+			}
 			var total int64
 			var verr error
 			for {
-				n, rerr := s.Read(buf)
+				n, rerr := in.Read(buf)
 				if n > 0 {
 					if verr == nil {
 						verr = depot.VerifyPattern(buf[:n], s.ID(), base+total)
+						if verr == nil && dg != nil {
+							dg.Write(buf[:n])
+						}
 					}
 					total += int64(n)
 				}
@@ -635,8 +697,17 @@ func runSink() error {
 					break
 				}
 			}
-			elapsed := time.Since(start)
 			status := "OK"
+			if verr == nil && dg != nil && total == want.Size {
+				var sum [sha256.Size]byte
+				dg.Sum(sum[:0])
+				if sum != want.Sum {
+					verr = fmt.Errorf("%w: object sha256 differs from sender digest over %d bytes", wire.ErrDigest, want.Size)
+				} else {
+					status = "OK, sha256 verified"
+				}
+			}
+			elapsed := time.Since(start)
 			if verr != nil {
 				status = verr.Error()
 			}

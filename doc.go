@@ -68,7 +68,9 @@
 //   - internal/stats — means, quantiles, box statistics (DESIGN.md §4)
 //
 // The commands under cmd/ (lsl-depot, lsl-xfer, lsl-ctl, lsl-sched,
-// lsl-exp) are documented flag by flag in docs/CLI.md.
+// lsl-exp) are documented flag by flag in docs/CLI.md;
+// docs/ARCHITECTURE.md draws the layer diagram these packages form,
+// and docs/OPERATIONS.md is the operator's runbook for a real mesh.
 //
 // The benchmarks in this directory regenerate every table and figure of
 // the paper's evaluation; see EXPERIMENTS.md for the measured results

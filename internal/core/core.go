@@ -86,6 +86,14 @@ type Config struct {
 	MaxSessions  int
 	QueueDepth   int
 	QueueTimeout time.Duration
+	// Integrity runs every transfer with end-to-end data integrity:
+	// payloads travel as CRC-32C-framed chunks that every depot hop
+	// verifies and re-stamps (so the corrupting hop is identified), and
+	// unstriped transfers additionally carry a whole-object SHA-256
+	// digest the sink checks on completion. Detected corruption is a
+	// transient error — the reliable transfer paths re-send the damaged
+	// range through the resume continuation instead of aborting.
+	Integrity bool
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +137,7 @@ type System struct {
 
 	mu      sync.Mutex
 	waiters map[wire.SessionID]chan deliverResult
+	digests digestTracker
 
 	closeOnce sync.Once
 }
@@ -326,6 +335,14 @@ func (s *System) routeLookup(host int) func(wire.Endpoint) (wire.Endpoint, bool)
 // stripe lands in its own byte range of the shared object. The read
 // buffer is pooled: sinks of striped transfers run one of these loops
 // per stripe.
+//
+// The sink is also the last verify point of an integrity-enabled
+// session: chunk framing is stripped here (a chunk damaged on the final
+// hop fails the delivery instead of landing silently), and when the
+// header carries the sender's content digest the verified bytes feed a
+// running SHA-256 that must match on completion. Striped sessions skip
+// the digest — their ranges interleave across sibling sessions — and
+// stay protected by the per-chunk checksums alone.
 func (s *System) localHandler() depot.Handler {
 	return func(sess *lsl.Session) error {
 		var (
@@ -333,14 +350,23 @@ func (s *System) localHandler() depot.Handler {
 			verr  error
 		)
 		base := sess.Header.ResumeOffset()
+		var src io.Reader = sess
+		if sess.Header.Checksummed() {
+			src = wire.NewFrameReader(sess)
+		}
+		want, haveDigest := sess.Header.ContentDigest()
+		haveDigest = haveDigest && sess.Header.StripeCount() <= 1
 		bp := bufpool.Get()
 		defer bufpool.Put(bp)
 		buf := *bp
 		for {
-			n, err := sess.Read(buf)
+			n, err := src.Read(buf)
 			if n > 0 {
 				if verr == nil {
 					verr = depot.VerifyPattern(buf[:n], sess.ID(), base+total)
+					if verr == nil && haveDigest {
+						s.digests.absorb(sess.ID(), base+total, buf[:n])
+					}
 				}
 				total += int64(n)
 			}
@@ -350,6 +376,23 @@ func (s *System) localHandler() depot.Handler {
 			if err != nil {
 				verr = err
 				break
+			}
+		}
+		if verr == nil && haveDigest {
+			if done, derr := s.digests.finalize(sess.ID(), want); done && derr != nil {
+				verr = derr
+				s.cfg.Metrics.Counter(MetricDigestMismatches).Inc()
+				e := obs.Event{
+					Kind:    obs.KindCorrupt,
+					Session: sess.ID().String(),
+					Node:    sess.Header.Dst.String(),
+					Bytes:   total,
+					Detail:  derr.Error(),
+				}
+				if tid, ok := sess.Header.TraceID(); ok {
+					e.Trace = tid.String()
+				}
+				obs.Emit(s.cfg.Trace, e)
 			}
 		}
 		s.complete(sess.ID(), deliverResult{bytes: total, offset: base, err: verr})

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -104,6 +105,24 @@ func (s *System) TransferReliable(srcHost, dstHost string, size int64, pol Recov
 	// One trace id spans every attempt, resume continuation, and
 	// failover reroute of this logical transfer.
 	tid := mintTrace()
+	// Under Integrity one session id spans them too: the sink keys its
+	// cross-attempt state (the running end-to-end digest) by session
+	// identity, so every continuation must present the same id. Without
+	// a digest each attempt keeps its own id — the trace id alone is
+	// the correlation key.
+	var (
+		shared    wire.SessionID
+		integrity []wire.Option
+	)
+	if s.cfg.Integrity {
+		id, err := wire.NewSessionID()
+		if err != nil {
+			return TransferResult{}, err
+		}
+		shared = id
+		integrity = integrityOptions(id, size)
+		defer s.digests.drop(id)
+	}
 	var (
 		acked      int64 // bytes the sink has verified and acked
 		lastErr    error
@@ -125,7 +144,7 @@ func (s *System) TransferReliable(srcHost, dstHost string, size int64, pol Recov
 			// Bytes the continuation session does not re-send.
 			r.Counter(MetricResumedBytes).Add(acked)
 		}
-		got, id, aerr := s.attemptResumable(path, size, acked, pol.AttemptTimeout, tid)
+		got, id, aerr := s.attemptResumable(path, shared, size, acked, pol.AttemptTimeout, tid, integrity)
 		acked += got
 		lastID = id
 		if aerr == nil && acked == size {
@@ -143,6 +162,13 @@ func (s *System) TransferReliable(srcHost, dstHost string, size int64, pol Recov
 			r.Counter(MetricRecoveryFatal).Inc()
 			s.observeTransfer(TransferResult{}, aerr)
 			return TransferResult{}, fmt.Errorf("core: fatal: %w", aerr)
+		}
+		if errors.Is(aerr, wire.ErrDigest) {
+			// The whole-object digest failed: some delivered byte is
+			// suspect even though every chunk checksum passed, so the
+			// acked prefix can no longer be trusted. Start the object
+			// over (the sink's digest state is already gone).
+			acked = 0
 		}
 		if got > 0 {
 			noProgress = 0
@@ -166,9 +192,11 @@ const drainWindow = 500 * time.Millisecond
 // attemptResumable runs one session along path, streaming the pattern
 // from absolute byte offset and returning the bytes the sink reported
 // for this session (its ack), the session id, and the attempt's error.
-// Partial progress and an error frequently coexist: a chain that dies
-// mid-stream still delivered its prefix.
-func (s *System) attemptResumable(path []int, size, offset int64, timeout time.Duration, tid wire.TraceID) (int64, string, error) {
+// A non-zero shared id pins the session's identity (integrity-enabled
+// transfers reuse one id across attempts); the zero id lets each
+// attempt mint its own. Partial progress and an error frequently
+// coexist: a chain that dies mid-stream still delivered its prefix.
+func (s *System) attemptResumable(path []int, shared wire.SessionID, size, offset int64, timeout time.Duration, tid wire.TraceID, extra []wire.Option) (int64, string, error) {
 	src, dst := path[0], path[len(path)-1]
 	route := make([]wire.Endpoint, 0, len(path)-2)
 	for _, h := range path[1 : len(path)-1] {
@@ -177,7 +205,16 @@ func (s *System) attemptResumable(path []int, size, offset int64, timeout time.D
 	// Per-hop connect timeout on the first sublink; depots bound their
 	// own onward dials.
 	dial := lsl.TimeoutDialer(s.dialerFor(src), timeout)
-	sess, err := lsl.OpenAt(dial, s.endpoints[src], s.endpoints[dst], route, offset, traceOpt(tid)...)
+	opts := append(traceOpt(tid), extra...)
+	var (
+		sess *lsl.Session
+		err  error
+	)
+	if shared != (wire.SessionID{}) {
+		sess, err = lsl.OpenAtID(dial, shared, s.endpoints[src], s.endpoints[dst], route, offset, opts...)
+	} else {
+		sess, err = lsl.OpenAt(dial, s.endpoints[src], s.endpoints[dst], route, offset, opts...)
+	}
 	if err != nil {
 		return 0, "", err
 	}
@@ -211,15 +248,26 @@ func (s *System) attemptResumable(path []int, size, offset int64, timeout time.D
 	if werr != nil || settle < drainWindow {
 		settle = drainWindow
 	}
+	// Attempts share one session id, so a late report from an earlier
+	// torn attempt can land here. Progress is therefore measured
+	// against this attempt's resume offset: a stale report (whose range
+	// starts no deeper than offset) can only under-report, never
+	// advance the ack past what the sink verified.
+	progress := func(res deliverResult) int64 {
+		if got := res.offset + res.bytes - offset; got > 0 {
+			return got
+		}
+		return 0
+	}
 	select {
 	case res := <-ch:
 		if res.err != nil {
-			return res.bytes, id, fmt.Errorf("core: sink: %w", res.err)
+			return progress(res), id, fmt.Errorf("core: sink: %w", res.err)
 		}
-		if werr != nil && offset+res.bytes < size {
-			return res.bytes, id, fmt.Errorf("core: send: %w", werr)
+		if werr != nil && res.offset+res.bytes < size {
+			return progress(res), id, fmt.Errorf("core: send: %w", werr)
 		}
-		return res.bytes, id, nil
+		return progress(res), id, nil
 	case <-time.After(settle):
 		if werr != nil {
 			return 0, id, fmt.Errorf("core: send: %w", werr)
@@ -297,9 +345,11 @@ func (s *System) emitRecovery(sessID string, tid wire.TraceID, src int, kind str
 }
 
 // writeSessionPatternFrom streams the session's deterministic pattern
-// for absolute object offsets [from, size). The copy buffer is pooled
-// with the depot pumps and sink loops.
+// for absolute object offsets [from, size) — through the chunk framer
+// when the session is checksummed. The copy buffer is pooled with the
+// depot pumps and sink loops.
 func writeSessionPatternFrom(sess *lsl.Session, from, size int64) error {
+	w := sessionWriter(sess)
 	bp := bufpool.Get()
 	defer bufpool.Put(bp)
 	buf := *bp
@@ -310,7 +360,7 @@ func writeSessionPatternFrom(sess *lsl.Session, from, size int64) error {
 			n = remaining
 		}
 		depot.FillPattern(buf[:n], sess.ID(), written)
-		m, err := sess.Write(buf[:n])
+		m, err := w.Write(buf[:n])
 		written += int64(m)
 		if err != nil {
 			return err

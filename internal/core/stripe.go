@@ -271,7 +271,14 @@ func (s *System) stripeAttempt(path []int, id wire.SessionID, tid wire.TraceID, 
 		route = append(route, s.endpoints[h])
 	}
 	dial := lsl.TimeoutDialer(s.dialerFor(src), timeout)
-	sess, err := lsl.OpenStripe(dial, s.endpoints[src], s.endpoints[dst], route, id, k, count, from, traceOpt(tid)...)
+	opts := traceOpt(tid)
+	if s.cfg.Integrity {
+		// Stripes carry per-chunk checksums but no content digest: the
+		// sibling ranges interleave at the sink, so only the per-hop
+		// verifiers guard them.
+		opts = append(opts, wire.ChunkChecksumOption())
+	}
+	sess, err := lsl.OpenStripe(dial, s.endpoints[src], s.endpoints[dst], route, id, k, count, from, opts...)
 	if err != nil {
 		return 0, err
 	}

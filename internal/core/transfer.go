@@ -208,7 +208,25 @@ func (s *System) transferAlong(path []int, size int64, extra ...wire.Option) (Tr
 	start := time.Now()
 	tid := mintTrace()
 	opts := append(traceOpt(tid), extra...)
-	sess, err := lsl.Open(s.dialerFor(src), s.endpoints[src], s.endpoints[dst], route, opts...)
+	var (
+		sess *lsl.Session
+		err  error
+	)
+	if s.cfg.Integrity {
+		// The content digest is keyed by the session id (the payload is
+		// the id-seeded pattern), so integrity transfers mint the id
+		// before opening instead of letting Open draw one.
+		id, ierr := wire.NewSessionID()
+		if ierr != nil {
+			s.observeTransfer(TransferResult{}, ierr)
+			return TransferResult{}, ierr
+		}
+		defer s.digests.drop(id)
+		opts = append(opts, integrityOptions(id, size)...)
+		sess, err = lsl.OpenAtID(s.dialerFor(src), id, s.endpoints[src], s.endpoints[dst], route, 0, opts...)
+	} else {
+		sess, err = lsl.Open(s.dialerFor(src), s.endpoints[src], s.endpoints[dst], route, opts...)
+	}
 	if err != nil {
 		s.observeTransfer(TransferResult{}, err)
 		return TransferResult{}, err
@@ -299,7 +317,14 @@ func (s *System) TransferHopByHop(srcHost, dstHost string, size int64) (Transfer
 		return TransferResult{}, err
 	}
 	tid := mintTrace()
-	sess, err := lsl.Wrap(conn, s.endpoints[si], s.endpoints[di], traceOpt(tid)...)
+	opts := traceOpt(tid)
+	if s.cfg.Integrity {
+		// Hop-by-hop sessions get per-hop chunk protection; the
+		// end-to-end digest needs the session id before dialing, which
+		// Wrap mints internally, so it stays off this path.
+		opts = append(opts, wire.ChunkChecksumOption())
+	}
+	sess, err := lsl.Wrap(conn, s.endpoints[si], s.endpoints[di], opts...)
 	if err != nil {
 		s.observeTransfer(TransferResult{}, err)
 		return TransferResult{}, err
@@ -356,9 +381,11 @@ func (s *System) result(size int64, elapsed time.Duration, path []int) TransferR
 	}
 }
 
-// writeSessionPattern streams the session's deterministic pattern. The
-// copy buffer is pooled with the depot pumps and sink loops.
+// writeSessionPattern streams the session's deterministic pattern —
+// through the chunk framer when the session is checksummed. The copy
+// buffer is pooled with the depot pumps and sink loops.
 func writeSessionPattern(sess *lsl.Session, size int64) error {
+	w := sessionWriter(sess)
 	bp := bufpool.Get()
 	defer bufpool.Put(bp)
 	buf := *bp
@@ -369,7 +396,7 @@ func writeSessionPattern(sess *lsl.Session, size int64) error {
 			n = remaining
 		}
 		depot.FillPattern(buf[:n], sess.ID(), written)
-		m, err := sess.Write(buf[:n])
+		m, err := w.Write(buf[:n])
 		written += int64(m)
 		if err != nil {
 			return err
@@ -429,7 +456,14 @@ func (s *System) Multicast(srcHost string, dstHosts []string, size int64) (Multi
 
 	start := time.Now()
 	tid := mintTrace()
-	sess, err := lsl.OpenMulticast(s.dialerFor(si), s.endpoints[si], s.endpoints[si], root, traceOpt(tid)...)
+	mopts := traceOpt(tid)
+	if s.cfg.Integrity {
+		// Every duplication point of the staging tree verifies and
+		// re-stamps the chunk framing; like hop-by-hop, the digest stays
+		// off because OpenMulticast mints the session id itself.
+		mopts = append(mopts, wire.ChunkChecksumOption())
+	}
+	sess, err := lsl.OpenMulticast(s.dialerFor(si), s.endpoints[si], s.endpoints[si], root, mopts...)
 	if err != nil {
 		s.observeTransfer(TransferResult{}, err)
 		return MulticastResult{}, err

@@ -86,6 +86,15 @@ type Config struct {
 	// StoreBytes bounds the asynchronous-session store (0 selects
 	// DefaultStoreBytes).
 	StoreBytes int64
+	// SpoolDir, when non-empty, gives the store a durable disk tier: a
+	// content-addressed spool directory that payloads spill to when the
+	// in-memory budget overflows, and that a restarted depot re-indexes
+	// so stored sessions survive a crash (torn writes are detected by
+	// the digest in the file name and dropped).
+	SpoolDir string
+	// SpoolBytes bounds the spool directory (0 selects
+	// DefaultSpoolBytes). Ignored without SpoolDir.
+	SpoolBytes int64
 	// IdleTimeout, when positive, aborts a session whose transport
 	// makes no progress for this long (requires the net.Conn to
 	// support read deadlines, which TCP and the emulated network both
@@ -166,6 +175,7 @@ type Stats struct {
 	HopLimited     int64
 	Queued         int64
 	QueueTimeouts  int64
+	ChecksumErrors int64
 }
 
 // stat holds the Stats fields as atomics, so hot-path accounting never
@@ -193,34 +203,36 @@ type stat struct {
 	hopLimited     atomic.Int64
 	queued         atomic.Int64
 	queueTimeouts  atomic.Int64
+	checksumErrors atomic.Int64
 }
 
 // metrics are the depot's shared-registry instruments, resolved once at
 // construction. All fields are nil (no-op) when Config.Metrics is nil.
 type metrics struct {
-	accepted    *obs.Counter
-	refused     *obs.Counter
-	errors      *obs.Counter
-	bytesFwd    *obs.Counter
-	bytesDlv    *obs.Counter
-	stallNanos  *obs.Counter
-	fwdRetries  *obs.Counter
-	failovers   *obs.Counter
-	faults      *obs.Counter
-	tablePushes *obs.Counter
-	stalePushes *obs.Counter
-	tableHits   *obs.Counter
-	tableMisses *obs.Counter
-	hopLimited  *obs.Counter
-	queued      *obs.Counter
-	queueTOs    *obs.Counter
-	tableEpoch  *obs.Gauge
-	occupancy   *obs.Gauge
-	active      *obs.Gauge
-	stripes     *obs.Gauge
-	chunkWrite  *obs.Histogram
-	throughput  *obs.Histogram
-	sessionDur  *obs.Histogram
+	accepted     *obs.Counter
+	refused      *obs.Counter
+	errors       *obs.Counter
+	bytesFwd     *obs.Counter
+	bytesDlv     *obs.Counter
+	stallNanos   *obs.Counter
+	fwdRetries   *obs.Counter
+	failovers    *obs.Counter
+	faults       *obs.Counter
+	tablePushes  *obs.Counter
+	stalePushes  *obs.Counter
+	tableHits    *obs.Counter
+	tableMisses  *obs.Counter
+	hopLimited   *obs.Counter
+	queued       *obs.Counter
+	queueTOs     *obs.Counter
+	checksumErrs *obs.Counter
+	tableEpoch   *obs.Gauge
+	occupancy    *obs.Gauge
+	active       *obs.Gauge
+	stripes      *obs.Gauge
+	chunkWrite   *obs.Histogram
+	throughput   *obs.Histogram
+	sessionDur   *obs.Histogram
 }
 
 // Metric and gauge names published to Config.Metrics.
@@ -248,30 +260,32 @@ const (
 	MetricHopLimited        = "depot_hop_limit_refused_total"
 	MetricAdmissionQueued   = "depot_admission_queued_total"
 	MetricAdmissionTimeouts = "depot_admission_timeouts_total"
+	MetricChecksumErrors    = "depot_checksum_errors_total"
 )
 
 func newMetrics(r *obs.Registry) metrics {
 	return metrics{
-		accepted:    r.Counter(MetricSessionsAccepted),
-		refused:     r.Counter(MetricSessionsRefused),
-		errors:      r.Counter(MetricSessionErrors),
-		bytesFwd:    r.Counter(MetricBytesForwarded),
-		bytesDlv:    r.Counter(MetricBytesDelivered),
-		stallNanos:  r.Counter(MetricPumpStallNanos),
-		fwdRetries:  r.Counter(MetricForwardRetries),
-		failovers:   r.Counter(MetricFailovers),
-		faults:      r.Counter(MetricFaultsInjected),
-		tablePushes: r.Counter(MetricTablePushes),
-		stalePushes: r.Counter(MetricStalePushes),
-		tableHits:   r.Counter(MetricTableHits),
-		tableMisses: r.Counter(MetricTableMisses),
-		hopLimited:  r.Counter(MetricHopLimited),
-		queued:      r.Counter(MetricAdmissionQueued),
-		queueTOs:    r.Counter(MetricAdmissionTimeouts),
-		tableEpoch:  r.Gauge(MetricTableEpoch),
-		occupancy:   r.Gauge(MetricPipelineOccupancy),
-		active:      r.Gauge(MetricActiveSessions),
-		stripes:     r.Gauge(MetricActiveStripes),
+		accepted:     r.Counter(MetricSessionsAccepted),
+		refused:      r.Counter(MetricSessionsRefused),
+		errors:       r.Counter(MetricSessionErrors),
+		bytesFwd:     r.Counter(MetricBytesForwarded),
+		bytesDlv:     r.Counter(MetricBytesDelivered),
+		stallNanos:   r.Counter(MetricPumpStallNanos),
+		fwdRetries:   r.Counter(MetricForwardRetries),
+		failovers:    r.Counter(MetricFailovers),
+		faults:       r.Counter(MetricFaultsInjected),
+		tablePushes:  r.Counter(MetricTablePushes),
+		stalePushes:  r.Counter(MetricStalePushes),
+		tableHits:    r.Counter(MetricTableHits),
+		tableMisses:  r.Counter(MetricTableMisses),
+		hopLimited:   r.Counter(MetricHopLimited),
+		queued:       r.Counter(MetricAdmissionQueued),
+		queueTOs:     r.Counter(MetricAdmissionTimeouts),
+		checksumErrs: r.Counter(MetricChecksumErrors),
+		tableEpoch:   r.Gauge(MetricTableEpoch),
+		occupancy:    r.Gauge(MetricPipelineOccupancy),
+		active:       r.Gauge(MetricActiveSessions),
+		stripes:      r.Gauge(MetricActiveStripes),
 		// 100 µs .. ~1.6 s write latencies.
 		chunkWrite: r.Histogram(MetricChunkWriteSeconds, obs.ExpBuckets(1e-4, 2, 15)),
 		// 1 .. ~16k Mbit/s sublink throughput.
@@ -315,9 +329,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueTimeout <= 0 {
 		cfg.QueueTimeout = DefaultQueueTimeout
 	}
+	store, err := newSessionStore(cfg.StoreBytes, cfg.SpoolDir, cfg.SpoolBytes)
+	if err != nil {
+		return nil, err
+	}
 	srv := &Server{
 		cfg:   cfg,
-		store: newSessionStore(cfg.StoreBytes),
+		store: store,
 		met:   newMetrics(cfg.Metrics),
 	}
 	if cfg.MaxSessions > 0 {
@@ -352,6 +370,7 @@ func (s *Server) Stats() Stats {
 		HopLimited:     s.st.hopLimited.Load(),
 		Queued:         s.st.queued.Load(),
 		QueueTimeouts:  s.st.queueTimeouts.Load(),
+		ChecksumErrors: s.st.checksumErrors.Load(),
 	}
 }
 
@@ -745,9 +764,9 @@ func (s *Server) handleData(sess *lsl.Session, f *flow) error {
 	if err := wire.WriteHeader(out, fh); err != nil {
 		return err
 	}
-	_, err = s.pump(out, sess, f)
+	_, err = s.pump(out, s.checkedSource(sess), f)
 	s.st.forwarded.Add(1)
-	return err
+	return s.flagCorrupt(sess, f, err)
 }
 
 // deliver consumes a session addressed to this depot, counting the
@@ -763,16 +782,19 @@ func (s *Server) deliver(sess *lsl.Session, f *flow) error {
 	}
 	var err error
 	if s.cfg.Local != nil {
+		// The local handler owns integrity: a checksummed stream reaches
+		// it framed, and any mismatch it detects comes back as a typed
+		// error that flagCorrupt converts into a refusal.
 		err = s.cfg.Local(inner)
 	} else {
-		_, err = io.Copy(io.Discard, inner)
+		_, err = io.Copy(io.Discard, s.checkedSource(inner))
 		if err != nil && errors.Is(err, io.EOF) {
 			err = nil
 		}
 	}
 	s.st.delivered.Add(1)
 	f.emit(obs.KindDeliver, obs.Event{Bytes: cc.n.Load()})
-	return err
+	return s.flagCorrupt(sess, f, err)
 }
 
 // countedConn counts payload bytes as the local handler reads them.
@@ -853,7 +875,9 @@ func (s *Server) handleGenerate(sess *lsl.Session, f *flow) error {
 		dst = out
 	}
 
-	n, err := writePattern(dst, int64(size), sess.Header.Session)
+	// A checksummed generate session frames the synthesized stream so
+	// every downstream hop verifies it like any other payload.
+	n, err := writePattern(framedWriter(dst, sess.Header), int64(size), sess.Header.Session)
 	s.st.generated.Add(1)
 	s.st.bytesForwarded.Add(n)
 	s.met.bytesFwd.Add(n)

@@ -244,7 +244,7 @@ func (s *Server) handleMulticast(sess *lsl.Session, f *flow) error {
 	default:
 		dst = io.MultiWriter(writers...)
 	}
-	_, err = s.pump(dst, sess, f)
+	_, err = s.pump(dst, s.checkedSource(sess), f)
 	s.st.forwarded.Add(1)
 	if localW != nil {
 		localW.Close()
@@ -252,7 +252,7 @@ func (s *Server) handleMulticast(sess *lsl.Session, f *flow) error {
 			err = derr
 		}
 	}
-	return err
+	return s.flagCorrupt(sess, f, err)
 }
 
 // hopIndex returns the flow's hop position (0 for a nil flow).

@@ -64,6 +64,29 @@ func BenchmarkFairShare(b *testing.B) {
 	}
 }
 
+// BenchmarkPumpChecksum measures the same 8 MB pump reading through
+// the per-chunk CRC-32C verifier — the integrity tax every depot hop
+// of a checksummed session pays. The delta against BenchmarkPump is
+// the guarded figure: hardware CRC should keep it a small fraction of
+// the plain pump cost.
+func BenchmarkPumpChecksum(b *testing.B) {
+	srv := benchServer(b)
+	var framed bytes.Buffer
+	fw := wire.NewFrameWriter(&framed)
+	if _, err := fw.Write(make([]byte, 8<<20)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(8 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := wire.NewVerifyingReader(bytes.NewReader(framed.Bytes()))
+		if _, err := srv.pump(io.Discard, src, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWritePattern measures the generate-path pattern writer, the
 // other per-transfer buffer consumer on the depot.
 func BenchmarkWritePattern(b *testing.B) {

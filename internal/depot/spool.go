@@ -1,0 +1,165 @@
+package depot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+// DefaultSpoolBytes bounds the disk spool when Config.SpoolBytes is
+// zero.
+const DefaultSpoolBytes = 1 << 30
+
+// spoolSuffix marks finished spool files; in-flight writes carry
+// tmpSuffix until their rename.
+const (
+	spoolSuffix = ".p"
+	tmpSuffix   = ".tmp"
+)
+
+// spool is the store's durable disk tier: one file per spilled payload
+// in a content-addressed directory. A file is named
+//
+//	<sha256-of-payload-hex>.<session-id-hex>.p
+//
+// so the name alone carries both the index key and the integrity proof:
+// recovery after a crash re-reads each file, recomputes the digest, and
+// drops anything torn or altered. Writes go to a .tmp file first and
+// are renamed into place, so a finished .p file is always complete.
+type spool struct {
+	dir string
+}
+
+// newSpool prepares the spool directory.
+func newSpool(dir string) (*spool, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("depot: spool dir: %w", err)
+	}
+	return &spool{dir: dir}, nil
+}
+
+// write persists data for id and returns the finished file's path.
+func (sp *spool) write(id wire.SessionID, data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	name := hex.EncodeToString(sum[:]) + "." + id.String() + spoolSuffix
+	path := filepath.Join(sp.dir, name)
+	tmp := path + tmpSuffix
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", fmt.Errorf("depot: spool write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("depot: spool commit: %w", err)
+	}
+	return path, nil
+}
+
+// read loads a spooled payload back, verifying it against the digest
+// in its name — a mismatch means the file was damaged at rest and is
+// reported as a checksum error, not served.
+func (sp *spool) read(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("depot: spool read: %w", err)
+	}
+	want, _, ok := parseSpoolName(filepath.Base(path))
+	if !ok {
+		return nil, fmt.Errorf("depot: spool read %s: unparseable name", path)
+	}
+	if sum := sha256.Sum256(data); !bytes.Equal(sum[:], want) {
+		return nil, fmt.Errorf("%w: spooled payload %s damaged at rest", wire.ErrChecksum, filepath.Base(path))
+	}
+	return data, nil
+}
+
+// remove deletes a spooled payload.
+func (sp *spool) remove(path string) { os.Remove(path) }
+
+// spooledEntry is one payload found by recovery.
+type spooledEntry struct {
+	id   wire.SessionID
+	path string
+	size int64
+}
+
+// recover re-indexes the spool directory after a restart: every
+// verifiable .p file becomes a store entry again, torn writes (.tmp
+// leftovers, size or digest mismatches, unparseable names) are
+// deleted. Entries come back ordered oldest-modified first, so the
+// rebuilt LRU evicts what was coldest before the crash.
+func (sp *spool) recover() ([]spooledEntry, error) {
+	des, err := os.ReadDir(sp.dir)
+	if err != nil {
+		return nil, fmt.Errorf("depot: spool scan: %w", err)
+	}
+	type candidate struct {
+		e   spooledEntry
+		mod int64
+	}
+	var found []candidate
+	for _, de := range des {
+		name := de.Name()
+		path := filepath.Join(sp.dir, name)
+		if de.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, tmpSuffix) {
+			// An interrupted write: never completed, never indexed.
+			os.Remove(path)
+			continue
+		}
+		_, id, ok := parseSpoolName(name)
+		if !ok {
+			continue // not ours; leave foreign files alone
+		}
+		data, err := sp.read(path)
+		if err != nil {
+			// Torn or damaged: recovery must not resurrect bad bytes.
+			os.Remove(path)
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, candidate{
+			e:   spooledEntry{id: id, path: path, size: int64(len(data))},
+			mod: info.ModTime().UnixNano(),
+		})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mod < found[j].mod })
+	out := make([]spooledEntry, len(found))
+	for i, c := range found {
+		out[i] = c.e
+	}
+	return out, nil
+}
+
+// parseSpoolName splits "<digest-hex>.<session-id-hex>.p" into its
+// digest and session id.
+func parseSpoolName(name string) (digest []byte, id wire.SessionID, ok bool) {
+	if !strings.HasSuffix(name, spoolSuffix) {
+		return nil, id, false
+	}
+	parts := strings.Split(strings.TrimSuffix(name, spoolSuffix), ".")
+	if len(parts) != 2 {
+		return nil, id, false
+	}
+	digest, err := hex.DecodeString(parts[0])
+	if err != nil || len(digest) != sha256.Size {
+		return nil, id, false
+	}
+	rawID, err := hex.DecodeString(parts[1])
+	if err != nil || len(rawID) != len(id) {
+		return nil, id, false
+	}
+	copy(id[:], rawID)
+	return digest, id, true
+}

@@ -2,6 +2,7 @@ package depot
 
 import (
 	"bytes"
+	"container/list"
 	"errors"
 	"fmt"
 	"io"
@@ -15,79 +16,196 @@ import (
 // DefaultStoreBytes bounds a depot's asynchronous-session storage.
 const DefaultStoreBytes = 256 << 20
 
-// sessionStore holds stored payloads keyed by session id, evicting the
-// oldest entries when the byte budget is exceeded — the short-term,
-// cooperative storage of user data the paper's introduction proposes.
-type sessionStore struct {
-	mu       sync.Mutex
-	capacity int64
-	used     int64
-	entries  map[wire.SessionID][]byte
-	order    []wire.SessionID // insertion order for eviction
-	evicted  int64
+// storeEntry is one stored payload, resident in exactly one tier:
+// data is non-nil while it sits in memory, path is non-empty once it
+// has been spilled to the disk spool.
+type storeEntry struct {
+	id   wire.SessionID
+	size int64
+	data []byte
+	path string
 }
 
-func newSessionStore(capacity int64) *sessionStore {
+// sessionStore holds stored payloads keyed by session id — the
+// short-term, cooperative storage of user data the paper's
+// introduction proposes. Entries live on one recency list (front =
+// most recently used) spanning both tiers: when the memory budget
+// overflows, the least-recently-used in-memory payload spills to the
+// disk spool (or is evicted when no spool is configured); when the
+// spool budget overflows, the least-recently-used on-disk payload is
+// evicted for good.
+type sessionStore struct {
+	mu        sync.Mutex
+	capacity  int64 // memory budget
+	spoolCap  int64 // disk budget (0 without a spool)
+	sp        *spool
+	memUsed   int64
+	diskUsed  int64
+	entries   map[wire.SessionID]*list.Element // of *storeEntry
+	lru       *list.List
+	evicted   int64
+	spilled   int64
+	recovered int64
+	restored  int64
+}
+
+// newSessionStore builds the store; with a spool directory it also
+// runs crash recovery, re-indexing every verifiable spooled payload.
+func newSessionStore(capacity int64, spoolDir string, spoolBytes int64) (*sessionStore, error) {
 	if capacity <= 0 {
 		capacity = DefaultStoreBytes
 	}
-	return &sessionStore{
+	s := &sessionStore{
 		capacity: capacity,
-		entries:  make(map[wire.SessionID][]byte),
+		entries:  make(map[wire.SessionID]*list.Element),
+		lru:      list.New(),
 	}
+	if spoolDir != "" {
+		sp, err := newSpool(spoolDir)
+		if err != nil {
+			return nil, err
+		}
+		s.sp = sp
+		s.spoolCap = spoolBytes
+		if s.spoolCap <= 0 {
+			s.spoolCap = DefaultSpoolBytes
+		}
+		found, err := sp.recover()
+		if err != nil {
+			return nil, err
+		}
+		// recover returns oldest-modified first; pushing each to the
+		// front leaves the newest payload most-recently-used.
+		for _, e := range found {
+			ent := &storeEntry{id: e.id, size: e.size, path: e.path}
+			s.entries[e.id] = s.lru.PushFront(ent)
+			s.diskUsed += e.size
+			s.recovered++
+		}
+		s.rebalance()
+	}
+	return s, nil
 }
 
-// errTooLarge rejects single payloads beyond the whole store budget.
+// errTooLarge rejects single payloads beyond the in-memory budget.
 var errTooLarge = errors.New("depot: payload exceeds store capacity")
 
-// put stores data under id, evicting oldest entries as needed. Storing
-// under an existing id replaces the previous payload.
+// put stores data under id, spilling and evicting least-recently-used
+// entries as needed. Storing under an existing id replaces the
+// previous payload.
 func (s *sessionStore) put(id wire.SessionID, data []byte) error {
 	if int64(len(data)) > s.capacity {
 		return errTooLarge
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if old, ok := s.entries[id]; ok {
-		s.used -= int64(len(old))
-		delete(s.entries, id)
-		s.removeFromOrder(id)
+	if el, ok := s.entries[id]; ok {
+		s.drop(el)
 	}
-	for s.used+int64(len(data)) > s.capacity && len(s.order) > 0 {
-		victim := s.order[0]
-		s.order = s.order[1:]
-		s.used -= int64(len(s.entries[victim]))
-		delete(s.entries, victim)
-		s.evicted++
-	}
-	s.entries[id] = data
-	s.order = append(s.order, id)
-	s.used += int64(len(data))
+	ent := &storeEntry{id: id, size: int64(len(data)), data: data}
+	s.entries[id] = s.lru.PushFront(ent)
+	s.memUsed += ent.size
+	s.rebalance()
 	return nil
 }
 
-func (s *sessionStore) removeFromOrder(id wire.SessionID) {
-	for i, v := range s.order {
-		if v == id {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			return
+// rebalance restores both byte budgets, called with the lock held.
+// Memory overflow spills (or, with no spool, evicts) the coldest
+// in-memory entry; spool overflow evicts the coldest on-disk entry.
+func (s *sessionStore) rebalance() {
+	for s.memUsed > s.capacity {
+		el := s.coldest(func(e *storeEntry) bool { return e.data != nil })
+		if el == nil {
+			break
 		}
+		ent := el.Value.(*storeEntry)
+		if s.sp != nil {
+			if path, err := s.sp.write(ent.id, ent.data); err == nil {
+				ent.path = path
+				ent.data = nil
+				s.memUsed -= ent.size
+				s.diskUsed += ent.size
+				s.spilled++
+				continue
+			}
+		}
+		s.drop(el)
+		s.evicted++
+	}
+	for s.sp != nil && s.diskUsed > s.spoolCap {
+		el := s.coldest(func(e *storeEntry) bool { return e.path != "" })
+		if el == nil {
+			break
+		}
+		s.drop(el)
+		s.evicted++
 	}
 }
 
-// get returns the stored payload (without removing it).
+// coldest walks the recency list from its least-recently-used end and
+// returns the first element matching the tier predicate.
+func (s *sessionStore) coldest(match func(*storeEntry) bool) *list.Element {
+	for el := s.lru.Back(); el != nil; el = el.Prev() {
+		if match(el.Value.(*storeEntry)) {
+			return el
+		}
+	}
+	return nil
+}
+
+// drop removes an entry from the map, the recency list, its byte
+// accounting, and (for an on-disk entry) the spool directory.
+func (s *sessionStore) drop(el *list.Element) {
+	ent := el.Value.(*storeEntry)
+	s.lru.Remove(el)
+	delete(s.entries, ent.id)
+	if ent.data != nil {
+		s.memUsed -= ent.size
+	} else {
+		s.diskUsed -= ent.size
+		s.sp.remove(ent.path)
+	}
+}
+
+// get returns the stored payload (without removing it), promoting the
+// entry to most-recently-used. A spooled payload is read back from
+// disk and verified against the digest in its file name; one damaged
+// at rest is dropped and reported as a miss rather than served wrong.
 func (s *sessionStore) get(id wire.SessionID) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	data, ok := s.entries[id]
-	return data, ok
+	el, ok := s.entries[id]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*storeEntry)
+	if ent.data != nil {
+		s.lru.MoveToFront(el)
+		return ent.data, true
+	}
+	data, err := s.sp.read(ent.path)
+	if err != nil {
+		s.drop(el)
+		return nil, false
+	}
+	s.restored++
+	s.lru.MoveToFront(el)
+	return data, true
 }
 
-// usage reports (bytes used, entry count, evictions).
+// usage reports (bytes held across both tiers, entry count, evictions).
 func (s *sessionStore) usage() (int64, int, int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.used, len(s.entries), s.evicted
+	return s.memUsed + s.diskUsed, len(s.entries), s.evicted
+}
+
+// spoolUsage reports the disk tier: bytes on disk, entries spilled so
+// far, entries re-indexed by crash recovery, and payloads read back.
+func (s *sessionStore) spoolUsage() (bytes int64, spilled, recovered, restored int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.diskUsed, s.spilled, s.recovered, s.restored
 }
 
 // handleStore implements the storing half of asynchronous sessions: a
@@ -114,18 +232,24 @@ func (s *Server) handleStore(sess *lsl.Session, f *flow) error {
 		if err := wire.WriteHeader(out, fh); err != nil {
 			return err
 		}
-		_, err = s.pump(out, sess, f)
+		_, err = s.pump(out, s.checkedSource(sess), f)
 		s.st.forwarded.Add(1)
-		return err
+		return s.flagCorrupt(sess, f, err)
 	}
 
 	defer s.track(f, sess.Header, "store", wire.Endpoint{})()
+	// The storing depot is the payload's terminus: a checksummed stream
+	// is verified and unframed here, so the store holds raw bytes.
+	var src io.Reader = sess
+	if sess.Header.Checksummed() {
+		src = wire.NewFrameReader(sess)
+	}
 	var buf bytes.Buffer
-	limited := io.LimitReader(sess, s.store.capacity+1)
+	limited := io.LimitReader(src, s.store.capacity+1)
 	n, err := io.Copy(&buf, limited)
 	f.addBytes(n)
 	if err != nil && !errors.Is(err, io.EOF) {
-		return fmt.Errorf("store read: %w", err)
+		return s.flagCorrupt(sess, f, fmt.Errorf("store read: %w", err))
 	}
 	if err := s.store.put(sess.ID(), buf.Bytes()); err != nil {
 		return err
@@ -180,6 +304,13 @@ func (s *Server) handleFetch(sess *lsl.Session) error {
 // and evictions so far.
 func (s *Server) StoreUsage() (bytes int64, entries int, evicted int64) {
 	return s.store.usage()
+}
+
+// SpoolUsage reports the durable disk tier: bytes spooled, entries
+// spilled from memory, entries re-indexed by crash recovery, and
+// spooled payloads read back since start.
+func (s *Server) SpoolUsage() (bytes int64, spilled, recovered, restored int64) {
+	return s.store.spoolUsage()
 }
 
 // StoredSession reports whether the store holds the given session and

@@ -11,7 +11,7 @@ import (
 )
 
 func TestSessionStorePutGet(t *testing.T) {
-	s := newSessionStore(1000)
+	s := memStore(t, 1000)
 	id := wire.SessionID{1}
 	if err := s.put(id, []byte("hello")); err != nil {
 		t.Fatal(err)
@@ -30,7 +30,7 @@ func TestSessionStorePutGet(t *testing.T) {
 }
 
 func TestSessionStoreReplace(t *testing.T) {
-	s := newSessionStore(1000)
+	s := memStore(t, 1000)
 	id := wire.SessionID{1}
 	s.put(id, []byte("aaaa"))
 	s.put(id, []byte("bb"))
@@ -45,7 +45,7 @@ func TestSessionStoreReplace(t *testing.T) {
 }
 
 func TestSessionStoreEviction(t *testing.T) {
-	s := newSessionStore(10)
+	s := memStore(t, 10)
 	a, b, c := wire.SessionID{1}, wire.SessionID{2}, wire.SessionID{3}
 	s.put(a, []byte("aaaa"))
 	s.put(b, []byte("bbbb"))
@@ -63,7 +63,7 @@ func TestSessionStoreEviction(t *testing.T) {
 }
 
 func TestSessionStoreTooLarge(t *testing.T) {
-	s := newSessionStore(4)
+	s := memStore(t, 4)
 	if err := s.put(wire.SessionID{1}, []byte("too big")); !errors.Is(err, errTooLarge) {
 		t.Fatalf("err = %v", err)
 	}

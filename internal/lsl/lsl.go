@@ -112,6 +112,22 @@ func OpenAt(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, offset int6
 	return open(d, src, dst, route, wire.TypeData, cloneOpts(opts, extra))
 }
 
+// OpenAtID is OpenAt with a caller-chosen session identifier, so every
+// attempt of a reliable transfer — the original and each resume after
+// a fault — presents the same id to the sink. That shared identity is
+// what lets receiver-side state that must span attempts (the running
+// end-to-end content digest) follow one object across its retries.
+func OpenAtID(d Dialer, id wire.SessionID, src, dst wire.Endpoint, route []wire.Endpoint, offset int64, extra ...wire.Option) (*Session, error) {
+	if offset < 0 {
+		return nil, fmt.Errorf("lsl: negative resume offset %d", offset)
+	}
+	var opts []wire.Option
+	if offset > 0 {
+		opts = []wire.Option{wire.ResumeOffsetOption(uint64(offset))}
+	}
+	return openWithID(d, id, src, dst, route, wire.TypeData, cloneOpts(opts, extra))
+}
+
 // OpenStripe opens one stripe of a striped transfer: stripe index of
 // count parallel sublink chains that together move a single object
 // under the shared session identifier id. The stripe's payload is the

@@ -46,6 +46,11 @@ const (
 	// bounded admission queue; Detail carries the wait duration, so a
 	// timeline shows queue time separately from transfer time.
 	KindQueued = "queued"
+	// KindCorrupt marks a chunk-checksum or content-digest failure at
+	// this node: the payload that arrived did not match its integrity
+	// stamp, so the corruption happened on the inbound hop. Detail
+	// carries the verifier's description of the damaged frame.
+	KindCorrupt = "corrupt"
 )
 
 // Event is one structured, per-session trace record — the JSON-lines

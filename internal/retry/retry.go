@@ -22,6 +22,8 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"github.com/netlogistics/lsl/internal/wire"
 )
 
 // Class partitions errors by how a caller should react.
@@ -100,6 +102,13 @@ func Classify(err error) Class {
 		errors.Is(err, syscall.ECONNRESET),
 		errors.Is(err, syscall.EPIPE),
 		errors.Is(err, syscall.ETIMEDOUT):
+		return Transient
+	// Detected data corruption is transient by design: the damaged
+	// range is re-sent via the resume path, and persistent corruption
+	// is routed around by failover — never surfaced as a fatal abort
+	// while recovery options remain.
+	case errors.Is(err, wire.ErrChecksum),
+		errors.Is(err, wire.ErrDigest):
 		return Transient
 	}
 	var nerr net.Error

@@ -1,0 +1,246 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ChecksumCRC32C is the only chunk-checksum algorithm defined so far:
+// CRC-32C (Castagnoli), the polynomial with hardware support on every
+// platform the depots run on. The option carries the algorithm
+// explicitly so a future one can be introduced without a version bump.
+const ChecksumCRC32C uint16 = 1
+
+// crcTable is the Castagnoli table shared by every frame writer,
+// verifier, and reader in the process.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksum indicates a chunk frame failed its CRC-32C check (or its
+// frame header was structurally invalid). The retry package classifies
+// it as transient: the damaged range is re-sent via the resume path.
+var ErrChecksum = errors.New("wire: chunk checksum mismatch")
+
+// ErrDigest indicates a delivered payload failed its end-to-end
+// SHA-256 content-digest check at the sink. Also transient: the whole
+// object is re-sent.
+var ErrDigest = errors.New("wire: content digest mismatch")
+
+// ChunkChecksumOption announces CRC-32C chunk framing for the session
+// payload.
+func ChunkChecksumOption() Option {
+	var data [2]byte
+	binary.BigEndian.PutUint16(data[:], ChecksumCRC32C)
+	return Option{Kind: OptChunkChecksum, Data: data[:]}
+}
+
+// ParseChunkChecksum decodes a chunk-checksum option, returning the
+// algorithm identifier. Unknown algorithms are malformed: a depot that
+// cannot verify must degrade to unchecked forwarding, not guess.
+func ParseChunkChecksum(o Option) (uint16, error) {
+	if o.Kind != OptChunkChecksum || len(o.Data) != 2 {
+		return 0, fmt.Errorf("%w: bad chunk checksum option", ErrBadOption)
+	}
+	alg := binary.BigEndian.Uint16(o.Data)
+	if alg != ChecksumCRC32C {
+		return 0, fmt.Errorf("%w: unknown checksum algorithm %d", ErrBadOption, alg)
+	}
+	return alg, nil
+}
+
+// Checksummed reports whether the session payload is framed in
+// CRC-32C-checksummed chunks. A missing or malformed option degrades
+// to false — unchecked forwarding — never to a parse failure.
+func (h *Header) Checksummed() bool {
+	if opt, ok := h.Option(OptChunkChecksum); ok {
+		if _, err := ParseChunkChecksum(opt); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// DigestLen is the length of a content digest sum (SHA-256).
+const DigestLen = 32
+
+// ContentDigest is the end-to-end integrity statement a sender mints
+// for a transfer: the object's byte size and the SHA-256 over those
+// bytes in offset order.
+type ContentDigest struct {
+	Size int64
+	Sum  [DigestLen]byte
+}
+
+// ContentDigestOption encodes a content digest: 8 bytes of big-endian
+// size followed by the 32-byte SHA-256 sum.
+func ContentDigestOption(d ContentDigest) Option {
+	data := make([]byte, 8+DigestLen)
+	binary.BigEndian.PutUint64(data, uint64(d.Size))
+	copy(data[8:], d.Sum[:])
+	return Option{Kind: OptContentDigest, Data: data}
+}
+
+// ParseContentDigest decodes a content-digest option.
+func ParseContentDigest(o Option) (ContentDigest, error) {
+	var d ContentDigest
+	if o.Kind != OptContentDigest || len(o.Data) != 8+DigestLen {
+		return d, fmt.Errorf("%w: bad content digest", ErrBadOption)
+	}
+	size := binary.BigEndian.Uint64(o.Data)
+	if size > 1<<62 {
+		return d, fmt.Errorf("%w: content digest size %d out of range", ErrBadOption, size)
+	}
+	d.Size = int64(size)
+	copy(d.Sum[:], o.Data[8:])
+	return d, nil
+}
+
+// ContentDigest returns the carried end-to-end digest and whether one
+// is present. A malformed option degrades to absent — the sink simply
+// does not verify — never to a parse failure.
+func (h *Header) ContentDigest() (ContentDigest, bool) {
+	if opt, ok := h.Option(OptContentDigest); ok {
+		if d, err := ParseContentDigest(opt); err == nil {
+			return d, true
+		}
+	}
+	return ContentDigest{}, false
+}
+
+// Chunk frame layout: a 4-byte big-endian payload length and a 4-byte
+// big-endian CRC-32C over the payload, followed by the payload itself.
+// The stream is a back-to-back frame sequence ending at transport EOF.
+const (
+	// FrameHeaderLen is the per-chunk framing overhead in bytes.
+	FrameHeaderLen = 8
+	// MaxFramePayload bounds one frame's payload, defending receivers
+	// against corrupt length fields. It comfortably covers the depot
+	// pipeline's 32 KiB chunk unit.
+	MaxFramePayload = 64 << 10
+)
+
+// FrameWriter frames a payload stream into checksummed chunks: each
+// Write becomes one or more frames of at most MaxFramePayload bytes.
+// The initiator of a checksummed session writes its payload through
+// one of these.
+type FrameWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewFrameWriter returns a FrameWriter emitting frames to w.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: w, buf: make([]byte, FrameHeaderLen+MaxFramePayload)}
+}
+
+// Write frames p and writes it out, reporting len(p) on success. Each
+// frame is emitted in a single underlying Write so the downstream
+// transport sees whole frames.
+func (fw *FrameWriter) Write(p []byte) (int, error) {
+	var written int
+	for len(p) > 0 {
+		n := len(p)
+		if n > MaxFramePayload {
+			n = MaxFramePayload
+		}
+		binary.BigEndian.PutUint32(fw.buf[0:4], uint32(n))
+		binary.BigEndian.PutUint32(fw.buf[4:8], crc32.Checksum(p[:n], crcTable))
+		copy(fw.buf[FrameHeaderLen:], p[:n])
+		if _, err := fw.w.Write(fw.buf[:FrameHeaderLen+n]); err != nil {
+			return written, err
+		}
+		written += n
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// frameScanner reads a checksummed frame stream, verifying each frame's
+// CRC-32C. With strip=false (VerifyingReader) it yields the re-stamped
+// encoded frames, ready to forward to the next hop; with strip=true
+// (FrameReader) it yields the raw payload, for the sink.
+type frameScanner struct {
+	r      io.Reader
+	strip  bool
+	buf    []byte // one encoded frame
+	pos, n int    // unread window of buf
+	frame  int64  // frames verified so far
+	offset int64  // payload bytes verified so far
+}
+
+// VerifyingReader verifies a checksummed frame stream chunk by chunk
+// and yields the verified, re-stamped frames unchanged — the depot
+// forwarding path reads through one of these, so a corrupted chunk
+// surfaces as ErrChecksum at the first hop after the corruption.
+type VerifyingReader struct{ frameScanner }
+
+// NewVerifyingReader returns a VerifyingReader over r.
+func NewVerifyingReader(r io.Reader) *VerifyingReader {
+	return &VerifyingReader{frameScanner{r: r, buf: make([]byte, FrameHeaderLen+MaxFramePayload)}}
+}
+
+// FrameReader verifies a checksummed frame stream and yields the raw
+// payload with the framing stripped — the sink side of a checksummed
+// session.
+type FrameReader struct{ frameScanner }
+
+// NewFrameReader returns a FrameReader over r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{frameScanner{r: r, strip: true, buf: make([]byte, FrameHeaderLen+MaxFramePayload)}}
+}
+
+// Read implements io.Reader over the verified stream.
+func (s *frameScanner) Read(p []byte) (int, error) {
+	for s.pos >= s.n {
+		if err := s.fill(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, s.buf[s.pos:s.n])
+	s.pos += n
+	return n, nil
+}
+
+// fill reads and verifies the next frame into buf. A clean EOF at a
+// frame boundary is the end of the stream; a tear inside a frame is a
+// transport event (io.ErrUnexpectedEOF — transient), while a bad
+// length or CRC is ErrChecksum — detected corruption.
+func (s *frameScanner) fill() error {
+	var hdr [FrameHeaderLen]byte
+	if _, err := io.ReadFull(s.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("wire: torn frame header: %w", err)
+	}
+	length := binary.BigEndian.Uint32(hdr[0:4])
+	if length == 0 || length > MaxFramePayload {
+		return fmt.Errorf("%w: frame %d at offset %d: length %d out of range",
+			ErrChecksum, s.frame, s.offset, length)
+	}
+	payload := s.buf[FrameHeaderLen : FrameHeaderLen+int(length)]
+	if _, err := io.ReadFull(s.r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("wire: torn frame payload: %w", err)
+	}
+	sum := crc32.Checksum(payload, crcTable)
+	if sum != binary.BigEndian.Uint32(hdr[4:8]) {
+		return fmt.Errorf("%w: frame %d at offset %d", ErrChecksum, s.frame, s.offset)
+	}
+	if s.strip {
+		s.pos, s.n = FrameHeaderLen, FrameHeaderLen+int(length)
+	} else {
+		// Re-stamp: the forwarded frame header carries the CRC this hop
+		// computed over the bytes it verified, not the bytes it received.
+		binary.BigEndian.PutUint32(s.buf[0:4], length)
+		binary.BigEndian.PutUint32(s.buf[4:8], sum)
+		s.pos, s.n = 0, FrameHeaderLen+int(length)
+	}
+	s.frame++
+	s.offset += int64(length)
+	return nil
+}

@@ -101,6 +101,16 @@ const (
 	// to label per-stripe trace events and the active-stripes gauge;
 	// it never affects routing.
 	OptStripeIndex uint16 = 9
+	// OptChunkChecksum announces that the session payload is framed in
+	// checksummed chunks: every chunk travels behind a length + CRC-32C
+	// frame header that each depot hop verifies and re-stamps before
+	// forwarding, so a corrupting hop is caught by its immediate
+	// successor. A malformed option degrades to unchecked forwarding.
+	OptChunkChecksum uint16 = 14
+	// OptContentDigest carries the SHA-256 of the whole payload (and
+	// its byte size), minted by the sender and forwarded untouched;
+	// the sink verifies the reassembled object against it end to end.
+	OptContentDigest uint16 = 15
 )
 
 // HeaderFixedLen is the size of the fixed portion of the header.
