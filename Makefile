@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test vet fmt fmt-check lint vulncheck fuzz-smoke race verify bench bench-guarded experiments docs-check clean
+.PHONY: build test vet fmt fmt-check lint vulncheck fuzz-smoke race cover verify bench bench-guarded experiments docs-check clean
 
 build:
 	$(GO) build ./...
@@ -51,11 +51,21 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseOptions -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzReadHeader -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzChunkFrames -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzCacheOptions -fuzztime 10s ./internal/wire/
 
 # The data path is lock-free by design; prove it under the race
 # detector where the concurrency lives.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/depot/... ./internal/lsl/... ./internal/core/... ./internal/ctl/...
+	$(GO) test -race ./internal/obs/... ./internal/depot/... ./internal/cache/... ./internal/lsl/... ./internal/core/... ./internal/ctl/...
+
+# Statement-coverage floors for the packages whose untested branches
+# hurt the most (see coverage-floors.txt for which and why). The
+# profile covers exactly the floored packages; cmd/covercheck fails on
+# any floor breach or floored package missing from the profile.
+COVER_OUT ?= cover.out
+cover:
+	$(GO) test -coverprofile $(COVER_OUT) -covermode atomic ./internal/wire/ ./internal/cache/
+	$(GO) run ./cmd/covercheck -profile $(COVER_OUT) -floors coverage-floors.txt
 
 # The full pre-commit gate.
 verify: fmt-check build vet test race

@@ -1,0 +1,209 @@
+// Command covercheck enforces per-package statement-coverage floors
+// over a go test -coverprofile file. It exists so CI fails when a
+// change erodes test coverage of the packages the repo has declared
+// load-bearing (the wire format and the depot cache), without chasing
+// a repo-wide number that churns with every experiment harness tweak.
+//
+// Usage:
+//
+//	go test -coverprofile cover.out ./internal/wire/ ./internal/cache/
+//	covercheck -profile cover.out -floors coverage-floors.txt
+//
+// The floors file has one package per line — import path, then the
+// minimum statement coverage percentage — with #-comments and blank
+// lines ignored:
+//
+//	github.com/netlogistics/lsl/internal/wire  90.0
+//	github.com/netlogistics/lsl/internal/cache 80.0
+//
+// A floored package that is missing from the profile entirely is a
+// failure too: "we stopped measuring it" must not read as "it passed".
+// Raising a floor after coverage improves is encouraged; lowering one
+// is a reviewed change to a checked-in file, which is the point.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	profilePath = flag.String("profile", "cover.out", "coverage profile written by go test -coverprofile")
+	floorsPath  = flag.String("floors", "coverage-floors.txt", "per-package coverage floors file")
+)
+
+// block is one profile entry's identity: a source range in one file.
+// Profiles can repeat a block (e.g. merged runs); keying on the range
+// dedupes them, keeping the highest observed count.
+type block struct {
+	file string
+	pos  string
+}
+
+// pkgCover accumulates statement totals for one package.
+type pkgCover struct {
+	total   int
+	covered int
+}
+
+func (p pkgCover) percent() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.total)
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "covercheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	floors, err := parseFloors(*floorsPath)
+	if err != nil {
+		return err
+	}
+	if len(floors) == 0 {
+		return fmt.Errorf("%s declares no floors", *floorsPath)
+	}
+	cover, err := parseProfile(*profilePath)
+	if err != nil {
+		return err
+	}
+
+	pkgs := make([]string, 0, len(floors))
+	for pkg := range floors {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+
+	failed := false
+	for _, pkg := range pkgs {
+		floor := floors[pkg]
+		pc, ok := cover[pkg]
+		if !ok {
+			failed = true
+			fmt.Printf("FAIL %s: not in %s (floor %.1f%%) — was it dropped from the cover run?\n",
+				pkg, *profilePath, floor)
+			continue
+		}
+		got := pc.percent()
+		if got < floor {
+			failed = true
+			fmt.Printf("FAIL %s: %.1f%% statement coverage, floor %.1f%%\n", pkg, got, floor)
+			continue
+		}
+		fmt.Printf("ok   %s: %.1f%% statement coverage (floor %.1f%%)\n", pkg, got, floor)
+	}
+	if failed {
+		return fmt.Errorf("coverage below checked-in floors")
+	}
+	return nil
+}
+
+// parseFloors reads the floors file: "import/path minimum-percent" per
+// line, #-comments and blanks skipped.
+func parseFloors(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	floors := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want 'package floor', got %q", path, lineNo, line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || v < 0 || v > 100 {
+			return nil, fmt.Errorf("%s:%d: bad floor %q", path, lineNo, fields[1])
+		}
+		floors[fields[0]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return floors, nil
+}
+
+// parseProfile reads a go test -coverprofile file and aggregates
+// statement coverage per package (the directory of each entry's file).
+func parseProfile(path string) (map[string]pkgCover, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	counts := make(map[block]struct {
+		stmts int
+		count int
+	})
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// file.go:startLine.startCol,endLine.endCol numStmts count
+		colon := strings.LastIndex(line, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("%s:%d: malformed entry %q", path, lineNo, line)
+		}
+		rest := strings.Fields(line[colon+1:])
+		if len(rest) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed entry %q", path, lineNo, line)
+		}
+		stmts, err1 := strconv.Atoi(rest[1])
+		count, err2 := strconv.Atoi(rest[2])
+		if err1 != nil || err2 != nil || stmts < 0 || count < 0 {
+			return nil, fmt.Errorf("%s:%d: malformed entry %q", path, lineNo, line)
+		}
+		b := block{file: line[:colon], pos: rest[0]}
+		c := counts[b]
+		c.stmts = stmts
+		if count > c.count {
+			c.count = count
+		}
+		counts[b] = c
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	cover := make(map[string]pkgCover)
+	for b, c := range counts {
+		pkg := path2pkg(b.file)
+		pc := cover[pkg]
+		pc.total += c.stmts
+		if c.count > 0 {
+			pc.covered += c.stmts
+		}
+		cover[pkg] = pc
+	}
+	return cover, nil
+}
+
+// path2pkg maps a profile file path to its package import path.
+func path2pkg(file string) string {
+	return path.Dir(file)
+}

@@ -9,6 +9,7 @@
 //	          [-queue-depth 16] [-queue-timeout 10s] \
 //	          [-fair-share] [-trunk-rate 0] \
 //	          [-spool-dir /var/lib/lsl/spool] [-spool-bytes 1073741824] \
+//	          [-cache-bytes 268435456] [-cache-dir /var/lib/lsl/cache] \
 //	          [-retries 3] [-retry-backoff 100ms] [-failover] \
 //	          [-ctl] [-table-driven] [-max-hops 16] \
 //	          [-debug-addr 127.0.0.1:7412]
@@ -36,6 +37,17 @@
 // a damaged chunk stops the forward, refuses the session upstream, and
 // counts in depot_checksum_errors_total, so the corrupting hop
 // identifies itself in /metrics and in "corrupt" trace events.
+//
+// With -cache-bytes the depot additionally runs a content-addressed
+// chunk cache over that many memory bytes: sessions forwarded with a
+// content digest populate it, cache probes and serve-from-cache
+// directives are answered from it, and a session whose remaining range
+// is held in full is short-circuited — the upstream sublink is
+// terminated and the depot serves the bytes itself
+// (depot_cache_{hits,misses,evictions,bytes}_total in /metrics,
+// "cache-hit" trace events). -cache-dir adds a disk tier four times the
+// memory budget: spans displaced from memory spill to CRC-framed files
+// there and are re-indexed on restart.
 //
 // With -retries the depot re-dials a failed onward connection with
 // exponential backoff before giving up on a session; -failover makes it
@@ -85,6 +97,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/netlogistics/lsl/internal/cache"
 	"github.com/netlogistics/lsl/internal/depot"
 	"github.com/netlogistics/lsl/internal/fairshare"
 	"github.com/netlogistics/lsl/internal/lsl"
@@ -106,6 +119,8 @@ var (
 	storeBytes   = flag.Int64("store-bytes", depot.DefaultStoreBytes, "memory budget for the async session store; overflow spills to -spool-dir (or evicts without one)")
 	spoolDir     = flag.String("spool-dir", "", "durable disk tier for the session store: spill cold payloads here as content-addressed files and re-index them on restart (empty = memory only)")
 	spoolBytes   = flag.Int64("spool-bytes", depot.DefaultSpoolBytes, "with -spool-dir, cap the disk tier at this many bytes (coldest spooled payload evicted beyond it)")
+	cacheBytes   = flag.Int64("cache-bytes", 0, "run a content-addressed chunk cache over this many memory bytes; forwarded digest-carrying sessions populate it and repeats are served from it (0 = no cache)")
+	cacheDir     = flag.String("cache-dir", "", "with -cache-bytes, spill cold cache spans to CRC-framed files in this directory (4x the memory budget) and re-index them on restart (empty = memory only)")
 	dialTimeout  = flag.Duration("dial-timeout", 10*time.Second, "onward connection timeout")
 	retries      = flag.Int("retries", 0, "retry a failed onward dial this many times with backoff (0 = dial once)")
 	backoff      = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before the first onward-dial retry (doubles each retry)")
@@ -199,6 +214,22 @@ func run() error {
 	}
 	if *retries > 0 {
 		cfg.ForwardRetry = retry.Policy{MaxAttempts: *retries + 1, BaseDelay: *backoff}
+	}
+	if *cacheBytes > 0 {
+		cc, err := cache.New(cache.Config{MemoryBytes: *cacheBytes, Dir: *cacheDir, Metrics: reg})
+		if err != nil {
+			return fmt.Errorf("cache: %w", err)
+		}
+		cfg.Cache = cc
+		st := cc.Stats()
+		if *cacheDir != "" {
+			log.Printf("cache: %d memory bytes + disk tier %s (re-indexed %d spans, dropped %d damaged)",
+				*cacheBytes, *cacheDir, st.Recovered, st.Dropped)
+		} else {
+			log.Printf("cache: %d memory bytes", *cacheBytes)
+		}
+	} else if *cacheDir != "" {
+		return fmt.Errorf("-cache-dir needs -cache-bytes to size the cache")
 	}
 	if *fairShare {
 		cfg.FairShare = fairshare.New(fairshare.Config{Rate: *trunkRate})

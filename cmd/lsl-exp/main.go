@@ -102,7 +102,7 @@ func emit(table fmt.Stringer, csv func() string) {
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lsl-exp [flags] <rtts|fig2|fig3|fig4|fig5|trees|fig9|fig11|striping|fairness|loadgen|integrity|matrix[-twopath|-planetlab|-abilene]|ablate|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: lsl-exp [flags] <rtts|fig2|fig3|fig4|fig5|trees|fig9|fig11|striping|fairness|loadgen|integrity|matrix[-twopath|-planetlab|-abilene]|cacheoffload|ablate|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -246,10 +246,16 @@ func run(name string) error {
 			return err
 		}
 		fmt.Println(experiments.FormatIntegrity(rows))
+	case "cacheoffload":
+		rows, err := experiments.CacheOffload(experiments.CacheOffloadConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatCacheOffload(rows))
 	case "ablate":
 		return ablate()
 	case "all":
-		for _, n := range []string{"rtts", "trees", "fig2", "fig3", "fig4", "fig5", "fig9", "fig11", "striping", "fairness", "robustness", "ablate"} {
+		for _, n := range []string{"rtts", "trees", "fig2", "fig3", "fig4", "fig5", "fig9", "fig11", "striping", "fairness", "robustness", "cacheoffload", "ablate"} {
 			if err := run(n); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

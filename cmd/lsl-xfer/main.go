@@ -54,6 +54,24 @@
 //
 //	lsl-xfer -to sink:7411 -via depot:7411 -size 64M -verify-integrity
 //
+// Cached sends: -cached probes the -via depots' content-addressed
+// caches for the object before sending. The send carries a content
+// digest and CRC framing (so depots on the path populate their caches
+// as they forward), and when a probed depot already holds a suffix of
+// the object, the sender ships only the cold prefix itself and directs
+// that depot to serve the cached remainder toward the sink — the
+// origin-offload path. Repeats of the same object must reuse the first
+// send's session id (the payload pattern, and hence the digest, is
+// keyed by it), so the first -cached run prints the -id to repeat with:
+//
+//	lsl-xfer -to sink:7411 -via depot:7411 -size 64M -cached
+//	lsl-xfer -to sink:7411 -via depot:7411 -size 64M -cached -id <hex>
+//
+// A holder that refuses the serve directive (evicted, damaged spans)
+// is ignored and the sender falls back to shipping the remainder from
+// the origin. Delivery accounting is best-effort over real TCP — the
+// sink's log line is the ground truth for what landed.
+//
 // Sink mode accepts sessions, verifies the payload pattern, and prints
 // per-session throughput:
 //
@@ -113,12 +131,17 @@ var (
 	tableMode = flag.Bool("table-driven", false, "send with no source route through one -via entry depot; depots route by controller-pushed tables")
 	weight    = flag.Int("weight", 1, "fair-share weight (1..65535) carried in the session header; fair-share depots grant bandwidth in proportion")
 	verifyInt = flag.Bool("verify-integrity", false, "send CRC-32C-framed chunks every depot hop verifies; plain sends also carry a whole-object SHA-256 digest the sink checks")
+	cached    = flag.Bool("cached", false, "probe the -via depots' content caches and have a holder serve the cached suffix toward -to, sending only the cold prefix from here (implies integrity framing)")
+	idSpec    = flag.String("id", "", "with -cached, reuse this 32-hex-digit session id so the repeat names the same object (empty = mint a new one)")
 )
 
 func main() {
 	flag.Parse()
 	if *weight < 1 || *weight > 65535 {
 		log.Fatalf("lsl-xfer: -weight %d out of range 1..65535", *weight)
+	}
+	if *idSpec != "" && !*cached {
+		log.Fatalf("lsl-xfer: -id only applies to -cached sends")
 	}
 	var err error
 	switch {
@@ -399,6 +422,16 @@ func runSend() error {
 		firstHop = route[0]
 	}
 
+	if *cached {
+		if *store || *generate || *stripesN > 1 || *tableMode {
+			return fmt.Errorf("-cached combines only with a plain send, not -store, -generate, -stripes, or -table-driven")
+		}
+		if len(route) == 0 {
+			return fmt.Errorf("-cached needs at least one -via depot to probe")
+		}
+		return runCachedSend(dial, srcEP, dst, route, size, tr)
+	}
+
 	if *tableMode {
 		if *store || *generate || *stripesN > 1 {
 			return fmt.Errorf("-table-driven combines only with a plain send, not -store, -generate, or -stripes")
@@ -515,6 +548,133 @@ func runSend() error {
 	fmt.Printf("session %s: %d bytes in %v = %.2f Mbit/s (send-side)\n",
 		sess.ID(), size, elapsed.Round(time.Millisecond),
 		float64(size)*8/1e6/elapsed.Seconds())
+	return nil
+}
+
+// cachedSessionID returns the session id a -cached send runs under:
+// the -id the user carried over from a previous send of the same
+// object, or a freshly minted one.
+func cachedSessionID() (wire.SessionID, error) {
+	var id wire.SessionID
+	if *idSpec == "" {
+		return wire.NewSessionID()
+	}
+	raw, err := hex.DecodeString(*idSpec)
+	if err != nil || len(raw) != len(id) {
+		return id, fmt.Errorf("-id wants a 32-hex-digit session id")
+	}
+	copy(id[:], raw)
+	return id, nil
+}
+
+// cachedSuffixStart returns the first byte of the longest contiguous
+// cached suffix that runs to exactly size, or size when the advertised
+// ranges hold no such suffix. Only a suffix is spliceable: the origin
+// sends [0, start) and the holder serves [start, size) after it.
+func cachedSuffixStart(ranges []wire.ByteRange, size int64) int64 {
+	if n := len(ranges); n > 0 && ranges[n-1].End() == size {
+		return ranges[n-1].Off
+	}
+	return size
+}
+
+// runCachedSend is the origin-offload path: probe the route's depots
+// for the object's digest, send only the cold prefix from here, and
+// direct the best holder (longest cached suffix; ties to the depot
+// nearest the sink) to serve the remainder out of its cache. A refused
+// directive falls back to an origin send of the remainder.
+func runCachedSend(dial lsl.Dialer, srcEP, dst wire.Endpoint, route []wire.Endpoint, size int64, tr obs.Sink) error {
+	id, err := cachedSessionID()
+	if err != nil {
+		return err
+	}
+	digest := depot.PatternDigest(id, size)
+	start := time.Now()
+
+	holder, coldEnd := -1, size
+	for i, hop := range route {
+		ranges, perr := lsl.CacheProbe(dial, srcEP, hop, digest)
+		if perr != nil {
+			continue // no cache there, or unreachable: probe is best-effort
+		}
+		if c := cachedSuffixStart(ranges, size); c < size && c <= coldEnd {
+			holder, coldEnd = i, c
+		}
+	}
+	if holder >= 0 {
+		log.Printf("cache: %s holds [%d,%d), sending only the first %d bytes from the origin",
+			route[holder], coldEnd, size, coldEnd)
+	}
+
+	// Every session of the splice carries the digest and CRC framing:
+	// the framing is what lets depots populate (and verify) their caches
+	// as the cold bytes pass through.
+	opts := sessionOpts()
+	if !*verifyInt {
+		opts = append(opts, wire.ChunkChecksumOption())
+	}
+	opts = append(opts, wire.ContentDigestOption(digest))
+
+	var originBytes, cachedBytes int64
+	if coldEnd > 0 {
+		sess, oerr := lsl.OpenAtID(dial, id, srcEP, dst, route, 0, opts...)
+		if oerr != nil {
+			return oerr
+		}
+		emit0(tr, id, obs.KindConnect, obs.Event{Peer: route[0].String()})
+		written, werr := sendPatternRange(sendWriter(sess, nil), id, 0, coldEnd)
+		sess.Close()
+		originBytes += written
+		if werr != nil {
+			return fmt.Errorf("cached send after %d bytes: %w", written, werr)
+		}
+	}
+	if holder >= 0 && coldEnd < size {
+		r := wire.ByteRange{Off: coldEnd, Len: size - coldEnd}
+		sess, oerr := lsl.OpenCacheServe(dial, id, srcEP, dst, route[holder:], digest, r, opts...)
+		if oerr != nil {
+			log.Printf("serve directive to %s failed (%v), falling back to origin", route[holder], oerr)
+		} else {
+			emit0(tr, id, obs.KindConnect, obs.Event{Peer: route[holder].String(),
+				Detail: fmt.Sprintf("cache serve [%d,%d)", r.Off, r.End())})
+			// The holder writes nothing back on success and closes when
+			// the serve is done; a directive it cannot satisfy (or a span
+			// that fails its CRC mid-read) comes back as a refusal header.
+			hdr, rerr := wire.ReadHeader(sess)
+			sess.Close()
+			if rerr != nil {
+				cachedBytes = r.Len
+			} else if hdr.Type == wire.TypeRefuse {
+				log.Printf("holder %s refused the serve directive, falling back to origin", route[holder])
+			}
+		}
+	}
+	if total := originBytes + cachedBytes; total < size {
+		sess, oerr := lsl.OpenAtID(dial, id, srcEP, dst, route, originBytes, opts...)
+		if oerr != nil {
+			return oerr
+		}
+		emit0(tr, id, obs.KindConnect, obs.Event{Peer: route[0].String(), Retries: 1})
+		written, werr := sendPatternRange(sendWriter(sess, nil), id, originBytes, size)
+		sess.Close()
+		originBytes += written
+		if werr != nil {
+			return fmt.Errorf("cached send fallback after %d bytes: %w", written, werr)
+		}
+	}
+	emit0(tr, id, obs.KindLastByte, obs.Event{Bytes: originBytes + cachedBytes})
+
+	elapsed := time.Since(start)
+	served := "all from origin"
+	if cachedBytes > 0 {
+		served = fmt.Sprintf("%d origin + %d served by %s", originBytes, cachedBytes, route[holder])
+	}
+	fmt.Printf("session %s: %d bytes in %v = %.2f Mbit/s (send-side, %s)\n",
+		id, size, elapsed.Round(time.Millisecond),
+		float64(size)*8/1e6/elapsed.Seconds(), served)
+	if *idSpec == "" {
+		fmt.Printf("repeat this object with: -cached -id %s\n", id)
+	}
 	return nil
 }
 

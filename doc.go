@@ -20,12 +20,15 @@
 //   - internal/depot — the forwarding depot server: per-flow pump
 //     with bounded occupancy, route tables, pattern generation and
 //     verification, fault injection (DESIGN.md §3, §9)
+//   - internal/cache — the depot-resident content-addressed chunk
+//     cache: CRC-framed byte ranges keyed by content digest, served
+//     back to repeat transfers (DESIGN.md §15)
 //   - internal/bufpool — pooled fixed-size copy buffers shared by the
 //     depot pump, sink read loops, and pattern writers (DESIGN.md §10)
 //   - internal/core — top-level façade: an in-process deployment
 //     (emulated WAN + depots + planner) with Transfer,
-//     TransferReliable, TransferStriped, Multicast, and async
-//     store/fetch APIs (DESIGN.md §3, §9, §10)
+//     TransferReliable, TransferStriped, TransferCached, Multicast,
+//     and async store/fetch APIs (DESIGN.md §3, §9, §10, §15)
 //   - internal/emu — a real-time emulated WAN (latency, rate, window
 //     shaping per connection) for the wire stack (DESIGN.md §3)
 //

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/netlogistics/lsl/internal/bufpool"
+	"github.com/netlogistics/lsl/internal/cache"
 	"github.com/netlogistics/lsl/internal/ctl"
 	"github.com/netlogistics/lsl/internal/depot"
 	"github.com/netlogistics/lsl/internal/emu"
@@ -86,6 +87,12 @@ type Config struct {
 	MaxSessions  int
 	QueueDepth   int
 	QueueTimeout time.Duration
+	// CacheBytes, when positive, attaches a content-addressed chunk
+	// cache of that many memory bytes to every depot in the system.
+	// Depots populate their caches from integrity-stamped forwarded
+	// traffic and serve repeat transfers of the same object locally;
+	// TransferCached is the façade operation that exploits them.
+	CacheBytes int64
 	// Integrity runs every transfer with end-to-end data integrity:
 	// payloads travel as CRC-32C-framed chunks that every depot hop
 	// verifies and re-stamps (so the corrupting hop is identified), and
@@ -130,6 +137,7 @@ type System struct {
 	endpoints []wire.Endpoint // host index → endpoint
 	byAddr    map[wire.Endpoint]int
 	depots    []*depot.Server
+	caches    []*cache.Cache // host index → depot cache (nil without CacheBytes)
 	faults    []*depot.FaultInjector
 	listeners []net.Listener
 	rng       *rand.Rand
@@ -164,6 +172,7 @@ func NewSystem(t *topo.Topology, cfg Config) (*System, error) {
 		endpoints: make([]wire.Endpoint, t.N()),
 		byAddr:    make(map[wire.Endpoint]int, t.N()),
 		depots:    make([]*depot.Server, t.N()),
+		caches:    make([]*cache.Cache, t.N()),
 		faults:    make([]*depot.FaultInjector, t.N()),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		waiters:   make(map[wire.SessionID]chan deliverResult),
@@ -224,6 +233,15 @@ func NewSystem(t *topo.Topology, cfg Config) (*System, error) {
 		}
 		if cfg.FairShare != nil {
 			dcfg.FairShare = fairshare.New(*cfg.FairShare)
+		}
+		if cfg.CacheBytes > 0 {
+			c, err := cache.New(cache.Config{MemoryBytes: cfg.CacheBytes, Metrics: cfg.Metrics})
+			if err != nil {
+				s.Close()
+				return nil, fmt.Errorf("core: cache %s: %w", t.Hosts[i].Name, err)
+			}
+			s.caches[i] = c
+			dcfg.Cache = c
 		}
 		if cfg.ControlPlane {
 			// Controller-owned routing: no live planner access, no direct

@@ -74,6 +74,10 @@ type Config struct {
 	// Probe overrides the wire probe, e.g. with deterministic topology
 	// readings in tests.
 	Probe ProbeFunc
+	// Inventory overrides the wire cache-inventory poll, e.g. with
+	// deterministic holder sets in tests. With neither an override nor a
+	// dialer, inventory aggregation is disabled.
+	Inventory InventoryFunc
 	// PushTimeout bounds one table push (0 selects DefaultPushTimeout).
 	PushTimeout time.Duration
 	// RefreshEvery forces a full re-push after this many rounds even
@@ -103,15 +107,17 @@ const (
 )
 
 type metrics struct {
-	epoch        *obs.Gauge
-	depots       *obs.Gauge
-	rounds       *obs.Counter
-	probes       *obs.Counter
-	probeErrors  *obs.Counter
-	replans      *obs.Counter
-	routeChanges *obs.Counter
-	pushes       *obs.Counter
-	pushErrors   *obs.Counter
+	epoch            *obs.Gauge
+	depots           *obs.Gauge
+	rounds           *obs.Counter
+	probes           *obs.Counter
+	probeErrors      *obs.Counter
+	replans          *obs.Counter
+	routeChanges     *obs.Counter
+	pushes           *obs.Counter
+	pushErrors       *obs.Counter
+	inventoryDigests *obs.Gauge
+	inventoryErrors  *obs.Counter
 }
 
 // member is one registered participant of the controlled mesh.
@@ -134,6 +140,9 @@ type Controller struct {
 	index   map[string]int // host name → topology index
 	epoch   uint64
 	rounds  int
+	// holders is the mesh-wide cache inventory of the last round:
+	// content digest → sorted names of hosts holding it complete.
+	holders map[wire.ContentDigest][]string
 }
 
 // New validates the configuration and builds a controller.
@@ -162,15 +171,17 @@ func New(cfg Config) (*Controller, error) {
 	}
 	r := cfg.Metrics
 	c.met = metrics{
-		epoch:        r.Gauge(MetricEpoch),
-		depots:       r.Gauge(MetricDepots),
-		rounds:       r.Counter(MetricRounds),
-		probes:       r.Counter(MetricProbes),
-		probeErrors:  r.Counter(MetricProbeErrors),
-		replans:      r.Counter(MetricReplans),
-		routeChanges: r.Counter(MetricRouteChanges),
-		pushes:       r.Counter(MetricPushes),
-		pushErrors:   r.Counter(MetricPushErrors),
+		epoch:            r.Gauge(MetricEpoch),
+		depots:           r.Gauge(MetricDepots),
+		rounds:           r.Counter(MetricRounds),
+		probes:           r.Counter(MetricProbes),
+		probeErrors:      r.Counter(MetricProbeErrors),
+		replans:          r.Counter(MetricReplans),
+		routeChanges:     r.Counter(MetricRouteChanges),
+		pushes:           r.Counter(MetricPushes),
+		pushErrors:       r.Counter(MetricPushErrors),
+		inventoryDigests: r.Gauge(MetricInventoryDigests),
+		inventoryErrors:  r.Counter(MetricInventoryErrors),
 	}
 	return c, nil
 }
@@ -238,6 +249,10 @@ type RoundReport struct {
 	// dialed, wrote or acked wrong (they stay dirty and re-push next
 	// round).
 	Pushed, PushErrors int
+	// Inventoried counts members whose cache inventory was collected
+	// this round; InventoryErrors the polls that failed outright
+	// (refusals from cacheless depots count as neither).
+	Inventoried, InventoryErrors int
 }
 
 // Round runs one probe → replan → diff → push cycle. It is the unit
@@ -282,6 +297,11 @@ func (c *Controller) Round(ctx context.Context) (RoundReport, error) {
 		return rep, fmt.Errorf("ctl: replan: %w", err)
 	}
 	c.met.replans.Inc()
+
+	// Aggregate the mesh-wide cache inventory alongside the bandwidth
+	// measurements: one round yields both the cost picture and the
+	// content picture cache-aware planning needs.
+	c.refreshInventory(&rep)
 
 	// Compute each push member's wire table and diff it against the last
 	// acked push. The ε damping inside Replan is what makes this diff

@@ -1,0 +1,187 @@
+package ctl
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/cache"
+	"github.com/netlogistics/lsl/internal/depot"
+	"github.com/netlogistics/lsl/internal/emu"
+	"github.com/netlogistics/lsl/internal/lsl"
+	"github.com/netlogistics/lsl/internal/obs"
+	"github.com/netlogistics/lsl/internal/schedule"
+	"github.com/netlogistics/lsl/internal/topo"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+func testDigest(b byte) wire.ContentDigest {
+	d := wire.ContentDigest{Size: 64}
+	d.Sum[0] = b
+	return d
+}
+
+// TestInventoryAggregation: a round folds every member's inventory into
+// one digest→holders map, holders sorted by name, absent digests empty.
+func TestInventoryAggregation(t *testing.T) {
+	r := newRig(t)
+	reg := obs.NewRegistry()
+	d1, d2 := testDigest(1), testDigest(2)
+	inv := map[string][]wire.ContentDigest{
+		"a": {d1},
+		"b": {d2, d1},
+		"c": nil,
+	}
+	c := r.controller(Config{Probe: r.probe, Metrics: reg,
+		Inventory: func(host string) ([]wire.ContentDigest, error) { return inv[host], nil }})
+
+	rep, err := c.Round(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inventoried != 3 || rep.InventoryErrors != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got := c.Holders(d1); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Holders(d1) = %v, want [a b]", got)
+	}
+	if got := c.Holders(d2); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Holders(d2) = %v, want [b]", got)
+	}
+	if got := c.Holders(testDigest(9)); len(got) != 0 {
+		t.Fatalf("Holders(unknown) = %v, want empty", got)
+	}
+	if c.InventorySize() != 2 {
+		t.Fatalf("InventorySize = %d, want 2", c.InventorySize())
+	}
+	if v := reg.Gauge(MetricInventoryDigests).Value(); v != 2 {
+		t.Fatalf("%s = %d, want 2", MetricInventoryDigests, v)
+	}
+
+	// The next round rebuilds from scratch: a holder that evicted the
+	// object must disappear, not linger.
+	inv["a"] = nil
+	if _, err := c.Round(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Holders(d1); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Holders(d1) after eviction = %v, want [b]", got)
+	}
+}
+
+// TestInventoryBestEffort: a member that refuses (no cache) contributes
+// nothing silently; one that fails outright is counted as an error and
+// likewise skipped — neither sinks the round.
+func TestInventoryBestEffort(t *testing.T) {
+	r := newRig(t)
+	reg := obs.NewRegistry()
+	d1 := testDigest(1)
+	c := r.controller(Config{Probe: r.probe, Metrics: reg,
+		Inventory: func(host string) ([]wire.ContentDigest, error) {
+			switch host {
+			case "a":
+				return nil, lsl.ErrRefused
+			case "b":
+				return nil, errors.New("poll timed out")
+			default:
+				return []wire.ContentDigest{d1}, nil
+			}
+		}})
+
+	rep, err := c.Round(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inventoried != 1 || rep.InventoryErrors != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got := c.Holders(d1); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("Holders(d1) = %v, want [c]", got)
+	}
+	if v := reg.Counter(MetricInventoryErrors).Value(); v != 1 {
+		t.Fatalf("%s = %d, want 1", MetricInventoryErrors, v)
+	}
+}
+
+// TestWireInventoryPollsDepotCaches exercises the default (un-injected)
+// path end to end: a real depot with a populated cache answers the
+// controller's wire poll, a cacheless depot refuses, and the round's
+// holder map reflects exactly that.
+func TestWireInventoryPollsDepotCaches(t *testing.T) {
+	tp, err := topo.New("inv-test", []topo.Host{
+		{Name: "plain", Site: "sp", Depot: true},
+		{Name: "cached", Site: "sc", Depot: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := schedule.NewPlanner(tp, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := emu.NewNetwork(0.001)
+	addrPlain := wire.MustEndpoint("10.1.0.1:7411")
+	addrCached := wire.MustEndpoint("10.1.0.2:7411")
+	self := wire.MustEndpoint("10.1.9.1:7500")
+
+	ch, err := cache.New(cache.Config{MemoryBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("cache inventory wire test object")
+	digest := wire.ContentDigest{Size: int64(len(payload)), Sum: sha256.Sum256(payload)}
+	if err := ch.Put(digest, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	serve := func(addr wire.Endpoint, cc *cache.Cache) {
+		t.Helper()
+		host := fmt.Sprintf("%d.%d.%d.%d", addr.IP[0], addr.IP[1], addr.IP[2], addr.IP[3])
+		srv, err := depot.New(depot.Config{
+			Self:  addr,
+			Dial:  lsl.DialerFunc(func(a string) (net.Conn, error) { return n.Dial(host, a) }),
+			Cache: cc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := n.Listen(addr.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close(); ln.Close() })
+		go srv.Serve(ln)
+	}
+	serve(addrPlain, nil)
+	serve(addrCached, ch)
+
+	c, err := New(Config{
+		Planner: p,
+		Self:    self,
+		Dial:    lsl.DialerFunc(func(a string) (net.Conn, error) { return n.Dial("10.1.9.1", a) }),
+		Probe:   func(src, dst string) (float64, error) { return 100, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("plain", addrPlain, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("cached", addrCached, false); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := c.Round(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inventoried != 1 || rep.InventoryErrors != 0 {
+		t.Fatalf("report = %+v, want exactly the caching depot inventoried", rep)
+	}
+	if got := c.Holders(digest); len(got) != 1 || got[0] != "cached" {
+		t.Fatalf("Holders = %v, want [cached]", got)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"context"
 
 	"github.com/netlogistics/lsl/internal/bufpool"
+	"github.com/netlogistics/lsl/internal/cache"
 	"github.com/netlogistics/lsl/internal/fairshare"
 	"github.com/netlogistics/lsl/internal/lsl"
 	"github.com/netlogistics/lsl/internal/obs"
@@ -149,6 +150,14 @@ type Config struct {
 	// per-hop byte and pipeline-occupancy progress, for the /sessions
 	// debug endpoint.
 	Sessions *obs.SessionTable
+	// Cache, when non-nil, gives the depot a content-addressed chunk
+	// cache: digest-stamped payloads it forwards populate it, cache
+	// probes (TypeCacheProbe) advertise what it holds, serve directives
+	// (TypeCacheServe) and the forwarding short-circuit answer repeat
+	// transfers from it instead of pulling the bytes upstream again.
+	// The cache may be shared between co-located servers; its metrics
+	// ride whatever registry it was built with.
+	Cache *cache.Cache
 }
 
 // Stats are the depot's cumulative counters.
@@ -226,6 +235,7 @@ type metrics struct {
 	queued       *obs.Counter
 	queueTOs     *obs.Counter
 	checksumErrs *obs.Counter
+	reindexDrops *obs.Counter
 	tableEpoch   *obs.Gauge
 	occupancy    *obs.Gauge
 	active       *obs.Gauge
@@ -261,6 +271,11 @@ const (
 	MetricAdmissionQueued   = "depot_admission_queued_total"
 	MetricAdmissionTimeouts = "depot_admission_timeouts_total"
 	MetricChecksumErrors    = "depot_checksum_errors_total"
+	// MetricSpoolReindexDropped counts spool files crash recovery
+	// deleted instead of re-indexing (interrupted .tmp writes, damaged
+	// or torn .p payloads). Set once at startup; a non-zero value after
+	// a restart means durable state was lost between runs.
+	MetricSpoolReindexDropped = "depot_spool_reindex_dropped_total"
 )
 
 func newMetrics(r *obs.Registry) metrics {
@@ -282,6 +297,7 @@ func newMetrics(r *obs.Registry) metrics {
 		queued:       r.Counter(MetricAdmissionQueued),
 		queueTOs:     r.Counter(MetricAdmissionTimeouts),
 		checksumErrs: r.Counter(MetricChecksumErrors),
+		reindexDrops: r.Counter(MetricSpoolReindexDropped),
 		tableEpoch:   r.Gauge(MetricTableEpoch),
 		occupancy:    r.Gauge(MetricPipelineOccupancy),
 		active:       r.Gauge(MetricActiveSessions),
@@ -337,6 +353,11 @@ func New(cfg Config) (*Server, error) {
 		cfg:   cfg,
 		store: store,
 		met:   newMetrics(cfg.Metrics),
+	}
+	if dropped := store.spoolReindexDropped(); dropped > 0 {
+		srv.met.reindexDrops.Add(dropped)
+		srv.logf("depot %s: spool re-index dropped %d unrecoverable file(s) from %s",
+			cfg.Self, dropped, cfg.SpoolDir)
 	}
 	if cfg.MaxSessions > 0 {
 		srv.admit = make(chan struct{}, cfg.MaxSessions)
@@ -527,6 +548,21 @@ func (s *Server) Handle(conn net.Conn) {
 		}
 		return
 	}
+	if h.Type == wire.TypeCacheProbe {
+		// Cache probes also bypass the load gate: they carry no payload,
+		// and a loaded depot advertising its cache is how load gets
+		// shed to begin with.
+		s.st.accepted.Add(1)
+		s.met.accepted.Inc()
+		f.emit(obs.KindAccept, obs.Event{Peer: h.Src.String()})
+		if perr := s.handleCacheProbe(conn, h, f); perr != nil {
+			s.st.errors.Add(1)
+			s.met.errors.Inc()
+			f.emit(obs.KindError, obs.Event{Detail: perr.Error()})
+			s.logf("depot %s: cache probe %s: %v", s.cfg.Self, h.Session, perr)
+		}
+		return
+	}
 	release, refusal := s.admitSession(f, h)
 	if refusal != "" {
 		s.st.refused.Add(1)
@@ -574,6 +610,8 @@ func (s *Server) Handle(conn net.Conn) {
 		err = s.handleStore(sess, f)
 	case wire.TypeFetch:
 		err = s.handleFetch(sess)
+	case wire.TypeCacheServe:
+		err = s.handleCacheServe(sess, f)
 	default:
 		err = fmt.Errorf("depot: unknown session type %d", h.Type)
 		conn.Close()
@@ -739,6 +777,9 @@ func (s *Server) handleData(sess *lsl.Session, f *flow) error {
 		defer s.track(f, sess.Header, "data", wire.Endpoint{})()
 		return s.deliver(sess, f)
 	}
+	if served, serr := s.cacheShortCircuit(sess, f, next, rest); served {
+		return serr
+	}
 	defer s.track(f, sess.Header, "data", next)()
 	out, err := s.dialOnward(next, f)
 	if err != nil {
@@ -764,7 +805,15 @@ func (s *Server) handleData(sess *lsl.Session, f *flow) error {
 	if err := wire.WriteHeader(out, fh); err != nil {
 		return err
 	}
-	_, err = s.pump(out, s.checkedSource(sess), f)
+	src := s.checkedSource(sess)
+	tap := s.cacheTap(sess.Header)
+	if tap != nil {
+		// On-forward cache population: the tap rides after the verifier,
+		// so only CRC-proven payload ever enters the cache.
+		src = io.TeeReader(src, tap)
+	}
+	_, err = s.pump(out, src, f)
+	tap.commit(err == nil)
 	s.st.forwarded.Add(1)
 	return s.flagCorrupt(sess, f, err)
 }

@@ -92,12 +92,13 @@ type spooledEntry struct {
 // recover re-indexes the spool directory after a restart: every
 // verifiable .p file becomes a store entry again, torn writes (.tmp
 // leftovers, size or digest mismatches, unparseable names) are
-// deleted. Entries come back ordered oldest-modified first, so the
-// rebuilt LRU evicts what was coldest before the crash.
-func (sp *spool) recover() ([]spooledEntry, error) {
+// deleted and counted in dropped. Entries come back ordered
+// oldest-modified first, so the rebuilt LRU evicts what was coldest
+// before the crash.
+func (sp *spool) recover() (entries []spooledEntry, dropped int64, err error) {
 	des, err := os.ReadDir(sp.dir)
 	if err != nil {
-		return nil, fmt.Errorf("depot: spool scan: %w", err)
+		return nil, 0, fmt.Errorf("depot: spool scan: %w", err)
 	}
 	type candidate struct {
 		e   spooledEntry
@@ -113,6 +114,7 @@ func (sp *spool) recover() ([]spooledEntry, error) {
 		if strings.HasSuffix(name, tmpSuffix) {
 			// An interrupted write: never completed, never indexed.
 			os.Remove(path)
+			dropped++
 			continue
 		}
 		_, id, ok := parseSpoolName(name)
@@ -123,6 +125,7 @@ func (sp *spool) recover() ([]spooledEntry, error) {
 		if err != nil {
 			// Torn or damaged: recovery must not resurrect bad bytes.
 			os.Remove(path)
+			dropped++
 			continue
 		}
 		info, err := de.Info()
@@ -139,7 +142,7 @@ func (sp *spool) recover() ([]spooledEntry, error) {
 	for i, c := range found {
 		out[i] = c.e
 	}
-	return out, nil
+	return out, dropped, nil
 }
 
 // parseSpoolName splits "<digest-hex>.<session-id-hex>.p" into its

@@ -47,6 +47,10 @@ type sessionStore struct {
 	spilled   int64
 	recovered int64
 	restored  int64
+	// reindexDropped counts spool files crash recovery deleted instead
+	// of re-indexing: interrupted .tmp writes plus .p files whose bytes
+	// no longer matched the digest in their name.
+	reindexDropped int64
 }
 
 // newSessionStore builds the store; with a spool directory it also
@@ -70,10 +74,11 @@ func newSessionStore(capacity int64, spoolDir string, spoolBytes int64) (*sessio
 		if s.spoolCap <= 0 {
 			s.spoolCap = DefaultSpoolBytes
 		}
-		found, err := sp.recover()
+		found, dropped, err := sp.recover()
 		if err != nil {
 			return nil, err
 		}
+		s.reindexDropped = dropped
 		// recover returns oldest-modified first; pushing each to the
 		// front leaves the newest payload most-recently-used.
 		for _, e := range found {
@@ -207,6 +212,11 @@ func (s *sessionStore) spoolUsage() (bytes int64, spilled, recovered, restored i
 	defer s.mu.Unlock()
 	return s.diskUsed, s.spilled, s.recovered, s.restored
 }
+
+// spoolReindexDropped reports how many spool files crash recovery
+// deleted rather than re-indexed. Set once at construction, before the
+// store is shared, so no lock is needed.
+func (s *sessionStore) spoolReindexDropped() int64 { return s.reindexDropped }
 
 // handleStore implements the storing half of asynchronous sessions: a
 // TypeStore session addressed to this depot is absorbed into the store;

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/cache"
+	"github.com/netlogistics/lsl/internal/core"
+	"github.com/netlogistics/lsl/internal/depot"
+	"github.com/netlogistics/lsl/internal/obs"
+	"github.com/netlogistics/lsl/internal/retry"
+	"github.com/netlogistics/lsl/internal/simtime"
+	"github.com/netlogistics/lsl/internal/topo"
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+// CacheOffloadConfig parameterises the content-addressed cache
+// acceptance sweep. Zero fields take DefaultCacheOffload values.
+type CacheOffloadConfig struct {
+	Seed       int64
+	Size       int64   // bytes per object
+	TimeScale  float64 // emulation time compression
+	Attempts   int     // retry budget per transfer
+	CacheBytes int64   // per-depot cache capacity
+}
+
+// DefaultCacheOffload is the configuration the acceptance run uses.
+func DefaultCacheOffload() CacheOffloadConfig {
+	return CacheOffloadConfig{Seed: 1, Size: 4 << 20, TimeScale: 0.01, Attempts: 6, CacheBytes: 64 << 20}
+}
+
+// CacheOffloadRow is one phase's outcome over the shared system: the
+// cold population run, the warm repeat, and the repeat after the relay
+// caches were tampered with.
+type CacheOffloadRow struct {
+	Phase       string  // cold | warm | tamper
+	Bytes       int64   // bytes the sink verified
+	OriginBytes int64   // payload the origin actually sent
+	CachedBytes int64   // payload a depot cache served
+	Holder      string  // serving depot ("" = all-origin)
+	Mbps        float64 // end-to-end delivered bandwidth
+	CacheHits   int64   // depot_cache_hits_total delta for this phase
+	Fallbacks   int64   // core_cache_fallbacks_total delta for this phase
+	Digest      int64   // core_digest_mismatches_total delta (must stay 0)
+	Delivered   bool    // the full object arrived and verified
+}
+
+// cacheOffloadTopology is a three-hop chain whose bandwidth RISES
+// toward the destination: src→relay-a is the 10 Mbit/s bottleneck,
+// relay-a→relay-b runs at 40, relay-b→dst at 100. A warm transfer
+// served from relay-b touches only the fast last hop, so the cache is
+// worth a large factor — exactly the "move the bytes close, then serve
+// them locally" argument of network logistics. Direct shortcuts are
+// trickles so the planner always picks the chain.
+func cacheOffloadTopology() (*topo.Topology, error) {
+	const (
+		mbit = 1e6 / 8
+		buf  = int64(8 << 20)
+	)
+	hosts := []topo.Host{
+		{Name: "src", Site: "src", SndBuf: buf, RcvBuf: buf},
+		{Name: "relay-a", Site: "a", SndBuf: buf, RcvBuf: buf,
+			Depot: true, ForwardRate: 60e6, PipelineBytes: 256 << 10},
+		{Name: "relay-b", Site: "b", SndBuf: buf, RcvBuf: buf,
+			Depot: true, ForwardRate: 60e6, PipelineBytes: 256 << 10},
+		{Name: "dst", Site: "dst", SndBuf: buf, RcvBuf: buf},
+	}
+	tp, err := topo.New("cacheoffload", hosts)
+	if err != nil {
+		return nil, err
+	}
+	ms := simtime.Milliseconds
+	set := func(a, b string, capMbit float64) {
+		tp.SetLink(tp.MustHost(a), tp.MustHost(b), topo.Link{RTT: ms(10), Capacity: capMbit * mbit})
+	}
+	set("src", "relay-a", 10)
+	set("relay-a", "relay-b", 40)
+	set("relay-b", "dst", 100)
+	set("src", "dst", 2)
+	set("src", "relay-b", 4)
+	set("relay-a", "dst", 4)
+	return tp, nil
+}
+
+// CacheOffload runs the cache acceptance sweep on ONE system, because
+// the phases are causally chained: the cold transfer populates the
+// relay caches, the warm repeat of the same object must be served
+// almost entirely out of them (origin bytes zero, ≥2× the cold
+// bandwidth on this rising-bandwidth chain), and after every cached
+// copy is tampered with, the next repeat must detect the damage on
+// read, fall back to the origin, and still deliver a digest-verified
+// object.
+func CacheOffload(cfg CacheOffloadConfig) ([]CacheOffloadRow, error) {
+	def := DefaultCacheOffload()
+	if cfg.Size <= 0 {
+		cfg.Size = def.Size
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = def.TimeScale
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = def.Attempts
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = def.CacheBytes
+	}
+
+	tp, err := cacheOffloadTopology()
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	sys, err := core.NewSystem(tp, core.Config{
+		TimeScale:  cfg.TimeScale,
+		Seed:       cfg.Seed,
+		Metrics:    reg,
+		Integrity:  true,
+		CacheBytes: cfg.CacheBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+
+	id, err := wire.NewSessionID()
+	if err != nil {
+		return nil, err
+	}
+	pol := core.RecoveryPolicy{
+		Retry: retry.Policy{
+			MaxAttempts: cfg.Attempts,
+			BaseDelay:   2 * time.Millisecond,
+			MaxDelay:    20 * time.Millisecond,
+			Multiplier:  2,
+		},
+		AttemptTimeout: 10 * time.Second,
+	}
+
+	var rows []CacheOffloadRow
+	run := func(phase string) error {
+		hits0 := reg.Counter(cache.MetricHits).Value()
+		falls0 := reg.Counter(core.MetricCacheFallbacks).Value()
+		digest0 := reg.Counter(core.MetricDigestMismatches).Value()
+		res, terr := sys.TransferCached("src", "dst", id, cfg.Size, pol)
+		rows = append(rows, CacheOffloadRow{
+			Phase:       phase,
+			Bytes:       res.Bytes,
+			OriginBytes: res.OriginBytes,
+			CachedBytes: res.CachedBytes,
+			Holder:      res.Holder,
+			Mbps:        res.Bandwidth * 8 / 1e6,
+			CacheHits:   reg.Counter(cache.MetricHits).Value() - hits0,
+			Fallbacks:   reg.Counter(core.MetricCacheFallbacks).Value() - falls0,
+			Digest:      reg.Counter(core.MetricDigestMismatches).Value() - digest0,
+			Delivered:   terr == nil && res.Bytes == cfg.Size,
+		})
+		if terr != nil {
+			return fmt.Errorf("experiments: cacheoffload %s: %w", phase, terr)
+		}
+		return nil
+	}
+
+	if err := run("cold"); err != nil {
+		return rows, err
+	}
+	if err := run("warm"); err != nil {
+		return rows, err
+	}
+	obj := depot.PatternDigest(id, cfg.Size)
+	for _, host := range []string{"relay-a", "relay-b"} {
+		if c := sys.DepotCache(host); c != nil {
+			c.Tamper(obj, 0)
+		}
+	}
+	if err := run("tamper"); err != nil {
+		return rows, err
+	}
+	return rows, nil
+}
+
+// FormatCacheOffload renders the sweep table plus a pass/fail verdict.
+func FormatCacheOffload(rows []CacheOffloadRow) string {
+	var b strings.Builder
+	b.WriteString("CacheOffload: repeat transfers served from depot caches, tamper falls back to origin\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s %-10s %10s %6s %6s %6s %10s\n",
+		"phase", "bytes", "origin_B", "cached_B", "holder", "Mbps", "hits", "fallbk", "digest", "delivered")
+	byPhase := make(map[string]CacheOffloadRow, len(rows))
+	for _, r := range rows {
+		holder := r.Holder
+		if holder == "" {
+			holder = "-"
+		}
+		fmt.Fprintf(&b, "%-8s %10d %10d %10d %-10s %10.2f %6d %6d %6d %10v\n",
+			r.Phase, r.Bytes, r.OriginBytes, r.CachedBytes, holder, r.Mbps, r.CacheHits, r.Fallbacks, r.Digest, r.Delivered)
+		byPhase[r.Phase] = r
+	}
+	cold, warm, tamper := byPhase["cold"], byPhase["warm"], byPhase["tamper"]
+	ok := cold.Delivered && warm.Delivered && tamper.Delivered
+	if cold.OriginBytes != cold.Bytes || cold.Holder != "" {
+		ok = false // the cold run must come entirely from the origin
+	}
+	if warm.OriginBytes != 0 || warm.CachedBytes != warm.Bytes || warm.Holder == "" {
+		ok = false // the warm run must be a full cache hit
+	}
+	if cold.Mbps > 0 && warm.Mbps < 2*cold.Mbps {
+		ok = false
+	}
+	if tamper.OriginBytes == 0 || tamper.Fallbacks < 1 {
+		ok = false // tampering must force an origin fallback
+	}
+	if cold.Digest+warm.Digest+tamper.Digest != 0 {
+		ok = false // the sink's end-to-end digest must never mismatch
+	}
+	if cold.Mbps > 0 {
+		fmt.Fprintf(&b, "warm speedup: %.2fx over cold\n", warm.Mbps/cold.Mbps)
+	}
+	if ok {
+		b.WriteString("verdict: PASS — warm ≥2x cold with zero origin bytes, tamper recovered from origin\n")
+	} else {
+		b.WriteString("verdict: FAIL — see rows above\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package lsl
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/netlogistics/lsl/internal/wire"
+)
+
+// CacheProbe asks the depot at depotAddr which byte ranges of the
+// digest-named object its content-addressed cache holds. An empty
+// slice means "none of it"; ErrRefused means the depot runs no cache.
+// The probe is a single request/response exchange on its own
+// connection, deliberately cheap: initiators fan it across a path's
+// depots before deciding whether a transfer can be served from cache.
+func CacheProbe(d Dialer, self, depotAddr wire.Endpoint, digest wire.ContentDigest) ([]wire.ByteRange, error) {
+	resp, err := cacheExchange(d, self, depotAddr, []wire.Option{wire.CacheLookupOption(digest)})
+	if err != nil {
+		return nil, err
+	}
+	ranges, _ := resp.CacheAdvert()
+	return ranges, nil
+}
+
+// CacheInventory asks the depot at depotAddr for its full cache
+// inventory: the content digests it holds complete. ErrRefused means
+// the depot runs no cache. Controllers poll this during probe rounds
+// to build the mesh-wide digest→holders map cache-aware planning
+// scores routes with.
+func CacheInventory(d Dialer, self, depotAddr wire.Endpoint) ([]wire.ContentDigest, error) {
+	resp, err := cacheExchange(d, self, depotAddr, nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.CacheLookups(), nil
+}
+
+// cacheExchange runs one TypeCacheProbe request/response round trip.
+func cacheExchange(d Dialer, self, depotAddr wire.Endpoint, opts []wire.Option) (*wire.Header, error) {
+	t0 := time.Now()
+	conn, err := dialHop(d, depotAddr.String())
+	if err != nil {
+		return nil, fmt.Errorf("lsl: dial %s: %w", depotAddr, err)
+	}
+	defer conn.Close()
+	req, err := start(conn, self, depotAddr, wire.TypeCacheProbe, opts)
+	if err != nil {
+		return nil, err
+	}
+	observeSetup(t0)
+	resp, err := wire.ReadHeader(req)
+	if err != nil {
+		return nil, fmt.Errorf("lsl: cache probe response: %w", err)
+	}
+	if resp.Type == wire.TypeRefuse {
+		metrics().Counter(MetricRefusalsSeen).Inc()
+		return nil, ErrRefused
+	}
+	if resp.Type != wire.TypeCacheProbe {
+		return nil, fmt.Errorf("lsl: unexpected cache probe response type %d", resp.Type)
+	}
+	return resp, nil
+}
+
+// OpenCacheServe sends a serve-from-cache directive: the first hop of
+// route (the holding depot) is told to push the given range of the
+// digest-named object toward dst from its own cache, as an ordinary
+// data stream under the supplied session id. The caller holds the
+// returned session open until the sink reports, then closes it; no
+// payload crosses this connection. A holder that cannot satisfy the
+// directive refuses, surfacing as ErrRefused on the first read.
+func OpenCacheServe(d Dialer, id wire.SessionID, src, dst wire.Endpoint, route []wire.Endpoint, digest wire.ContentDigest, r wire.ByteRange, extra ...wire.Option) (*Session, error) {
+	if len(route) == 0 {
+		return nil, fmt.Errorf("lsl: cache serve needs a holding depot as its first hop")
+	}
+	opts := cloneOpts([]wire.Option{wire.CacheServeOption(digest, r)}, extra)
+	return openWithID(d, id, src, dst, route, wire.TypeCacheServe, opts)
+}

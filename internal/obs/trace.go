@@ -51,6 +51,12 @@ const (
 	// stamp, so the corruption happened on the inbound hop. Detail
 	// carries the verifier's description of the damaged frame.
 	KindCorrupt = "corrupt"
+	// KindCacheHit marks a depot serving payload from its
+	// content-addressed cache instead of pulling it from upstream. Node
+	// names the serving depot, Bytes carries the range length served,
+	// and Detail the byte range and whether the upstream sublink was
+	// short-circuited.
+	KindCacheHit = "cache-hit"
 )
 
 // Event is one structured, per-session trace record — the JSON-lines

@@ -29,6 +29,9 @@ func FuzzParseOptions(f *testing.F) {
 	f.Add(uint16(OptChunkChecksum), []byte{0, 99})
 	f.Add(uint16(OptContentDigest), ContentDigestOption(ContentDigest{Size: 1 << 20}).Data)
 	f.Add(uint16(OptContentDigest), []byte{1, 2, 3})
+	f.Add(uint16(OptCacheLookup), CacheLookupOption(ContentDigest{Size: 1 << 20}).Data)
+	f.Add(uint16(OptCacheAdvert), CacheAdvertOption([]ByteRange{{Off: 0, Len: 4096}, {Off: 8192, Len: 100}}).Data)
+	f.Add(uint16(OptCacheServe), CacheServeOption(ContentDigest{Size: 1 << 20}, ByteRange{Off: 512, Len: 1024}).Data)
 	if rt, err := RouteTableOptions([]RouteEntry{{Dst: MustEndpoint("10.0.0.2:1"), Next: MustEndpoint("10.0.0.3:1")}}); err == nil {
 		f.Add(uint16(OptRouteTable), rt[0].Data)
 	}
@@ -82,6 +85,13 @@ func FuzzParseOptions(f *testing.F) {
 		_, _ = ParseTraceID(o)
 		_, _ = ParseChunkChecksum(o)
 		_, _ = ParseContentDigest(o)
+		_, _ = ParseCacheLookup(o)
+		_, _, _ = ParseCacheServe(o)
+		if rs, err := ParseCacheAdvert(o); err == nil {
+			if re := CacheAdvertOption(rs); !bytes.Equal(re.Data, data) {
+				t.Errorf("cache advert round-trip mismatch: %x != %x", re.Data, data)
+			}
+		}
 		if w, err := ParseSessionWeight(o); err == nil {
 			if re := SessionWeightOption(w); !bytes.Equal(re.Data, data) {
 				t.Errorf("session weight round-trip mismatch: %x != %x", re.Data, data)
@@ -98,6 +108,10 @@ func FuzzParseOptions(f *testing.F) {
 		_, _ = h.TraceID()
 		_ = h.Checksummed()
 		_, _ = h.ContentDigest()
+		_, _ = h.CacheLookup()
+		_, _ = h.CacheAdvert()
+		_, _, _ = h.CacheServe()
+		_ = h.CacheLookups()
 		if w := h.SessionWeight(); w < 1 {
 			t.Errorf("SessionWeight() = %d, must never drop below 1", w)
 		}
@@ -163,6 +177,70 @@ func readAll(r io.Reader) ([]byte, error) {
 			return out.Bytes(), err
 		}
 	}
+}
+
+// FuzzCacheOptions concentrates on the three cache wire options, with
+// a seed corpus of the malformations a depot actually meets: truncated
+// advertisements, overlapping and unsorted ranges, zero-length ranges,
+// and serve directives that overrun the digested object. A parser may
+// reject or accept, but an accepted advertisement must be canonical
+// (sorted, non-overlapping, round-trips byte-for-byte) and an accepted
+// serve range must lie inside its object.
+func FuzzCacheOptions(f *testing.F) {
+	d := ContentDigest{Size: 1 << 20}
+	for i := range d.Sum {
+		d.Sum[i] = byte(i)
+	}
+	full := CacheAdvertOption([]ByteRange{{Off: 0, Len: 4096}, {Off: 8192, Len: 1 << 16}}).Data
+	f.Add(uint16(OptCacheLookup), CacheLookupOption(d).Data)
+	f.Add(uint16(OptCacheLookup), CacheLookupOption(d).Data[:39])
+	f.Add(uint16(OptCacheAdvert), []byte{})
+	f.Add(uint16(OptCacheAdvert), full)
+	f.Add(uint16(OptCacheAdvert), full[:len(full)-3])                          // truncated mid-range
+	f.Add(uint16(OptCacheAdvert), full[:cacheRangeLen+7])                      // truncated second range
+	f.Add(uint16(OptCacheAdvert), append(full[:len(full):len(full)], full...)) // duplicated -> overlapping
+	overlap := CacheAdvertOption([]ByteRange{{Off: 0, Len: 4096}}).Data
+	overlap = append(overlap, CacheAdvertOption([]ByteRange{{Off: 2048, Len: 4096}}).Data...)
+	f.Add(uint16(OptCacheAdvert), overlap) // second range starts inside the first
+	unsorted := CacheAdvertOption([]ByteRange{{Off: 8192, Len: 100}}).Data
+	unsorted = append(unsorted, CacheAdvertOption([]ByteRange{{Off: 0, Len: 100}}).Data...)
+	f.Add(uint16(OptCacheAdvert), unsorted)
+	zero := CacheAdvertOption([]ByteRange{{Off: 4096, Len: 0}}).Data
+	f.Add(uint16(OptCacheAdvert), zero)
+	f.Add(uint16(OptCacheServe), CacheServeOption(d, ByteRange{Off: 0, Len: 1 << 20}).Data)
+	f.Add(uint16(OptCacheServe), CacheServeOption(d, ByteRange{Off: 1 << 19, Len: 1 << 20}).Data) // overruns object
+	f.Add(uint16(OptCacheServe), CacheServeOption(d, ByteRange{Off: 0, Len: 1}).Data[:40])
+
+	f.Fuzz(func(t *testing.T, kind uint16, data []byte) {
+		o := Option{Kind: kind, Data: data}
+		if rs, err := ParseCacheAdvert(o); err == nil {
+			var prevEnd int64
+			for _, r := range rs {
+				if r.Len <= 0 || r.Off < prevEnd {
+					t.Fatalf("accepted non-canonical advert range %+v (prev end %d)", r, prevEnd)
+				}
+				prevEnd = r.End()
+			}
+			if re := CacheAdvertOption(rs); !bytes.Equal(re.Data, data) {
+				t.Errorf("cache advert round-trip mismatch: %x != %x", re.Data, data)
+			}
+		}
+		if got, r, err := ParseCacheServe(o); err == nil {
+			if r.Len <= 0 || r.Off < 0 || r.End() > got.Size {
+				t.Fatalf("accepted serve range %+v outside object of %d bytes", r, got.Size)
+			}
+		}
+		if got, err := ParseCacheLookup(o); err == nil {
+			if re := CacheLookupOption(got); !bytes.Equal(re.Data, data) {
+				t.Errorf("cache lookup round-trip mismatch: %x != %x", re.Data, data)
+			}
+		}
+		// Accessors degrade, never panic, on whatever the parsers reject.
+		h := &Header{Options: []Option{o}}
+		_, _ = h.CacheLookup()
+		_, _ = h.CacheAdvert()
+		_, _, _ = h.CacheServe()
+	})
 }
 
 // FuzzReadHeader feeds arbitrary bytes to the header decoder: it must

@@ -208,11 +208,17 @@ var (
 	ErrOptionMissing = errors.New("wire: required option missing")
 )
 
-// Option returns the first option of the given kind.
+// Option returns the last option of the given kind. Duplicate
+// occurrences of a singleton option kind are explicitly last-wins: a
+// node that wants to override an inherited value appends its own
+// option rather than rewriting the header, and every reader agrees on
+// which copy governs. Multi-instance kinds (OptRouteTable chunks,
+// OptCacheLookup inventories) are read by iterating Options directly
+// and are unaffected.
 func (h *Header) Option(kind uint16) (Option, bool) {
-	for _, o := range h.Options {
-		if o.Kind == kind {
-			return o, true
+	for i := len(h.Options) - 1; i >= 0; i-- {
+		if h.Options[i].Kind == kind {
+			return h.Options[i], true
 		}
 	}
 	return Option{}, false

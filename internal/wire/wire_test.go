@@ -228,8 +228,8 @@ func TestHeaderOptionLookup(t *testing.T) {
 	h.AddOption(Option{Kind: 5, Data: []byte{1}})
 	h.AddOption(Option{Kind: 5, Data: []byte{2}})
 	got, ok := h.Option(5)
-	if !ok || got.Data[0] != 1 {
-		t.Fatalf("Option lookup = %+v, %v (want first match)", got, ok)
+	if !ok || got.Data[0] != 2 {
+		t.Fatalf("Option lookup = %+v, %v (want last match)", got, ok)
 	}
 	if _, ok := h.Option(99); ok {
 		t.Fatal("missing option found")
