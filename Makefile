@@ -52,11 +52,12 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadHeader -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzChunkFrames -fuzztime 10s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzCacheOptions -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzPathOptions -fuzztime 10s ./internal/wire/
 
 # The data path is lock-free by design; prove it under the race
 # detector where the concurrency lives.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/depot/... ./internal/cache/... ./internal/lsl/... ./internal/core/... ./internal/ctl/...
+	$(GO) test -race ./internal/obs/... ./internal/depot/... ./internal/cache/... ./internal/lsl/... ./internal/core/... ./internal/ctl/... ./internal/schedule/...
 
 # Statement-coverage floors for the packages whose untested branches
 # hurt the most (see coverage-floors.txt for which and why). The
@@ -64,7 +65,7 @@ race:
 # any floor breach or floored package missing from the profile.
 COVER_OUT ?= cover.out
 cover:
-	$(GO) test -coverprofile $(COVER_OUT) -covermode atomic ./internal/wire/ ./internal/cache/
+	$(GO) test -coverprofile $(COVER_OUT) -covermode atomic ./internal/wire/ ./internal/cache/ ./internal/schedule/ ./internal/core/
 	$(GO) run ./cmd/covercheck -profile $(COVER_OUT) -floors coverage-floors.txt
 
 # The full pre-commit gate.
@@ -83,7 +84,7 @@ bench-guarded:
 	: > $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench 'BenchmarkPump$$|BenchmarkPumpChecksum$$|BenchmarkFairShare$$' -benchtime 100x -count $(BENCH_COUNT) ./internal/depot/ | tee -a $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench 'BenchmarkEmit$$' -count $(BENCH_COUNT) ./internal/obs/ | tee -a $(BENCH_OUT)
-	$(GO) test -run '^$$' -bench 'BenchmarkStriping$$' -benchtime 1x -count $(BENCH_COUNT) . | tee -a $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'BenchmarkStriping$$|BenchmarkMultipath$$' -benchtime 1x -count $(BENCH_COUNT) . | tee -a $(BENCH_OUT)
 
 # Regenerate the canonical experiment log that EXPERIMENTS.md quotes
 # (seed 1, paper iteration counts). Rerun after changing anything under

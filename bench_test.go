@@ -416,6 +416,30 @@ func BenchmarkExtContention(b *testing.B) {
 	}
 }
 
+// BenchmarkMultipath runs the disjoint-route aggregation sweep on the
+// capacity-limited two-route testbed and reports single- and
+// two-route throughput plus their ratio — the multipath acceptance
+// quantity (aggregate must stay well above the best single route).
+func BenchmarkMultipath(b *testing.B) {
+	var rows []experiments.MultipathRow
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultMultipath()
+		cfg.Seed = int64(i + 1)
+		cfg.Size = 4 << 20
+		cfg.Reps = 2
+		r, err := experiments.Multipath(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	if len(rows) == 2 {
+		b.ReportMetric(rows[0].Mbit, "mbit1")
+		b.ReportMetric(rows[1].Mbit, "mbit2")
+		b.ReportMetric(rows[1].Speedup, "speedup")
+	}
+}
+
 // BenchmarkStriping runs the parallel-sublink sweep on the
 // window-limited testbed and reports single- and 4-stripe throughput
 // plus their ratio — the striped-transfer acceptance quantity.

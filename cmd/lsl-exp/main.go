@@ -16,6 +16,7 @@
 //	fig9      Figures 9-10 + percentile table + 26% statistic
 //	fig11     Figure 11: core-depot box statistics
 //	striping  parallel-sublink throughput sweep (1..N stripes)
+//	multipath one transfer fanned across edge-disjoint depot routes
 //	fairness  weighted fair-sharing split through one scheduled depot
 //	loadgen   mesh load/soak harness: concurrent mixed-weight sessions
 //	integrity corruption inject-and-recover acceptance sweep
@@ -41,6 +42,7 @@ var (
 	measurements = flag.Int("measurements", 20000, "measurement budget for the aggregate evaluation (paper: 362,895)")
 	epsilon      = flag.Float64("epsilon", 0.1, "edge-equivalence for the tree comparison")
 	stripes      = flag.Int("stripes", 8, "largest stripe count for the striping sweep (doubling from 1)")
+	paths        = flag.Int("paths", 2, "largest route count for the multipath sweep (1..N)")
 	format       = flag.String("format", "table", "output format for figures: table or csv")
 	sessions     = flag.Int("sessions", 0, "session count for fairness/loadgen (0 = experiment default)")
 	arrival      = flag.String("arrival", "", "loadgen arrival process: poisson:<rate/s>, uniform:<gap>, burst:<n>:<gap>, or empty for all-at-once")
@@ -102,7 +104,7 @@ func emit(table fmt.Stringer, csv func() string) {
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lsl-exp [flags] <rtts|fig2|fig3|fig4|fig5|trees|fig9|fig11|striping|fairness|loadgen|integrity|matrix[-twopath|-planetlab|-abilene]|cacheoffload|ablate|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: lsl-exp [flags] <rtts|fig2|fig3|fig4|fig5|trees|fig9|fig11|striping|multipath|fairness|loadgen|integrity|matrix[-twopath|-planetlab|-abilene]|cacheoffload|ablate|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -206,6 +208,23 @@ func run(name string) error {
 			return err
 		}
 		fmt.Printf("scheduler suggests %d stripes (forecast %.2f Mbit/s)\n\n", n, bw)
+	case "multipath":
+		cfg := experiments.DefaultMultipath()
+		cfg.Seed = *seed
+		cfg.Paths = nil
+		for n := 1; n <= *paths; n++ {
+			cfg.Paths = append(cfg.Paths, n)
+		}
+		rows, err := experiments.Multipath(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatMultipath(rows))
+		n, bw, err := experiments.SuggestedPaths(*paths)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scheduler suggests %d disjoint routes (aggregate forecast %.2f Mbit/s)\n\n", n, bw)
 	case "fairness":
 		cfg := experiments.DefaultFairness()
 		cfg.Seed = *seed
@@ -255,7 +274,7 @@ func run(name string) error {
 	case "ablate":
 		return ablate()
 	case "all":
-		for _, n := range []string{"rtts", "trees", "fig2", "fig3", "fig4", "fig5", "fig9", "fig11", "striping", "fairness", "robustness", "cacheoffload", "ablate"} {
+		for _, n := range []string{"rtts", "trees", "fig2", "fig3", "fig4", "fig5", "fig9", "fig11", "striping", "multipath", "fairness", "robustness", "cacheoffload", "ablate"} {
 			if err := run(n); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

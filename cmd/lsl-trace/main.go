@@ -159,15 +159,15 @@ func render(w io.Writer, sums []obs.TraceSummary, id string, timeline func(strin
 
 // renderList prints the trace summary table.
 func renderList(w io.Writer, sums []obs.TraceSummary) {
-	fmt.Fprintf(w, "%-34s %8s %5s %5s %7s %12s %10s %s\n",
-		"TRACE", "EVENTS", "HOPS", "SESS", "STRIPES", "BYTES", "DURATION", "RECOVERY")
+	fmt.Fprintf(w, "%-34s %8s %5s %5s %7s %5s %12s %10s %s\n",
+		"TRACE", "EVENTS", "HOPS", "SESS", "STRIPES", "PATHS", "BYTES", "DURATION", "RECOVERY")
 	for _, s := range sums {
 		rec := "-"
 		if s.Retries+s.Failovers+s.Errors > 0 {
 			rec = fmt.Sprintf("%d retries, %d failovers, %d errors", s.Retries, s.Failovers, s.Errors)
 		}
-		fmt.Fprintf(w, "%-34s %8d %5d %5d %7d %12d %10s %s\n",
-			s.Trace, s.Events, s.Hops, s.Sessions, s.Stripes, s.Bytes,
+		fmt.Fprintf(w, "%-34s %8d %5d %5d %7d %5d %12d %10s %s\n",
+			s.Trace, s.Events, s.Hops, s.Sessions, s.Stripes, s.Paths, s.Bytes,
 			fmtDur(s.End.Sub(s.Start)), rec)
 	}
 }
@@ -182,6 +182,9 @@ func renderTimeline(w io.Writer, tl obs.TraceTimeline, width int) {
 	fmt.Fprintf(w, "trace %s: %d hops", s.Trace, s.Hops+1)
 	if s.Stripes > 0 {
 		fmt.Fprintf(w, ", %d stripes", s.Stripes)
+	}
+	if s.Paths > 0 {
+		fmt.Fprintf(w, ", %d paths", s.Paths)
 	}
 	if s.Sessions > 1 {
 		fmt.Fprintf(w, ", %d sessions", s.Sessions)
@@ -214,7 +217,7 @@ func renderTimeline(w io.Writer, tl obs.TraceTimeline, width int) {
 		return c
 	}
 
-	fmt.Fprintf(w, "\n%-4s %-7s %-10s %-*s %8s\n", "HOP", "STRIPE", "SESSION", width, "TIMELINE ('·' waiting, '█' streaming)", "OVERLAP")
+	fmt.Fprintf(w, "\n%-4s %-4s %-7s %-10s %-*s %8s\n", "HOP", "PATH", "STRIPE", "SESSION", width, "TIMELINE ('·' waiting, '█' streaming)", "OVERLAP")
 	for _, sp := range spans {
 		bar := []rune(strings.Repeat(" ", width))
 		open := firstSet(sp.Accept, sp.Connect, sp.First)
@@ -233,8 +236,8 @@ func renderTimeline(w io.Writer, tl obs.TraceTimeline, width int) {
 		if sp.Hop > 0 && sp.Overlap > 0 {
 			ov = fmt.Sprintf("%3.0f%%", sp.Overlap*100)
 		}
-		fmt.Fprintf(w, "%-4d %-7s %-10s %s %8s\n",
-			sp.Hop, stripeLabel(sp.Stripe), short(sp.Session, 10), string(bar), ov)
+		fmt.Fprintf(w, "%-4d %-4s %-7s %-10s %s %8s\n",
+			sp.Hop, stripeLabel(sp.Path), stripeLabel(sp.Stripe), short(sp.Session, 10), string(bar), ov)
 	}
 
 	// Critical-path table: where did the wall-clock go, per sublink. The
@@ -246,8 +249,8 @@ func renderTimeline(w io.Writer, tl obs.TraceTimeline, width int) {
 			slowest = d
 		}
 	}
-	fmt.Fprintf(w, "\n%-4s %-7s %-10s %10s %10s %10s %12s %8s %7s\n",
-		"HOP", "STRIPE", "SESSION", "DIAL", "FIRSTBYTE", "STREAM", "BYTES", "MBPS", "RETRIES")
+	fmt.Fprintf(w, "\n%-4s %-4s %-7s %-10s %10s %10s %10s %12s %8s %7s\n",
+		"HOP", "PATH", "STRIPE", "SESSION", "DIAL", "FIRSTBYTE", "STREAM", "BYTES", "MBPS", "RETRIES")
 	for _, sp := range spans {
 		dial := gap(sp.Accept, sp.Connect)
 		if sp.Hop == 0 {
@@ -262,8 +265,8 @@ func renderTimeline(w io.Writer, tl obs.TraceTimeline, width int) {
 		if stream > 0 && sp.Bytes > 0 {
 			mbps = fmt.Sprintf("%.1f", float64(sp.Bytes)*8/1e6/stream.Seconds())
 		}
-		fmt.Fprintf(w, "%-4d %-7s %-10s %10s %10s %9s%s %12d %8s %7d\n",
-			sp.Hop, stripeLabel(sp.Stripe), short(sp.Session, 10),
+		fmt.Fprintf(w, "%-4d %-4s %-7s %-10s %10s %10s %9s%s %12d %8s %7d\n",
+			sp.Hop, stripeLabel(sp.Path), stripeLabel(sp.Stripe), short(sp.Session, 10),
 			dial, gap(sp.Connect, sp.First), fmtDur(stream), mark, sp.Bytes, mbps, sp.Retries)
 	}
 	if slowest > 0 {

@@ -73,8 +73,9 @@ func TestRenderTimeline(t *testing.T) {
 			t.Fatalf("missing %q:\n%s", want, out)
 		}
 	}
-	// Both stripes must appear as rows, including the rerouted hop 2.
-	if !strings.Contains(out, "\n2    1") {
+	// Both stripes must appear as rows, including the rerouted hop 2
+	// (single-path, so the PATH column shows "-").
+	if !strings.Contains(out, "\n2    -    1") {
 		t.Fatalf("rerouted continuation (hop 2, stripe 1) not rendered:\n%s", out)
 	}
 	// Pipelined hop 1 overlaps its upstream; the percentage must show.

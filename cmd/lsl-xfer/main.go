@@ -27,6 +27,21 @@
 //
 //	lsl-xfer -to sink:7411 -via depot:7411 -size 64M -stripes 4
 //
+// Multipath: -multipath K fans the object across K depot routes given
+// as ';'-separated -via groups (each group its own comma-separated
+// depot chain; an empty group dials -to directly). Every route session
+// shares one session id plus a path-set identifier carried in the
+// header, and each route pulls contiguous chunk ranges off a shared
+// work list as its previous write drains — TCP back-pressure
+// self-clocks the routes, so a faster route simply carries more of the
+// object. -retries applies per range on its owning route:
+//
+//	lsl-xfer -to sink:7411 -via "a:7411,b:7411;c:7411" -multipath 2
+//
+// The mode flags -cached, -stripes, -multipath, -table-driven, -store,
+// and -generate are mutually exclusive: each owns the whole session
+// layout, so combinations are rejected with a usage error.
+//
 // Table-driven mode hands routing to the control plane: the sender
 // dials a single entry depot (-via) with no source route, and every
 // depot on the way forwards by the route table its lsl-ctl controller
@@ -111,28 +126,29 @@ import (
 )
 
 var (
-	to        = flag.String("to", "", "destination ip:port")
-	via       = flag.String("via", "", "comma-separated depot ip:port hops")
-	src       = flag.String("src", "0.0.0.0:0", "source endpoint label carried in the header")
-	sizeSpec  = flag.String("size", "16M", "bytes to move (suffixes K, M, G)")
-	generate  = flag.Bool("generate", false, "ask the first hop to generate the data")
-	store     = flag.Bool("store", false, "store at the destination depot instead of delivering (async mode); prints the session id")
-	fetchID   = flag.String("fetch", "", "fetch the stored session with this hex id from -to")
-	sink      = flag.Bool("sink", false, "run as a verifying sink instead of a sender")
-	listen    = flag.String("listen", "0.0.0.0:7411", "sink: TCP listen address")
-	selfAddr  = flag.String("self", "", "sink: public ip:port (required with -sink)")
-	traceOut  = flag.String("trace-out", "", "append session trace events to this file as JSON lines")
-	tracePush = flag.String("trace-push", "", "POST batched trace events to this collector ingest URL, e.g. http://ctl:7502/traces/ingest")
-	sampleIvl = flag.Duration("sample", 0, "sample sent/received bytes at this interval and print a sequence table (0 = off)")
-	retries   = flag.Int("retries", 0, "retry a failed send this many times with backoff (plain send mode only)")
-	backoff   = flag.Duration("retry-backoff", 500*time.Millisecond, "base delay before the first retry (doubles each retry)")
-	failover  = flag.Bool("failover", false, "on retry, abandon the -via depot route and dial -to directly")
-	stripesN  = flag.Int("stripes", 1, "send over this many parallel sublinks sharing one session id (plain send mode only)")
-	tableMode = flag.Bool("table-driven", false, "send with no source route through one -via entry depot; depots route by controller-pushed tables")
-	weight    = flag.Int("weight", 1, "fair-share weight (1..65535) carried in the session header; fair-share depots grant bandwidth in proportion")
-	verifyInt = flag.Bool("verify-integrity", false, "send CRC-32C-framed chunks every depot hop verifies; plain sends also carry a whole-object SHA-256 digest the sink checks")
-	cached    = flag.Bool("cached", false, "probe the -via depots' content caches and have a holder serve the cached suffix toward -to, sending only the cold prefix from here (implies integrity framing)")
-	idSpec    = flag.String("id", "", "with -cached, reuse this 32-hex-digit session id so the repeat names the same object (empty = mint a new one)")
+	to         = flag.String("to", "", "destination ip:port")
+	via        = flag.String("via", "", "comma-separated depot ip:port hops (with -multipath: ';'-separated routes, each a comma-separated chain)")
+	src        = flag.String("src", "0.0.0.0:0", "source endpoint label carried in the header")
+	sizeSpec   = flag.String("size", "16M", "bytes to move (suffixes K, M, G)")
+	generate   = flag.Bool("generate", false, "ask the first hop to generate the data")
+	store      = flag.Bool("store", false, "store at the destination depot instead of delivering (async mode); prints the session id")
+	fetchID    = flag.String("fetch", "", "fetch the stored session with this hex id from -to")
+	sink       = flag.Bool("sink", false, "run as a verifying sink instead of a sender")
+	listen     = flag.String("listen", "0.0.0.0:7411", "sink: TCP listen address")
+	selfAddr   = flag.String("self", "", "sink: public ip:port (required with -sink)")
+	traceOut   = flag.String("trace-out", "", "append session trace events to this file as JSON lines")
+	tracePush  = flag.String("trace-push", "", "POST batched trace events to this collector ingest URL, e.g. http://ctl:7502/traces/ingest")
+	sampleIvl  = flag.Duration("sample", 0, "sample sent/received bytes at this interval and print a sequence table (0 = off)")
+	retries    = flag.Int("retries", 0, "retry a failed send this many times with backoff (plain send mode only)")
+	backoff    = flag.Duration("retry-backoff", 500*time.Millisecond, "base delay before the first retry (doubles each retry)")
+	failover   = flag.Bool("failover", false, "on retry, abandon the -via depot route and dial -to directly")
+	stripesN   = flag.Int("stripes", 1, "send over this many parallel sublinks sharing one session id (plain send mode only)")
+	tableMode  = flag.Bool("table-driven", false, "send with no source route through one -via entry depot; depots route by controller-pushed tables")
+	weight     = flag.Int("weight", 1, "fair-share weight (1..65535) carried in the session header; fair-share depots grant bandwidth in proportion")
+	verifyInt  = flag.Bool("verify-integrity", false, "send CRC-32C-framed chunks every depot hop verifies; plain sends also carry a whole-object SHA-256 digest the sink checks")
+	multipathN = flag.Int("multipath", 0, "fan the send across this many ';'-separated -via depot routes sharing one session id (0 = off; plain send mode only)")
+	cached     = flag.Bool("cached", false, "probe the -via depots' content caches and have a holder serve the cached suffix toward -to, sending only the cold prefix from here (implies integrity framing)")
+	idSpec     = flag.String("id", "", "with -cached, reuse this 32-hex-digit session id so the repeat names the same object (empty = mint a new one)")
 )
 
 func main() {
@@ -396,8 +412,15 @@ func runSend() error {
 	if err != nil {
 		return err
 	}
+	if modes := exclusiveModes(*cached, *tableMode, *store, *generate, *stripesN, *multipathN); len(modes) > 1 {
+		fmt.Fprintf(os.Stderr, "lsl-xfer: %s are mutually exclusive — pick one send mode\n", strings.Join(modes, " and "))
+		flag.Usage()
+		os.Exit(2)
+	}
+	// A -multipath -via names several ';'-separated routes, not one
+	// depot chain; its parsing happens in the multipath branch below.
 	var route []wire.Endpoint
-	if *via != "" {
+	if *via != "" && *multipathN == 0 {
 		for _, hop := range strings.Split(*via, ",") {
 			ep, err := wire.ParseEndpoint(strings.TrimSpace(hop))
 			if err != nil {
@@ -422,10 +445,19 @@ func runSend() error {
 		firstHop = route[0]
 	}
 
-	if *cached {
-		if *store || *generate || *stripesN > 1 || *tableMode {
-			return fmt.Errorf("-cached combines only with a plain send, not -store, -generate, -stripes, or -table-driven")
+	if *multipathN > 0 {
+		routes, perr := parseMultipathRoutes(*via)
+		if perr != nil {
+			return perr
 		}
+		if len(routes) != *multipathN {
+			return fmt.Errorf("-multipath %d wants %d ';'-separated -via routes (got %d)",
+				*multipathN, *multipathN, len(routes))
+		}
+		return runMultipathSend(dial, srcEP, dst, routes, size, tr)
+	}
+
+	if *cached {
 		if len(route) == 0 {
 			return fmt.Errorf("-cached needs at least one -via depot to probe")
 		}
@@ -433,9 +465,6 @@ func runSend() error {
 	}
 
 	if *tableMode {
-		if *store || *generate || *stripesN > 1 {
-			return fmt.Errorf("-table-driven combines only with a plain send, not -store, -generate, or -stripes")
-		}
 		if len(route) != 1 {
 			return fmt.Errorf("-table-driven needs exactly one -via entry depot (got %d)", len(route))
 		}
@@ -443,9 +472,6 @@ func runSend() error {
 	}
 
 	if *stripesN > 1 {
-		if *store || *generate {
-			return fmt.Errorf("-stripes combines only with a plain send, not -store or -generate")
-		}
 		return runStripedSend(dial, srcEP, dst, route, firstHop, size, tr)
 	}
 
@@ -770,6 +796,183 @@ func runStripedSend(dial lsl.Dialer, srcEP, dst wire.Endpoint, route []wire.Endp
 	fmt.Printf("session %s: %d bytes over %d stripes in %v = %.2f Mbit/s (send-side)\n",
 		id, size, n, elapsed.Round(time.Millisecond),
 		float64(size)*8/1e6/elapsed.Seconds())
+	return nil
+}
+
+// exclusiveModes lists the mutually exclusive send-mode flags an
+// invocation enabled. Each mode owns the whole session layout — how
+// ranges, routes, and session ids map onto connections — so at most
+// one may be active per send; the caller rejects longer lists with a
+// usage error.
+func exclusiveModes(cached, tableDriven, store, generate bool, stripes, multipath int) []string {
+	var modes []string
+	if cached {
+		modes = append(modes, "-cached")
+	}
+	if tableDriven {
+		modes = append(modes, "-table-driven")
+	}
+	if store {
+		modes = append(modes, "-store")
+	}
+	if generate {
+		modes = append(modes, "-generate")
+	}
+	if stripes > 1 {
+		modes = append(modes, "-stripes")
+	}
+	if multipath > 0 {
+		modes = append(modes, "-multipath")
+	}
+	return modes
+}
+
+// parseMultipathRoutes splits a -multipath send's -via into its
+// ';'-separated depot routes, each group a comma-separated chain. An
+// empty group is the direct path: the route dials -to with no depots.
+func parseMultipathRoutes(via string) ([][]wire.Endpoint, error) {
+	groups := strings.Split(via, ";")
+	routes := make([][]wire.Endpoint, 0, len(groups))
+	for _, g := range groups {
+		var route []wire.Endpoint
+		for _, hop := range strings.Split(g, ",") {
+			hop = strings.TrimSpace(hop)
+			if hop == "" {
+				continue
+			}
+			ep, err := wire.ParseEndpoint(hop)
+			if err != nil {
+				return nil, err
+			}
+			route = append(route, ep)
+		}
+		routes = append(routes, route)
+	}
+	return routes, nil
+}
+
+// multipathRange is one contiguous chunk of a -multipath send's shared
+// work list.
+type multipathRange struct{ from, end int64 }
+
+// multipathSendRanges splits size bytes into the chunk ranges the
+// route workers pull: several per route so the load can rebalance, but
+// never below 64 KiB per range (tinier ranges spend more time in
+// session setup than in transfer) and never fewer ranges than routes
+// unless the object itself is smaller.
+func multipathSendRanges(size int64, k int) []multipathRange {
+	const perRoute, minRange = 4, int64(64 << 10)
+	n := k * perRoute
+	if int64(n)*minRange > size {
+		n = int(size / minRange)
+	}
+	if n < k {
+		n = k
+	}
+	if int64(n) > size {
+		n = int(size)
+	}
+	ranges := make([]multipathRange, 0, n)
+	base, rem := size/int64(n), size%int64(n)
+	var from int64
+	for i := 0; i < n; i++ {
+		length := base
+		if int64(i) < rem {
+			length++
+		}
+		ranges = append(ranges, multipathRange{from: from, end: from + length})
+		from += length
+	}
+	return ranges
+}
+
+// runMultipathSend fans the object across the parsed disjoint depot
+// routes. Every route session shares one session id and a path-set
+// identifier; each route worker pulls the next chunk range off the
+// shared list as soon as its previous write drains, so TCP
+// back-pressure self-clocks the routes — a faster route carries more
+// ranges. -retries applies per range on its owning route; a range that
+// exhausts its attempts fails the whole send.
+func runMultipathSend(dial lsl.Dialer, srcEP, dst wire.Endpoint, routes [][]wire.Endpoint, size int64, tr obs.Sink) error {
+	k := len(routes)
+	id, err := wire.NewSessionID()
+	if err != nil {
+		return err
+	}
+	set, err := wire.NewSessionID()
+	if err != nil {
+		return err
+	}
+	ranges := multipathSendRanges(size, k)
+	start := time.Now()
+	var mu sync.Mutex
+	next := 0
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= len(ranges) {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	carried := make([]int64, k)
+	for w := range routes {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			firstHop := dst
+			if len(routes[w]) > 0 {
+				firstHop = routes[w][0]
+			}
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				r := ranges[i]
+				pol := retry.Policy{MaxAttempts: *retries + 1, BaseDelay: *backoff}
+				errs[w] = pol.Do(context.Background(), func(attempt int) error {
+					if attempt > 0 {
+						log.Printf("path %d: range %d retry %d of %d", w, i, attempt, *retries)
+					}
+					sess, oerr := lsl.OpenPath(dial, srcEP, dst, routes[w], id, set, w, k, r.from, sessionOpts()...)
+					if oerr != nil {
+						return oerr
+					}
+					emit0(tr, id, obs.KindConnect, obs.Event{Peer: firstHop.String(), Path: obs.PathOf(w), Retries: attempt})
+					written, werr := sendPatternRange(sendWriter(sess, nil), id, r.from, r.end)
+					sess.Close()
+					if werr != nil {
+						return fmt.Errorf("path %d range %d after %d bytes: %w", w, i, written, werr)
+					}
+					emit0(tr, id, obs.KindLastByte, obs.Event{Bytes: written, Path: obs.PathOf(w)})
+					carried[w] += written
+					return nil
+				})
+				if errs[w] != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, werr := range errs {
+		if werr != nil {
+			return werr
+		}
+	}
+	elapsed := time.Since(start)
+	shares := make([]string, k)
+	for w := range carried {
+		shares[w] = fmt.Sprintf("path %d: %d", w, carried[w])
+	}
+	fmt.Printf("session %s: %d bytes over %d disjoint routes in %v = %.2f Mbit/s (send-side; %s)\n",
+		id, size, k, elapsed.Round(time.Millisecond),
+		float64(size)*8/1e6/elapsed.Seconds(), strings.Join(shares, ", "))
 	return nil
 }
 

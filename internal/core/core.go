@@ -360,7 +360,10 @@ func (s *System) routeLookup(host int) func(wire.Endpoint) (wire.Endpoint, bool)
 // header carries the sender's content digest the verified bytes feed a
 // running SHA-256 that must match on completion. Striped sessions skip
 // the digest — their ranges interleave across sibling sessions — and
-// stay protected by the per-chunk checksums alone.
+// stay protected by the per-chunk checksums alone. Multipath sessions
+// keep it: their ranges also land out of order, but each range is
+// contiguous, so the tracker buffers ahead-of-frontier segments and
+// stitches the one end-to-end SHA-256 across every route.
 func (s *System) localHandler() depot.Handler {
 	return func(sess *lsl.Session) error {
 		var (
@@ -373,6 +376,7 @@ func (s *System) localHandler() depot.Handler {
 			src = wire.NewFrameReader(sess)
 		}
 		want, haveDigest := sess.Header.ContentDigest()
+		multi := sess.Header.PathCount() > 1
 		haveDigest = haveDigest && sess.Header.StripeCount() <= 1
 		bp := bufpool.Get()
 		defer bufpool.Put(bp)
@@ -383,7 +387,11 @@ func (s *System) localHandler() depot.Handler {
 				if verr == nil {
 					verr = depot.VerifyPattern(buf[:n], sess.ID(), base+total)
 					if verr == nil && haveDigest {
-						s.digests.absorb(sess.ID(), base+total, buf[:n])
+						if multi {
+							s.digests.absorbOutOfOrder(sess.ID(), base+total, buf[:n])
+						} else {
+							s.digests.absorb(sess.ID(), base+total, buf[:n])
+						}
 					}
 				}
 				total += int64(n)
@@ -397,7 +405,11 @@ func (s *System) localHandler() depot.Handler {
 			}
 		}
 		if verr == nil && haveDigest {
-			if done, derr := s.digests.finalize(sess.ID(), want); done && derr != nil {
+			done, derr := s.digests.finalize(sess.ID(), want)
+			if done && derr == nil && multi {
+				s.cfg.Metrics.Counter(MetricMultipathDigestVerified).Inc()
+			}
+			if done && derr != nil {
 				verr = derr
 				s.cfg.Metrics.Counter(MetricDigestMismatches).Inc()
 				e := obs.Event{

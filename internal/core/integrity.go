@@ -49,7 +49,19 @@ type digestState struct {
 	h      hash.Hash
 	next   int64
 	broken bool
+	// pending buffers segments delivered ahead of the frontier, keyed
+	// by absolute offset — only populated for multipath sessions,
+	// whose ranges complete out of order. pendingBytes bounds the
+	// buffering (see maxDigestPending).
+	pending      map[int64][]byte
+	pendingBytes int64
 }
+
+// maxDigestPending caps the bytes a multipath digest may buffer ahead
+// of its frontier. A transfer that outruns the cap degrades to
+// unchecked (per-chunk checksums still guard it) rather than growing
+// without bound or reporting a false mismatch.
+const maxDigestPending = 64 << 20
 
 // digestTracker holds the receiver-side digest state that must span the
 // attempts of one logical transfer: the original session and each
@@ -92,6 +104,83 @@ func (t *digestTracker) absorb(id wire.SessionID, off int64, p []byte) {
 	}
 	st.h.Write(p)
 	st.next += int64(len(p))
+}
+
+// absorbOutOfOrder is absorb for multipath sessions, whose disjoint
+// routes deliver ranges in no particular order: a segment beyond the
+// frontier is buffered instead of poisoning the state, and every time
+// the frontier advances the buffered segments that now touch it are
+// drained into the running hash. Overlap — a stolen range delivered by
+// two routes, or a resume continuation re-sending a verified suffix —
+// is skipped, so first-ack-wins double completion cannot corrupt the
+// digest.
+func (t *digestTracker) absorbOutOfOrder(id wire.SessionID, off int64, p []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = make(map[wire.SessionID]*digestState)
+	}
+	st, ok := t.m[id]
+	if !ok {
+		st = &digestState{h: sha256.New()}
+		t.m[id] = st
+	}
+	if st.broken {
+		return
+	}
+	if off > st.next {
+		if st.pendingBytes+int64(len(p)) > maxDigestPending {
+			st.broken = true
+			st.pending = nil
+			return
+		}
+		if st.pending == nil {
+			st.pending = make(map[int64][]byte)
+		}
+		// Keep the longer segment on a duplicate offset (steal overlap).
+		if prev, dup := st.pending[off]; !dup || len(p) > len(prev) {
+			st.pendingBytes += int64(len(p) - len(prev))
+			st.pending[off] = append([]byte(nil), p...)
+		}
+		return
+	}
+	st.write(p, off)
+	st.drain()
+}
+
+// write folds the suffix of p past the frontier into the hash; off is
+// p's absolute offset, at or below the frontier.
+func (st *digestState) write(p []byte, off int64) {
+	if skip := st.next - off; skip > 0 {
+		if skip >= int64(len(p)) {
+			return
+		}
+		p = p[skip:]
+	}
+	st.h.Write(p)
+	st.next += int64(len(p))
+}
+
+// drain consumes buffered segments that now touch the frontier,
+// repeating until only segments strictly beyond it remain.
+func (st *digestState) drain() {
+	for {
+		advanced := false
+		for off, seg := range st.pending {
+			if off > st.next {
+				continue
+			}
+			delete(st.pending, off)
+			st.pendingBytes -= int64(len(seg))
+			if end := off + int64(len(seg)); end > st.next {
+				st.write(seg, off)
+				advanced = true
+			}
+		}
+		if !advanced {
+			return
+		}
+	}
 }
 
 // finalize checks a completed object against the sender's digest. done

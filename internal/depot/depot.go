@@ -240,6 +240,7 @@ type metrics struct {
 	occupancy    *obs.Gauge
 	active       *obs.Gauge
 	stripes      *obs.Gauge
+	paths        *obs.Gauge
 	chunkWrite   *obs.Histogram
 	throughput   *obs.Histogram
 	sessionDur   *obs.Histogram
@@ -256,6 +257,7 @@ const (
 	MetricPipelineOccupancy = "depot_pipeline_occupancy_bytes"
 	MetricActiveSessions    = "depot_active_sessions"
 	MetricActiveStripes     = "depot_active_stripes"
+	MetricActivePaths       = "depot_active_paths"
 	MetricChunkWriteSeconds = "depot_chunk_write_seconds"
 	MetricSublinkMbps       = "depot_sublink_throughput_mbps"
 	MetricSessionSeconds    = "depot_session_seconds"
@@ -302,6 +304,7 @@ func newMetrics(r *obs.Registry) metrics {
 		occupancy:    r.Gauge(MetricPipelineOccupancy),
 		active:       r.Gauge(MetricActiveSessions),
 		stripes:      r.Gauge(MetricActiveStripes),
+		paths:        r.Gauge(MetricActivePaths),
 		// 100 µs .. ~1.6 s write latencies.
 		chunkWrite: r.Histogram(MetricChunkWriteSeconds, obs.ExpBuckets(1e-4, 2, 15)),
 		// 1 .. ~16k Mbit/s sublink throughput.
@@ -412,6 +415,8 @@ type flow struct {
 	hop     int
 	stripe  int               // 0-based stripe index (0 when unstriped)
 	stripes int               // header stripe count (1 when unstriped)
+	pathIdx int               // 0-based disjoint-route index (0 when single-path)
+	paths   int               // header route count (1 when single-path)
 	entry   *obs.SessionEntry // may be nil
 	fs      *fairshare.Flow   // chunk-credit handle; nil when unscheduled
 	first   atomic.Bool       // first payload chunk seen
@@ -427,6 +432,9 @@ func (f *flow) emit(kind string, e obs.Event) {
 	e.Hop = f.hop
 	if f.stripes > 1 {
 		e.Stripe = obs.StripeOf(f.stripe)
+	}
+	if f.paths > 1 {
+		e.Path = obs.PathOf(f.pathIdx)
 	}
 	e.Node = f.srv.cfg.Self.String()
 	obs.Emit(f.srv.cfg.Trace, e)
@@ -447,6 +455,8 @@ func (s *Server) track(f *flow, h *wire.Header, typ string, next wire.Endpoint) 
 		Hop:     f.hop,
 		Stripe:  f.stripe,
 		Stripes: f.stripes,
+		Path:    f.pathIdx,
+		Paths:   f.paths,
 		Started: time.Now(),
 	}
 	if !next.IsZero() {
@@ -529,7 +539,8 @@ func (s *Server) Handle(conn net.Conn) {
 		return
 	}
 	f := &flow{srv: s, id: h.Session.String(), hop: h.HopIndex() + 1,
-		stripe: h.StripeIndex(), stripes: h.StripeCount()}
+		stripe: h.StripeIndex(), stripes: h.StripeCount(),
+		pathIdx: h.PathIndex(), paths: h.PathCount()}
 	if tid, ok := h.TraceID(); ok {
 		f.trace = tid.String()
 	}
@@ -580,11 +591,19 @@ func (s *Server) Handle(conn net.Conn) {
 		// gauge reads "stripe pumps in flight at this depot".
 		s.met.stripes.Add(1)
 	}
+	if f.paths > 1 {
+		// Likewise per route: the gauge reads "multipath route sessions
+		// in flight at this depot".
+		s.met.paths.Add(1)
+	}
 	defer func() {
 		s.active.Add(-1)
 		s.met.active.Add(-1)
 		if f.stripes > 1 {
 			s.met.stripes.Add(-1)
+		}
+		if f.paths > 1 {
+			s.met.paths.Add(-1)
 		}
 		s.met.sessionDur.Observe(time.Since(start).Seconds())
 	}()

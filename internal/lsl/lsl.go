@@ -156,6 +156,39 @@ func OpenStripe(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, id wire
 	return openWithID(d, id, src, dst, route, wire.TypeData, cloneOpts(opts, extra))
 }
 
+// OpenPath opens one pinned-route session of a multipath transfer:
+// route index of count edge-disjoint depot routes that together move a
+// single object under the shared session identifier id, grouped by the
+// path-set identifier set. The session's payload is a contiguous byte
+// range beginning at absolute object offset — carried as a
+// resume-offset option, exactly as a stripe's is, so depots and the
+// sink reassemble by absolute offset with the standard machinery. The
+// explicit route pins the session to its disjoint path: depots forward
+// along the carried loose source route (and the path options ride
+// along untouched) instead of consulting their own tables. A failed
+// range is reopened with the same set and index at a deeper offset —
+// or by a different path worker stealing the range, in which case only
+// the index differs.
+func OpenPath(d Dialer, src, dst wire.Endpoint, route []wire.Endpoint, id, set wire.SessionID, index, count int, offset int64, extra ...wire.Option) (*Session, error) {
+	if count < 1 || index < 0 || index >= count {
+		return nil, fmt.Errorf("lsl: path %d of %d out of range", index, count)
+	}
+	if count > int(^uint16(0)) {
+		return nil, fmt.Errorf("lsl: path count %d exceeds wire limit", count)
+	}
+	if offset < 0 {
+		return nil, fmt.Errorf("lsl: negative path offset %d", offset)
+	}
+	opts := []wire.Option{
+		wire.PathSetIDOption(set),
+		wire.PathIndexOption(uint16(index), uint16(count)),
+	}
+	if offset > 0 {
+		opts = append(opts, wire.ResumeOffsetOption(uint64(offset)))
+	}
+	return openWithID(d, id, src, dst, route, wire.TypeData, cloneOpts(opts, extra))
+}
+
 // TimeoutDialer bounds each Dial through d to the given timeout,
 // giving per-hop connect timeouts to transports (like the emulated
 // network) whose dials cannot otherwise be interrupted. On timeout the

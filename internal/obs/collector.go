@@ -203,6 +203,9 @@ type TraceSummary struct {
 	Hops int `json:"hops"`
 	// Stripes counts distinct stripe indices (0 when unstriped).
 	Stripes int `json:"stripes"`
+	// Paths counts distinct disjoint-route indices (0 when
+	// single-path).
+	Paths int `json:"paths"`
 	// Retries and Failovers count recovery events in the timeline.
 	Retries   int `json:"retries"`
 	Failovers int `json:"failovers"`
@@ -242,6 +245,7 @@ func summarize(k string, events []Event) TraceSummary {
 	s := TraceSummary{Trace: k, Events: len(events)}
 	sessions := map[string]bool{}
 	stripes := map[int]bool{}
+	paths := map[int]bool{}
 	var delivered, lastByte int64
 	for _, e := range events {
 		if e.Session != "" {
@@ -252,6 +256,9 @@ func summarize(k string, events []Event) TraceSummary {
 		}
 		if idx, ok := e.StripeIndex(); ok {
 			stripes[idx] = true
+		}
+		if idx, ok := e.PathIndex(); ok {
+			paths[idx] = true
 		}
 		switch e.Kind {
 		case KindRetry:
@@ -282,6 +289,7 @@ func summarize(k string, events []Event) TraceSummary {
 	}
 	s.Sessions = len(sessions)
 	s.Stripes = len(stripes)
+	s.Paths = len(paths)
 	return s
 }
 

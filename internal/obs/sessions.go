@@ -20,6 +20,8 @@ type SessionEntry struct {
 	Hop     int    // this node's position in the chain
 	Stripe  int    // 0-based stripe index (0 for unstriped sessions)
 	Stripes int    // stripe count carried by the header (1 = unstriped)
+	Path    int    // 0-based disjoint-route index (0 for single-path sessions)
+	Paths   int    // route count carried by the header (1 = single-path)
 	Started time.Time
 
 	bytes  atomic.Int64 // payload bytes moved so far
@@ -60,6 +62,8 @@ type SessionInfo struct {
 	Hop         int           `json:"hop"`
 	Stripe      int           `json:"stripe,omitempty"`
 	Stripes     int           `json:"stripes,omitempty"`
+	Path        int           `json:"path,omitempty"`
+	Paths       int           `json:"paths,omitempty"`
 	Started     time.Time     `json:"started"`
 	Elapsed     time.Duration `json:"elapsed_ns"`
 	Bytes       int64         `json:"bytes"`
@@ -135,6 +139,8 @@ func (t *SessionTable) Snapshot() []SessionInfo {
 			Hop:         e.Hop,
 			Stripe:      e.Stripe,
 			Stripes:     e.Stripes,
+			Path:        e.Path,
+			Paths:       e.Paths,
 			Started:     e.Started,
 			Elapsed:     now.Sub(e.Started),
 			Bytes:       e.bytes.Load(),

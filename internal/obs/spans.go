@@ -20,6 +20,9 @@ type HopSpan struct {
 	// Stripe is the stripe index for striped sessions, nil otherwise
 	// (same convention as Event.Stripe).
 	Stripe *int `json:"stripe,omitempty"`
+	// Path is the disjoint-route index for multipath sessions, nil
+	// otherwise (same convention as Event.Path).
+	Path *int `json:"path,omitempty"`
 	// Node is the endpoint that reported the span (the accepting depot,
 	// or the initiator for hop 0).
 	Node string `json:"node,omitempty"`
@@ -61,12 +64,13 @@ func (s HopSpan) Streaming() time.Duration {
 	return s.Last.Sub(s.First)
 }
 
-// spanKey names one sublink: one hop of one stripe of one session, as
-// reported by one node.
+// spanKey names one sublink: one hop of one stripe (or disjoint route)
+// of one session, as reported by one node.
 type spanKey struct {
 	session string
 	hop     int
 	stripe  int // -1 for unstriped
+	path    int // -1 for single-path
 	node    string
 }
 
@@ -78,14 +82,17 @@ func Spans(events []Event) []HopSpan {
 	acc := map[spanKey]*HopSpan{}
 	var order []spanKey
 	get := func(e Event) *HopSpan {
-		k := spanKey{session: e.Session, hop: e.Hop, stripe: -1, node: e.Node}
+		k := spanKey{session: e.Session, hop: e.Hop, stripe: -1, path: -1, node: e.Node}
 		if idx, ok := e.StripeIndex(); ok {
 			k.stripe = idx
+		}
+		if idx, ok := e.PathIndex(); ok {
+			k.path = idx
 		}
 		if sp := acc[k]; sp != nil {
 			return sp
 		}
-		sp := &HopSpan{Session: e.Session, Hop: e.Hop, Stripe: e.Stripe, Node: e.Node}
+		sp := &HopSpan{Session: e.Session, Hop: e.Hop, Stripe: e.Stripe, Path: e.Path, Node: e.Node}
 		acc[k] = sp
 		order = append(order, k)
 		return sp
@@ -146,6 +153,10 @@ func Spans(events []Event) []HopSpan {
 		if a.Session != b.Session {
 			return a.Session < b.Session
 		}
+		ap, bp := stripeOrd(a.Path), stripeOrd(b.Path)
+		if ap != bp {
+			return ap < bp
+		}
 		ai, bi := stripeOrd(a.Stripe), stripeOrd(b.Stripe)
 		if ai != bi {
 			return ai < bi
@@ -159,12 +170,12 @@ func Spans(events []Event) []HopSpan {
 	prev := map[spanKey]*HopSpan{}
 	for i := range out {
 		sp := &out[i]
-		k := spanKey{session: sp.Session, hop: sp.Hop, stripe: stripeOrd(sp.Stripe)}
-		up := prev[spanKey{session: k.session, hop: k.hop - 1, stripe: k.stripe}]
+		k := spanKey{session: sp.Session, hop: sp.Hop, stripe: stripeOrd(sp.Stripe), path: stripeOrd(sp.Path)}
+		up := prev[spanKey{session: k.session, hop: k.hop - 1, stripe: k.stripe, path: k.path}]
 		if up == nil && k.stripe >= 0 {
 			// Hop 0 (the initiator leg) reports unstriped peers in some
 			// paths; fall back to the unstriped upstream.
-			up = prev[spanKey{session: k.session, hop: k.hop - 1, stripe: -1}]
+			up = prev[spanKey{session: k.session, hop: k.hop - 1, stripe: -1, path: k.path}]
 		}
 		if up != nil {
 			sp.Overlap = overlapRatio(up.First, up.Last, sp.First, sp.Last)
@@ -174,8 +185,8 @@ func Spans(events []Event) []HopSpan {
 	return out
 }
 
-// stripeOrd maps a Stripe field to a sortable ordinal: -1 for
-// unstriped, the index otherwise.
+// stripeOrd maps a Stripe (or Path) field to a sortable ordinal: -1
+// for absent, the index otherwise.
 func stripeOrd(p *int) int {
 	if p == nil {
 		return -1

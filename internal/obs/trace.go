@@ -94,6 +94,12 @@ type Event struct {
 	// one sublink of one stripe. Use StripeOf to build it and
 	// StripeIndex to read it.
 	Stripe *int `json:"stripe,omitempty"`
+	// Path is the 0-based disjoint-route index for events of a
+	// multipath transfer's pinned-route sessions; single-path sessions
+	// leave it nil, so route 0 of a multipath set remains
+	// distinguishable from an ordinary session. Use PathOf to build it
+	// and PathIndex to read it.
+	Path *int `json:"path,omitempty"`
 	// Retries counts connection attempts before success, when the
 	// emitter retries.
 	Retries int `json:"retries,omitempty"`
@@ -113,6 +119,20 @@ func (e Event) StripeIndex() (int, bool) {
 		return 0, false
 	}
 	return *e.Stripe, true
+}
+
+// PathOf returns a Path field value naming the given 0-based disjoint
+// route index. The pointer distinguishes "route 0 of a multipath set"
+// from "not multipath" (a nil field).
+func PathOf(k int) *int { return &k }
+
+// PathIndex returns the event's disjoint-route index and whether the
+// event belongs to a multipath transfer at all.
+func (e Event) PathIndex() (int, bool) {
+	if e.Path == nil {
+		return 0, false
+	}
+	return *e.Path, true
 }
 
 // Sink consumes trace events. Implementations must be safe for

@@ -1,0 +1,118 @@
+package schedule
+
+import (
+	"fmt"
+
+	"github.com/netlogistics/lsl/internal/graph"
+)
+
+// DisjointPaths iteratively extracts up to k edge-disjoint routes from
+// src to dst, ranked by minimax bottleneck: the best remaining minimax
+// path is taken, its directed edges are pruned from the working graph,
+// and the computation repeats on what survives. Because each round
+// solves the reduced graph exactly, the i-th route is the best route
+// that shares no edge with the first i-1 — and when a cut edge (or a
+// cut depot) leaves no further route, the function degrades gracefully
+// and returns the fewer routes it found. It returns nil when k < 1,
+// src == dst, either endpoint is out of range, or dst is unreachable.
+func DisjointPaths(g *graph.Graph, src, dst graph.NodeID, k int) [][]graph.NodeID {
+	return DisjointPathsTransit(g, src, dst, k, 0, nil)
+}
+
+// DisjointPathsTransit is DisjointPaths with the planner's ε
+// edge-equivalence damping and per-node transit costs applied to every
+// extraction round (transit[v] = +Inf keeps non-depot hosts from
+// forwarding, exactly as in Replan). A nil transit slice means free
+// transit everywhere.
+func DisjointPathsTransit(g *graph.Graph, src, dst graph.NodeID, k int, epsilon float64, transit []float64) [][]graph.NodeID {
+	if g == nil || k < 1 || src == dst {
+		return nil
+	}
+	if src < 0 || int(src) >= g.N() || dst < 0 || int(dst) >= g.N() {
+		return nil
+	}
+	work := g.Clone()
+	var out [][]graph.NodeID
+	for len(out) < k {
+		t := graph.MinimaxTreeTransit(work, src, epsilon, transit)
+		p := t.PathTo(dst)
+		if p == nil {
+			break
+		}
+		out = append(out, p)
+		for i := 0; i+1 < len(p); i++ {
+			work.SetCost(p[i], p[i+1], graph.Inf)
+		}
+	}
+	return out
+}
+
+// DisjointPaths returns up to k edge-disjoint planned routes from src
+// to dst as host-index paths (including the endpoints), best minimax
+// bottleneck first, computed on the last Replan's cost graph under the
+// same relay rules as Path (non-depot hosts never forward; HostTransit
+// depots pay their forwarding cost). Fewer than k routes — possibly
+// zero — are returned when the surviving graph runs out of disjoint
+// routes. It returns ErrNotPlanned before Replan.
+func (p *Planner) DisjointPaths(src, dst, k int) ([][]int, error) {
+	if p.g == nil {
+		return nil, ErrNotPlanned
+	}
+	n := p.Topo.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("schedule: host index out of range")
+	}
+	raw := DisjointPathsTransit(p.g, graph.NodeID(src), graph.NodeID(dst), k, p.Epsilon, p.transitCosts(nil))
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	paths := make([][]int, 0, len(raw))
+	for _, nodes := range raw {
+		path := make([]int, len(nodes))
+		for i, id := range nodes {
+			path[i] = int(id)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// AggregateBandwidth forecasts the capacity of one logical transfer
+// fanned over the given routes concurrently: each route contributes
+// its single-flow minimax bottleneck (forecast bandwidth capped by
+// physical link capacity, as in StripedBottleneck with one stripe),
+// and because the routes share no edge the contributions add. Routes
+// with a missing edge contribute nothing.
+func (p *Planner) AggregateBandwidth(paths [][]int) float64 {
+	var sum float64
+	for _, path := range paths {
+		sum += p.StripedBottleneck(path, 1)
+	}
+	return sum
+}
+
+// SuggestPaths is the multipath analog of SuggestStripes: it extracts
+// up to max disjoint routes from src to dst and keeps a route only
+// while it still improves the aggregate meaningfully — the i-th route
+// is kept when its own forecast bottleneck exceeds ε times the
+// aggregate of the routes before it (ε is the planner's
+// edge-equivalence; zero keeps every route with positive forecast).
+// The trimmed routes and their forecast aggregate bandwidth are
+// returned; a nil route list means src and dst are disconnected.
+func (p *Planner) SuggestPaths(src, dst, max int) ([][]int, float64, error) {
+	paths, err := p.DisjointPaths(src, dst, max)
+	if err != nil {
+		return nil, 0, err
+	}
+	var kept [][]int
+	var sum float64
+	for _, path := range paths {
+		bw := p.StripedBottleneck(path, 1)
+		if bw <= 0 || (len(kept) > 0 && bw <= p.Epsilon*sum) {
+			break
+		}
+		kept = append(kept, path)
+		sum += bw
+	}
+	return kept, sum, nil
+}

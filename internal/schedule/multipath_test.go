@@ -1,0 +1,242 @@
+package schedule
+
+import (
+	"testing"
+
+	"github.com/netlogistics/lsl/internal/graph"
+	"github.com/netlogistics/lsl/internal/topo"
+)
+
+// parallelGraph builds src plus n relays plus dst with fully disjoint
+// two-hop routes src→r_i→dst; relay i's route has bottleneck cost
+// base+i (so route 0 is best).
+func parallelGraph(n int, base float64) (*graph.Graph, graph.NodeID, graph.NodeID) {
+	names := []string{"src"}
+	for i := 0; i < n; i++ {
+		names = append(names, string(rune('a'+i)))
+	}
+	names = append(names, "dst")
+	g := graph.MustNew(names)
+	src := graph.NodeID(0)
+	dst := graph.NodeID(n + 1)
+	for i := 0; i < n; i++ {
+		r := graph.NodeID(i + 1)
+		g.SetCost(src, r, base+float64(i))
+		g.SetCost(r, dst, base+float64(i))
+	}
+	return g, src, dst
+}
+
+func TestDisjointPathsFullyDisjointParallel(t *testing.T) {
+	g, src, dst := parallelGraph(3, 1)
+	paths := DisjointPaths(g, src, dst, 3)
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3: %v", len(paths), paths)
+	}
+	seen := map[graph.NodeID]bool{}
+	for i, p := range paths {
+		if len(p) != 3 || p[0] != src || p[2] != dst {
+			t.Fatalf("path %d = %v, want src→relay→dst", i, p)
+		}
+		if seen[p[1]] {
+			t.Fatalf("relay %v reused across paths %v", p[1], paths)
+		}
+		seen[p[1]] = true
+	}
+	// Ranked best-first: extraction order follows the bottleneck.
+	cost := func(p []graph.NodeID) float64 {
+		c, err := g.PathCost(p)
+		if err != nil {
+			t.Fatalf("PathCost(%v): %v", p, err)
+		}
+		return c
+	}
+	for i := 1; i < len(paths); i++ {
+		if cost(paths[i-1]) > cost(paths[i]) {
+			t.Fatalf("paths not ranked by bottleneck: %v", paths)
+		}
+	}
+	// Asking for more than exist degrades to what the graph has.
+	if got := DisjointPaths(g, src, dst, 9); len(got) != 3 {
+		t.Fatalf("k=9 returned %d paths, want 3", len(got))
+	}
+}
+
+func TestDisjointPathsCutEdge(t *testing.T) {
+	// Two disjoint routes src→{a,b}→m, then a single cut edge m→dst:
+	// however many routes are requested, only one can be edge-disjoint.
+	g := graph.MustNew([]string{"src", "a", "b", "m", "dst"})
+	src, a, b, m, dst := graph.NodeID(0), graph.NodeID(1), graph.NodeID(2), graph.NodeID(3), graph.NodeID(4)
+	g.SetCost(src, a, 1)
+	g.SetCost(a, m, 1)
+	g.SetCost(src, b, 2)
+	g.SetCost(b, m, 2)
+	g.SetCost(m, dst, 1)
+	paths := DisjointPaths(g, src, dst, 3)
+	if len(paths) != 1 {
+		t.Fatalf("cut edge: got %d paths, want 1: %v", len(paths), paths)
+	}
+	if want := []graph.NodeID{src, a, m, dst}; len(paths[0]) != 4 ||
+		paths[0][1] != want[1] || paths[0][2] != want[2] {
+		t.Fatalf("cut-edge path = %v, want %v", paths[0], want)
+	}
+}
+
+func TestDisjointPathsEdgeCases(t *testing.T) {
+	g, src, dst := parallelGraph(2, 1)
+	if p := DisjointPaths(g, src, src, 2); p != nil {
+		t.Errorf("src==dst returned %v, want nil", p)
+	}
+	if p := DisjointPaths(g, src, dst, 0); p != nil {
+		t.Errorf("k=0 returned %v, want nil", p)
+	}
+	if p := DisjointPaths(g, src, dst, -3); p != nil {
+		t.Errorf("k<0 returned %v, want nil", p)
+	}
+	if p := DisjointPaths(nil, src, dst, 2); p != nil {
+		t.Errorf("nil graph returned %v, want nil", p)
+	}
+	if p := DisjointPaths(g, -1, dst, 2); p != nil {
+		t.Errorf("out-of-range src returned %v, want nil", p)
+	}
+	if p := DisjointPaths(g, src, graph.NodeID(99), 2); p != nil {
+		t.Errorf("out-of-range dst returned %v, want nil", p)
+	}
+	// k=1 is exactly the single minimax path.
+	one := DisjointPaths(g, src, dst, 1)
+	if len(one) != 1 {
+		t.Fatalf("k=1 returned %d paths", len(one))
+	}
+	tree := graph.MinimaxTree(g, src, 0)
+	oneCost, err1 := g.PathCost(one[0])
+	wantCost, err2 := g.PathCost(tree.PathTo(dst))
+	if err1 != nil || err2 != nil || oneCost != wantCost {
+		t.Fatalf("k=1 path %v is not the minimax path (%v/%v)", one[0], err1, err2)
+	}
+	// Unreachable destination: no edges toward it at all.
+	iso := graph.MustNew([]string{"x", "y"})
+	if p := DisjointPaths(iso, 0, 1, 2); p != nil {
+		t.Errorf("unreachable dst returned %v, want nil", p)
+	}
+}
+
+func TestPlannerDisjointPathsTwoPath(t *testing.T) {
+	tp := topo.TwoPath()
+	p := newPlanned(t, tp, 0.1)
+	src, dst := tp.MustHost(topo.UCSB), tp.MustHost(topo.UIUC)
+
+	paths, err := p.DisjointPaths(src, dst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("TwoPath yielded %d disjoint routes, want >= 2: %v", len(paths), paths)
+	}
+	// The first route is the planner's own minimax route.
+	best, err := p.Path(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths[0]) != len(best) {
+		t.Fatalf("first disjoint route %v != planned route %v", paths[0], best)
+	}
+	for i := range best {
+		if paths[0][i] != best[i] {
+			t.Fatalf("first disjoint route %v != planned route %v", paths[0], best)
+		}
+	}
+	// Pairwise edge-disjoint.
+	type edge struct{ a, b int }
+	seen := map[edge]int{}
+	for pi, path := range paths {
+		for i := 0; i+1 < len(path); i++ {
+			e := edge{path[i], path[i+1]}
+			if prev, dup := seen[e]; dup {
+				t.Fatalf("edge %v shared by routes %d and %d", e, prev, pi)
+			}
+			seen[e] = pi
+		}
+	}
+	// Every route begins and ends at the endpoints.
+	for _, path := range paths {
+		if path[0] != src || path[len(path)-1] != dst {
+			t.Fatalf("route %v does not span %d→%d", path, src, dst)
+		}
+	}
+
+	if _, err := p.DisjointPaths(-1, dst, 2); err == nil {
+		t.Error("out-of-range src accepted")
+	}
+	if got, err := p.DisjointPaths(src, src, 2); err != nil || got != nil {
+		t.Errorf("src==dst returned %v/%v, want nil/nil", got, err)
+	}
+}
+
+func TestPlannerDisjointPathsErrNotPlanned(t *testing.T) {
+	p, err := NewPlanner(topo.TwoPath(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DisjointPaths(0, 1, 2); err != ErrNotPlanned {
+		t.Fatalf("before Replan: err = %v, want ErrNotPlanned", err)
+	}
+	if _, _, err := p.SuggestPaths(0, 1, 2); err != ErrNotPlanned {
+		t.Fatalf("SuggestPaths before Replan: err = %v, want ErrNotPlanned", err)
+	}
+}
+
+func TestAggregateBandwidthSumsRoutes(t *testing.T) {
+	tp := topo.TwoPath()
+	p := newPlanned(t, tp, 0.1)
+	src, dst := tp.MustHost(topo.UCSB), tp.MustHost(topo.UIUC)
+	paths, err := p.DisjointPaths(src, dst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, path := range paths {
+		want += p.StripedBottleneck(path, 1)
+	}
+	if got := p.AggregateBandwidth(paths); got != want {
+		t.Fatalf("AggregateBandwidth = %v, want %v", got, want)
+	}
+	if got := p.AggregateBandwidth(nil); got != 0 {
+		t.Fatalf("AggregateBandwidth(nil) = %v, want 0", got)
+	}
+}
+
+func TestSuggestPathsKeepsMeaningfulRoutes(t *testing.T) {
+	tp := topo.TwoPath()
+	p := newPlanned(t, tp, 0.1)
+	src, dst := tp.MustHost(topo.UCSB), tp.MustHost(topo.UIUC)
+
+	paths, agg, err := p.SuggestPaths(src, dst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 1 {
+		t.Fatal("SuggestPaths kept no routes on a connected testbed")
+	}
+	if agg <= 0 {
+		t.Fatalf("aggregate forecast %v, want > 0", agg)
+	}
+	// The aggregate must match the kept routes and never lose to the
+	// single best route.
+	if want := p.AggregateBandwidth(paths); agg != want {
+		t.Fatalf("aggregate %v != recomputed %v", agg, want)
+	}
+	if single := p.StripedBottleneck(paths[0], 1); agg < single {
+		t.Fatalf("aggregate %v below best single route %v", agg, single)
+	}
+
+	// A planner with a huge ε keeps only the best route: every further
+	// route is below ε × the aggregate so far.
+	p.Epsilon = 1e9
+	only, _, err := p.SuggestPaths(src, dst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only) != 1 {
+		t.Fatalf("ε→∞ kept %d routes, want 1", len(only))
+	}
+}

@@ -120,15 +120,7 @@ func (p *Planner) Replan() error {
 	// hosts may never forward (infinite transit), and with HostTransit
 	// a depot's forwarding bandwidth joins the minimax like any other
 	// edge.
-	transit := make([]float64, n)
-	for i, h := range p.Topo.Hosts {
-		switch {
-		case !h.Depot:
-			transit[i] = graph.Inf
-		case p.HostTransit && h.ForwardRate > 0:
-			transit[i] = 1 / h.ForwardRate
-		}
-	}
+	transit := p.transitCosts(nil)
 
 	p.trees = make([]*graph.Tree, n)
 	for s := 0; s < n; s++ {
@@ -256,16 +248,7 @@ func (p *Planner) PathAvoiding(src, dst int, avoid map[int]bool) ([]int, error) 
 	if src < 0 || src >= n || dst < 0 || dst >= n {
 		return nil, fmt.Errorf("schedule: host index out of range")
 	}
-	transit := make([]float64, n)
-	for i, h := range p.Topo.Hosts {
-		switch {
-		case avoid[i] || !h.Depot:
-			transit[i] = graph.Inf
-		case p.HostTransit && h.ForwardRate > 0:
-			transit[i] = 1 / h.ForwardRate
-		}
-	}
-	t := graph.MinimaxTreeTransit(p.g, graph.NodeID(src), p.Epsilon, transit)
+	t := graph.MinimaxTreeTransit(p.g, graph.NodeID(src), p.Epsilon, p.transitCosts(avoid))
 	nodes := t.PathTo(graph.NodeID(dst))
 	if nodes == nil {
 		return nil, nil
@@ -275,6 +258,23 @@ func (p *Planner) PathAvoiding(src, dst int, avoid map[int]bool) ([]int, error) 
 		path[i] = int(id)
 	}
 	return path, nil
+}
+
+// transitCosts builds the per-node transit slice the tree builders
+// consume: avoided and non-depot hosts get infinite transit (they may
+// terminate a session but never forward one), and with HostTransit a
+// depot's forwarding bandwidth joins the minimax like any other edge.
+func (p *Planner) transitCosts(avoid map[int]bool) []float64 {
+	transit := make([]float64, p.Topo.N())
+	for i, h := range p.Topo.Hosts {
+		switch {
+		case avoid[i] || !h.Depot:
+			transit[i] = graph.Inf
+		case p.HostTransit && h.ForwardRate > 0:
+			transit[i] = 1 / h.ForwardRate
+		}
+	}
+	return transit
 }
 
 // Relayed reports whether the planned path src→dst uses at least one

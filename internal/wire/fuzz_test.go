@@ -277,3 +277,62 @@ func FuzzReadHeader(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPathOptions concentrates on the two multipath wire options, with
+// a seed corpus of the malformations a depot actually meets: truncated
+// and oversized set ids, zero path counts, and indices at or beyond the
+// count. A parser may reject or accept; an accepted body must
+// round-trip byte-for-byte and satisfy index < count, and whatever the
+// parser decides, the header accessors must degrade malformed bodies
+// to single-path (count 1, index 0, set id absent) rather than panic.
+func FuzzPathOptions(f *testing.F) {
+	var id SessionID
+	for i := range id {
+		id[i] = byte(i * 7)
+	}
+	f.Add(uint16(OptPathSetID), PathSetIDOption(id).Data)
+	f.Add(uint16(OptPathSetID), PathSetIDOption(id).Data[:15])
+	f.Add(uint16(OptPathSetID), append(PathSetIDOption(id).Data, 0xff))
+	f.Add(uint16(OptPathSetID), []byte{})
+	f.Add(uint16(OptPathIndex), PathIndexOption(0, 1).Data)
+	f.Add(uint16(OptPathIndex), PathIndexOption(3, 4).Data)
+	f.Add(uint16(OptPathIndex), PathIndexOption(0, 0).Data)            // zero count
+	f.Add(uint16(OptPathIndex), PathIndexOption(4, 4).Data)            // index == count
+	f.Add(uint16(OptPathIndex), PathIndexOption(9, 2).Data)            // index > count
+	f.Add(uint16(OptPathIndex), PathIndexOption(1, 2).Data[:3])        // truncated
+	f.Add(uint16(OptPathIndex), append(PathIndexOption(1, 2).Data, 0)) // oversized
+
+	f.Fuzz(func(t *testing.T, kind uint16, data []byte) {
+		o := Option{Kind: kind, Data: data}
+		if got, err := ParsePathSetID(o); err == nil {
+			if !bytes.Equal(PathSetIDOption(got).Data, data) {
+				t.Errorf("path set id round-trip mismatch: %x", data)
+			}
+		}
+		if i, n, err := ParsePathIndex(o); err == nil {
+			if n == 0 || i >= n {
+				t.Fatalf("accepted path coordinate %d/%d", i, n)
+			}
+			if !bytes.Equal(PathIndexOption(i, n).Data, data) {
+				t.Errorf("path index round-trip mismatch: %x", data)
+			}
+		}
+		h := Header{Version: Version1, Type: TypeData, Options: []Option{o}}
+		raw, err := h.MarshalBinary()
+		if err != nil {
+			return // oversized option bodies may exceed the header cap
+		}
+		var back Header
+		if err := back.UnmarshalBinary(raw); err != nil {
+			t.Fatalf("re-read of marshalled header: %v", err)
+		}
+		// Accessors never panic and degrade malformed to single-path.
+		if n := back.PathCount(); n < 1 {
+			t.Fatalf("PathCount = %d", n)
+		}
+		if i := back.PathIndex(); i < 0 || (i != 0 && i >= back.PathCount()) {
+			t.Fatalf("PathIndex = %d of %d", i, back.PathCount())
+		}
+		_, _ = back.PathSetID()
+	})
+}

@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Multipath options tie the k pinned-route sessions of one logical
+// transfer together. Every session of a multipath transfer shares the
+// transfer's session id (so sinks dispatch acks by absolute offset,
+// exactly as stripes do) and additionally carries a path-set id — a
+// second identifier grouping the disjoint routes for tracing and
+// per-path accounting — plus its own (index, count) coordinate in the
+// set. Depots forward both options untouched; a malformed body
+// degrades to absent, which a reader must treat as "single path".
+const (
+	// OptPathSetID carries the 16-byte identifier of the multipath
+	// set this session belongs to.
+	OptPathSetID uint16 = 19
+	// OptPathIndex carries which disjoint route (index) of how many
+	// (count) this session is pinned to.
+	OptPathIndex uint16 = 20
+)
+
+// PathSetIDOption tags a session with the multipath set it belongs
+// to.
+func PathSetIDOption(id SessionID) Option {
+	return Option{Kind: OptPathSetID, Data: append([]byte(nil), id[:]...)}
+}
+
+// ParsePathSetID decodes a path-set-id option body.
+func ParsePathSetID(o Option) (SessionID, error) {
+	var id SessionID
+	if o.Kind != OptPathSetID || len(o.Data) != len(id) {
+		return id, fmt.Errorf("%w: bad path set id", ErrBadOption)
+	}
+	copy(id[:], o.Data)
+	return id, nil
+}
+
+// PathIndexOption identifies which of count disjoint routes this
+// session is pinned to. Index is zero-based and must be below count.
+func PathIndexOption(index, count uint16) Option {
+	var data [4]byte
+	binary.BigEndian.PutUint16(data[:2], index)
+	binary.BigEndian.PutUint16(data[2:], count)
+	return Option{Kind: OptPathIndex, Data: data[:]}
+}
+
+// ParsePathIndex decodes a path-index option body. A count of zero or
+// an index at or beyond the count is malformed: a multipath set always
+// has at least one route and every session must name one of them.
+func ParsePathIndex(o Option) (index, count uint16, err error) {
+	if o.Kind != OptPathIndex || len(o.Data) != 4 {
+		return 0, 0, fmt.Errorf("%w: bad path index", ErrBadOption)
+	}
+	index = binary.BigEndian.Uint16(o.Data[:2])
+	count = binary.BigEndian.Uint16(o.Data[2:])
+	if count == 0 {
+		return 0, 0, fmt.Errorf("%w: path count 0", ErrBadOption)
+	}
+	if index >= count {
+		return 0, 0, fmt.Errorf("%w: path index %d of %d", ErrBadOption, index, count)
+	}
+	return index, count, nil
+}
+
+// PathSetID returns the multipath set this session belongs to, if the
+// header carries a well-formed path-set-id option. Malformed degrades
+// to absent — the session is treated as an ordinary single-path one.
+func (h *Header) PathSetID() (SessionID, bool) {
+	if opt, ok := h.Option(OptPathSetID); ok {
+		if id, err := ParsePathSetID(opt); err == nil {
+			return id, true
+		}
+	}
+	return SessionID{}, false
+}
+
+// PathCount returns how many disjoint routes the session's transfer is
+// fanned over: 1 for a single-path session or a malformed option — an
+// unreadable coordinate must not make a depot misroute a session it
+// can still forward.
+func (h *Header) PathCount() int {
+	if opt, ok := h.Option(OptPathIndex); ok {
+		if _, n, err := ParsePathIndex(opt); err == nil {
+			return int(n)
+		}
+	}
+	return 1
+}
+
+// PathIndex returns which disjoint route this session is pinned to
+// (0 when single-path or unreadable).
+func (h *Header) PathIndex() int {
+	if opt, ok := h.Option(OptPathIndex); ok {
+		if i, _, err := ParsePathIndex(opt); err == nil {
+			return int(i)
+		}
+	}
+	return 0
+}
